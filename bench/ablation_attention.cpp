@@ -1,0 +1,55 @@
+// Ablation — gradient vs occlusion attention. The paper (§III-E) notes
+// that generic black-box explainers apply to its model but chooses the
+// white-box gradient method instead; this bench quantifies the trade-off
+// in both recall and latency on the same trained model.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace diagnet;
+  namespace db = diagnet::bench;
+
+  db::print_header(
+      "Ablation (gradient vs occlusion attention)",
+      "Gradients exploit the white-box model in one backward pass; "
+      "occlusion needs m forward passes for similar information.");
+
+  eval::PipelineConfig config = db::scaled_default_config();
+  std::cout << "Training models...\n\n";
+  eval::Pipeline pipeline(config);
+
+  const auto new_idx = pipeline.faulty_test_indices(true);
+  const auto known_idx = pipeline.faulty_test_indices(false);
+
+  util::Table table({"attention", "new R@1", "new R@5", "known R@1",
+                     "known R@5", "ms/diagnosis"});
+  for (const auto method :
+       {core::AttentionMethod::Gradient, core::AttentionMethod::Occlusion}) {
+    pipeline.diagnet().set_attention_method(method);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const double new_r1 = pipeline.recall(eval::ModelKind::DiagNet, new_idx, 1);
+    const double new_r5 = pipeline.recall(eval::ModelKind::DiagNet, new_idx, 5);
+    const double known_r1 =
+        pipeline.recall(eval::ModelKind::DiagNet, known_idx, 1);
+    const double known_r5 =
+        pipeline.recall(eval::ModelKind::DiagNet, known_idx, 5);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(2 * (new_idx.size() + known_idx.size()));
+
+    table.add_row({method == core::AttentionMethod::Gradient ? "gradient"
+                                                             : "occlusion",
+                   util::fmt(new_r1, 3), util::fmt(new_r5, 3),
+                   util::fmt(known_r1, 3), util::fmt(known_r5, 3),
+                   util::fmt(ms, 2)});
+  }
+  pipeline.diagnet().set_attention_method(core::AttentionMethod::Gradient);
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation — contribution of each DiagNet inference component:
+//   1. raw attention (gradient saliency only, Eq. 1)
+//   2. + multi-label score weighting (Algorithm 1)
+//   3. + ensemble averaging with the auxiliary forest (§III-F)  [= full]
+//   4. score weighting off, ensemble on
+//
+// The paper motivates both optimisations qualitatively (§III-E: attention
+// alone "gave inaccurate results"; §III-F: ensemble "reaps the benefits of
+// both worlds"); this bench quantifies them. Components toggle at
+// inference time, so one trained pipeline serves all rows.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace diagnet;
+  namespace db = diagnet::bench;
+
+  db::print_header(
+      "Ablation (attention / score weighting / ensemble)",
+      "Attention alone is inaccurate; Algorithm 1 and ensemble averaging "
+      "each add recall, on known landmarks especially.");
+
+  eval::PipelineConfig config = db::scaled_default_config();
+  std::cout << "Training models...\n\n";
+  eval::Pipeline pipeline(config);
+
+  const auto new_idx = pipeline.faulty_test_indices(true);
+  const auto known_idx = pipeline.faulty_test_indices(false);
+
+  struct Variant {
+    const char* name;
+    bool weighting;
+    bool ensemble;
+  };
+  const Variant variants[] = {
+      {"attention only", false, false},
+      {"+ score weighting", true, false},
+      {"+ ensemble (full DiagNet)", true, true},
+      {"ensemble, no weighting", false, true},
+  };
+
+  util::Table table({"variant", "new R@1", "new R@5", "known R@1",
+                     "known R@5"});
+  for (const Variant& variant : variants) {
+    pipeline.diagnet().set_score_weighting(variant.weighting);
+    pipeline.diagnet().set_ensemble(variant.ensemble);
+    table.add_row(
+        {variant.name,
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, new_idx, 1), 3),
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, new_idx, 5), 3),
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, known_idx, 1), 3),
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, known_idx, 5),
+                   3)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation — the LandPooling operator bank Ω. Table I fixes Ω = {min, max,
+// avg, variance, p10..p90} after a hyperparameter exploration ("We explored
+// several combinations of hyperparameters and kept the best configuration",
+// §III-C); this bench reruns that exploration over representative operator
+// sets. Each row retrains the whole pipeline on a reduced campaign.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace diagnet;
+  namespace db = diagnet::bench;
+
+  db::print_header(
+      "Ablation (global pooling operator sets Ω)",
+      "Table I keeps min/max/avg/var/p10..p90; richer operator banks "
+      "preserve more of the landmark distribution after flattening.");
+
+  struct Variant {
+    const char* name;
+    std::vector<nn::PoolOp> ops;
+  };
+  const Variant variants[] = {
+      {"avg", {nn::PoolOp::Avg}},
+      {"max", {nn::PoolOp::Max}},
+      {"min+max", {nn::PoolOp::Min, nn::PoolOp::Max}},
+      {"min+max+avg+var",
+       {nn::PoolOp::Min, nn::PoolOp::Max, nn::PoolOp::Avg, nn::PoolOp::Var}},
+      {"full Table-I bank (13 ops)", nn::default_pool_ops()},
+  };
+
+  eval::PipelineConfig base = db::scaled_default_config();
+  base.campaign.nominal_samples /= 2;
+  base.campaign.fault_samples /= 2;
+
+  util::Table table({"pooling ops", "new R@1", "new R@5", "known R@1",
+                     "known R@5", "L1 input"});
+  for (const Variant& variant : variants) {
+    std::cout << "  training with Ω = " << variant.name << "...\n";
+    eval::PipelineConfig config = base;
+    config.diagnet.coarse.pool_ops = variant.ops;
+    eval::Pipeline pipeline(config);
+    const auto new_idx = pipeline.faulty_test_indices(true);
+    const auto known_idx = pipeline.faulty_test_indices(false);
+    table.add_row(
+        {variant.name,
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, new_idx, 1), 3),
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, new_idx, 5), 3),
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, known_idx, 1), 3),
+         util::fmt(pipeline.recall(eval::ModelKind::DiagNet, known_idx, 5), 3),
+         std::to_string(variant.ops.size() *
+                            config.diagnet.coarse.filters +
+                        5)});
+  }
+  std::cout << '\n' << table.to_string();
+  return 0;
+}

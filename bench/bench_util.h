@@ -1,0 +1,40 @@
+// Shared helpers for the experiment benches: uniform headers and the
+// paper-vs-measured framing every binary prints.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/pipeline.h"
+#include "util/table.h"
+
+namespace diagnet::bench {
+
+/// Scale knob: DIAGNET_BENCH_SCALE env var multiplies campaign sizes
+/// (default 1.0; use e.g. 4 to approach the paper's 243k-sample campaign).
+inline double bench_scale() {
+  const char* env = std::getenv("DIAGNET_BENCH_SCALE");
+  if (!env) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline eval::PipelineConfig scaled_default_config() {
+  eval::PipelineConfig config = eval::PipelineConfig::defaults();
+  const double scale = bench_scale();
+  config.campaign.nominal_samples = static_cast<std::size_t>(
+      static_cast<double>(config.campaign.nominal_samples) * scale);
+  config.campaign.fault_samples = static_cast<std::size_t>(
+      static_cast<double>(config.campaign.fault_samples) * scale);
+  return config;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_claim) {
+  std::cout << util::banner("DiagNet reproduction — " + experiment);
+  std::cout << "Paper: Bonniot, Neumann, Taiani — IPDPS 2021\n";
+  std::cout << "Claim: " << paper_claim << "\n\n";
+}
+
+}  // namespace diagnet::bench

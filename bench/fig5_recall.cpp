@@ -1,0 +1,70 @@
+// Fig. 5 — Recall@k (k = 1..5) for faults near NEW landmarks (hidden during
+// training) and near KNOWN landmarks, for DiagNet, Random Forest and Naive
+// Bayes; plus the combined DiagNet Recall@1 (paper: 73.9%).
+//
+// Expected shape (paper):
+//  (a) new landmarks:   DiagNet >> NaiveBayes > RandomForest (~random);
+//  (b) known landmarks: RandomForest ~ ideal >= DiagNet >> NaiveBayes.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace diagnet;
+  namespace db = diagnet::bench;
+
+  db::print_header(
+      "Fig. 5 (Recall@k, new vs known landmark faults)",
+      "DiagNet best on new-landmark faults, near-ideal on known ones; "
+      "combined Recall@1 = 73.9%. RF perfect on known / random on new; "
+      "NB poor on known.");
+
+  eval::PipelineConfig config = db::scaled_default_config();
+  std::cout << "Campaign: " << config.campaign.nominal_samples << " nominal + "
+            << config.campaign.fault_samples
+            << " fault scenarios, hidden landmarks EAST/GRAV/SEAT.\n"
+            << "Training models (general + 8 specialised)...\n\n";
+  eval::Pipeline pipeline(config);
+
+  const auto new_idx = pipeline.faulty_test_indices(true);
+  const auto known_idx = pipeline.faulty_test_indices(false);
+  const auto all_idx = pipeline.faulty_test_indices();
+  std::cout << "Faulty test samples: " << all_idx.size() << " ("
+            << new_idx.size() << " near new landmarks, " << known_idx.size()
+            << " near known)\n\n";
+
+  const eval::ModelKind kinds[] = {eval::ModelKind::DiagNet,
+                                   eval::ModelKind::RandomForest,
+                                   eval::ModelKind::NaiveBayes};
+
+  for (const auto& [label, indices] :
+       {std::pair{"(a) faults near NEW landmarks", &new_idx},
+        std::pair{"(b) faults near KNOWN landmarks", &known_idx}}) {
+    std::cout << label << " — " << indices->size() << " samples\n";
+    util::Table table({"model", "R@1", "R@2", "R@3", "R@4", "R@5"});
+    for (eval::ModelKind kind : kinds) {
+      std::vector<double> row;
+      for (std::size_t k = 1; k <= 5; ++k)
+        row.push_back(pipeline.recall(kind, *indices, k));
+      table.add_row(eval::model_name(kind), row);
+    }
+    std::cout << table.to_string() << '\n';
+  }
+
+  const double combined = pipeline.recall(eval::ModelKind::DiagNet, all_idx, 1);
+  const double r1_new = pipeline.recall(eval::ModelKind::DiagNet, new_idx, 1);
+  const double r1_known =
+      pipeline.recall(eval::ModelKind::DiagNet, known_idx, 1);
+  // The paper's degraded test set contained 23% hidden-region faults
+  // (§IV-A(e)); our uniform fault injection yields a different mix, so the
+  // combined score is also reported reweighted to the paper's composition.
+  const double paper_mix = 0.23 * r1_new + 0.77 * r1_known;
+  std::cout << "Combined DiagNet Recall@1, our test mix ("
+            << util::fmt(100.0 * static_cast<double>(new_idx.size()) /
+                             static_cast<double>(all_idx.size()), 0)
+            << "% new): " << util::fmt(combined, 3) << '\n'
+            << "Combined DiagNet Recall@1, paper's 23%-new mix: "
+            << util::fmt(paper_mix, 3) << "   [paper: 0.739]\n";
+  return 0;
+}

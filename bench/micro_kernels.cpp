@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the numeric substrate and the
+// end-to-end inference path: GEMM variants at the coarse model's shapes,
+// LandPooling forward/backward, attention, full diagnose(), and baseline
+// model inference. The paper quotes a 45 ms mean inference latency on a
+// laptop CPU; bm_diagnose_full is the directly comparable number.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "eval/pipeline.h"
+#include "nn/coarse_net.h"
+#include "nn/softmax.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace diagnet;
+
+tensor::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+
+void bm_gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Matrix a = random_matrix(64, n, 1);
+  const tensor::Matrix b = random_matrix(n, 512, 2);
+  tensor::Matrix c;
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          static_cast<std::int64_t>(n) * 512);
+}
+BENCHMARK(bm_gemm)->Arg(128)->Arg(317)->Arg(512);
+
+void bm_land_pooling_forward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::LandPooling pool(5, 24, nn::default_pool_ops(), rng);
+  const tensor::Matrix land = random_matrix(64, 10 * 5, 4);
+  const tensor::Matrix mask(64, 10, 1.0);
+  for (auto _ : state) {
+    auto out = pool.forward(land, mask);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(bm_land_pooling_forward);
+
+void bm_land_pooling_backward(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::LandPooling pool(5, 24, nn::default_pool_ops(), rng);
+  const tensor::Matrix land = random_matrix(64, 10 * 5, 6);
+  const tensor::Matrix mask(64, 10, 1.0);
+  const tensor::Matrix grad = random_matrix(64, pool.out_features(), 7);
+  pool.forward(land, mask);
+  for (auto _ : state) {
+    auto dland = pool.backward(grad);
+    benchmark::DoNotOptimize(dland.data());
+  }
+}
+BENCHMARK(bm_land_pooling_backward);
+
+/// Shared trained pipeline for the end-to-end benchmarks (built once).
+eval::Pipeline& shared_pipeline() {
+  static auto pipeline = [] {
+    eval::PipelineConfig config = eval::PipelineConfig::small();
+    return std::make_unique<eval::Pipeline>(config);
+  }();
+  return *pipeline;
+}
+
+void bm_coarse_forward_single(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto faulty = pipeline.faulty_test_indices();
+  const auto& sample = pipeline.split().test.samples[faulty.front()];
+  auto& model = pipeline.diagnet();
+  const std::vector<bool> all(pipeline.feature_space().landmark_count(),
+                              true);
+  for (auto _ : state) {
+    auto probs = model.coarse_predict(sample.features, sample.service, all);
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(bm_coarse_forward_single);
+
+void bm_diagnose_full(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto faulty = pipeline.faulty_test_indices();
+  const auto& sample = pipeline.split().test.samples[faulty.front()];
+  auto& model = pipeline.diagnet();
+  const std::vector<bool> all(pipeline.feature_space().landmark_count(),
+                              true);
+  for (auto _ : state) {
+    auto diagnosis = model.diagnose(sample.features, sample.service, all);
+    benchmark::DoNotOptimize(diagnosis.scores.data());
+  }
+}
+BENCHMARK(bm_diagnose_full);  // paper: 45 ms mean inference
+
+void bm_rf_score(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto faulty = pipeline.faulty_test_indices();
+  const auto idx = faulty.front();
+  for (auto _ : state) {
+    auto ranking = pipeline.rank(eval::ModelKind::RandomForest, idx);
+    benchmark::DoNotOptimize(ranking.data());
+  }
+}
+BENCHMARK(bm_rf_score);
+
+void bm_nb_score(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto faulty = pipeline.faulty_test_indices();
+  const auto idx = faulty.front();
+  for (auto _ : state) {
+    auto ranking = pipeline.rank(eval::ModelKind::NaiveBayes, idx);
+    benchmark::DoNotOptimize(ranking.data());
+  }
+}
+BENCHMARK(bm_nb_score);
+
+void bm_probe_landmarks(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto& sim = pipeline.simulator();
+  const auto client = netsim::ClientProfile::make(0, 1, sim.seed());
+  util::Rng rng(11);
+  const netsim::ActiveFaults none;
+  for (auto _ : state) {
+    auto probes =
+        sim.probe_landmarks(client, netsim::ClientCondition{}, 12.0, none,
+                            rng);
+    benchmark::DoNotOptimize(probes.data());
+  }
+}
+BENCHMARK(bm_probe_landmarks);
+
+}  // namespace
+
+BENCHMARK_MAIN();

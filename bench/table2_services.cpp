@@ -1,0 +1,98 @@
+// Table II — the mock-up online services and their measured QoE
+// sensitivity to each fault family. No training involved: this bench
+// exercises the workload/QoE substrate directly and verifies the paper's
+// observation that "the QoE of a small HTML website was not affected by
+// shaped bandwidth or CPU stress" (§IV-A(e)).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "data/feature_space.h"
+#include "netsim/simulator.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace diagnet;
+  namespace db = diagnet::bench;
+
+  db::print_header(
+      "Table II (mock-up services) + QoE fault sensitivity",
+      "Six Table-II services (plus two extra training services); small "
+      "pages are insensitive to bandwidth shaping and CPU stress, "
+      "image/video services are bandwidth-bound, script services are "
+      "latency/CPU-bound.");
+
+  netsim::Simulator sim = netsim::Simulator::make_default(42);
+  sim.calibrate_qoe();
+  const auto& topology = sim.topology();
+
+  std::cout << "Service inventory:\n";
+  util::Table inventory({"service", "host", "resources"});
+  for (const auto& service : sim.services()) {
+    std::string deps;
+    for (const auto& res : service.resources) {
+      if (!deps.empty()) deps += ", ";
+      deps += util::fmt(res.size_mb, 1) + "MB from ";
+      switch (res.source) {
+        case netsim::ResourceSource::Host: deps += "host"; break;
+        case netsim::ResourceSource::Fixed:
+          deps += topology.region(res.fixed_region).code;
+          break;
+        case netsim::ResourceSource::Nearest: deps += "nearest CDN"; break;
+      }
+    }
+    if (deps.empty()) deps = "(none)";
+    inventory.add_row({service.name, topology.region(service.host_region).code,
+                       deps});
+  }
+  std::cout << inventory.to_string() << '\n';
+
+  // QoE sensitivity: fraction of degraded visits per (service, family) when
+  // the default fault of that family is injected at the service's host
+  // region (remote families) or at the client's region (local families).
+  // Clients probe from BEAU (a region without services, as most users are
+  // remote from their service).
+  const std::size_t client_region = topology.index_of("BEAU");
+  const netsim::FaultFamily families[] = {
+      netsim::FaultFamily::Uplink,    netsim::FaultFamily::Latency,
+      netsim::FaultFamily::Jitter,    netsim::FaultFamily::Loss,
+      netsim::FaultFamily::Bandwidth, netsim::FaultFamily::Load};
+
+  std::cout << "QoE degradation rate per injected fault family (clients in "
+            << topology.region(client_region).code << "):\n";
+  util::Table sensitivity({"service", "nominal", "uplink", "latency",
+                           "jitter", "loss", "bandwidth", "load"});
+  util::Rng root(7);
+  constexpr std::size_t kVisits = 300;
+  for (std::size_t s = 0; s < sim.services().size(); ++s) {
+    std::vector<std::string> row{sim.services()[s].name};
+    for (int scenario = -1;
+         scenario < static_cast<int>(std::size(families)); ++scenario) {
+      netsim::ActiveFaults faults;
+      if (scenario >= 0) {
+        const netsim::FaultFamily family = families[scenario];
+        const std::size_t region = netsim::is_remote_family(family)
+                                       ? sim.services()[s].host_region
+                                       : client_region;
+        faults.push_back(netsim::default_fault(family, region));
+      }
+      util::Rng rng =
+          root.fork(s * 100 + static_cast<std::size_t>(scenario + 1));
+      std::size_t degraded = 0;
+      for (std::size_t v = 0; v < kVisits; ++v) {
+        const auto client = netsim::ClientProfile::make(
+            client_region, 500 + v % 6, sim.seed());
+        const auto condition =
+            netsim::ClientCondition::from_faults(faults, client_region);
+        const double t = rng.uniform(0.0, 24.0);
+        const double plt = sim.visit(s, client, condition, t, faults, rng);
+        degraded += sim.qoe_degraded(s, client_region, plt) ? 1 : 0;
+      }
+      row.push_back(util::fmt(
+          static_cast<double>(degraded) / static_cast<double>(kVisits), 2));
+    }
+    sensitivity.add_row(row);
+  }
+  std::cout << sensitivity.to_string();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// multi_cloud_rca — the paper's evaluation in miniature.
+//
+// Deploys the 10-region multi-cloud topology, runs a fault-injection
+// campaign, trains DiagNet plus both baselines with the hidden-landmark
+// protocol, and prints a compact scoreboard: Recall@1/@5 for faults near
+// new vs known landmarks, and a gallery of concrete diagnoses.
+//
+//   ./multi_cloud_rca [seed] [samples]
+
+#include <cstdlib>
+#include <set>
+#include <iostream>
+
+#include "eval/pipeline.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace diagnet;
+
+  eval::PipelineConfig config = eval::PipelineConfig::defaults();
+  config.campaign.nominal_samples = 2500;
+  config.campaign.fault_samples = 5000;
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) {
+    const std::size_t total = std::strtoull(argv[2], nullptr, 10);
+    config.campaign.nominal_samples = total / 3;
+    config.campaign.fault_samples = total - total / 3;
+  }
+
+  std::cout << util::banner("Multi-cloud root-cause analysis");
+  std::cout << "Generating "
+            << config.campaign.nominal_samples + config.campaign.fault_samples
+            << " samples and training 3 models (seed " << config.seed
+            << ")...\n\n";
+  eval::Pipeline pipeline(config);
+  const auto& fs = pipeline.feature_space();
+
+  // Scoreboard.
+  const auto new_idx = pipeline.faulty_test_indices(true);
+  const auto known_idx = pipeline.faulty_test_indices(false);
+  util::Table board({"model", "new R@1", "new R@5", "known R@1", "known R@5"});
+  for (auto kind : {eval::ModelKind::DiagNet, eval::ModelKind::RandomForest,
+                    eval::ModelKind::NaiveBayes}) {
+    board.add_row(eval::model_name(kind),
+                  {pipeline.recall(kind, new_idx, 1),
+                   pipeline.recall(kind, new_idx, 5),
+                   pipeline.recall(kind, known_idx, 1),
+                   pipeline.recall(kind, known_idx, 5)});
+  }
+  std::cout << board.to_string() << '\n';
+
+  // Diagnosis gallery: one sample per fault family, when available.
+  std::cout << "Diagnosis gallery (DiagNet top-3 per incident):\n";
+  std::set<netsim::FaultFamily> shown;
+  for (std::size_t idx : pipeline.faulty_test_indices()) {
+    const data::Sample& sample = pipeline.split().test.samples[idx];
+    if (!shown.insert(sample.coarse_label).second) continue;
+
+    auto diagnosis = pipeline.diagnet().diagnose(
+        sample.features, sample.service,
+        pipeline.split().test.landmark_available);
+    std::cout << "  ["
+              << pipeline.simulator().services()[sample.service].name
+              << " from " << fs.topology().region(sample.client_region).code
+              << "] truth: " << fs.name(sample.primary_cause) << " -> top3:";
+    for (int r = 0; r < 3; ++r)
+      std::cout << ' ' << fs.name(diagnosis.ranking[r]) << " ("
+                << util::fmt(diagnosis.scores[diagnosis.ranking[r]], 3)
+                << ')';
+    std::cout << '\n';
+    if (shown.size() == 6) break;
+  }
+  return 0;
+}

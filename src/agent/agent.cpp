@@ -1,0 +1,70 @@
+#include "agent/agent.h"
+
+#include "util/require.h"
+
+namespace diagnet::agent {
+
+ClientAgent::ClientAgent(const netsim::Simulator& sim,
+                         const fleet::LandmarkFleet& fleet,
+                         core::DiagNetModel& model,
+                         const data::FeatureSpace& fs,
+                         const AgentConfig& config)
+    : sim_(&sim),
+      fleet_(&fleet),
+      model_(&model),
+      fs_(&fs),
+      config_(config),
+      profile_(netsim::ClientProfile::make(config.region, config.client_id,
+                                           sim.seed())),
+      scheduler_(sim.topology(), config.probe_budget, config.seed),
+      window_(fs, config.window_capacity),
+      rng_(config.seed ^ (config.client_id * 0x9e3779b97f4a7c15ULL)) {
+  DIAGNET_REQUIRE(config.region < sim.topology().region_count());
+  DIAGNET_REQUIRE_MSG(model.trained(), "agent needs a trained model");
+  DIAGNET_REQUIRE_MSG(sim.qoe_calibrated(), "simulator must be calibrated");
+}
+
+void ClientAgent::probe_epoch(double time_hours,
+                              const netsim::ActiveFaults& faults) {
+  const netsim::ClientCondition condition =
+      netsim::ClientCondition::from_faults(faults, config_.region);
+  const std::vector<bool> reachable = fleet_->availability(time_hours);
+  const std::vector<bool> selected = scheduler_.select(
+      config_.region, reachable, config_.client_id, epoch_++);
+
+  // One full sweep is cheapest through probe_landmarks; only the selected
+  // subset enters the window (the rest was never measured).
+  const auto probes =
+      sim_->probe_landmarks(profile_, condition, time_hours, faults, rng_);
+  for (std::size_t lam = 0; lam < probes.size(); ++lam) {
+    if (!selected[lam]) continue;
+    window_.record_probe(lam, probes[lam]);
+    ++probes_sent_;
+  }
+  window_.record_local(
+      sim_->measure_local(profile_, condition, time_hours, rng_));
+}
+
+VisitOutcome ClientAgent::visit(std::size_t service, double time_hours,
+                                const netsim::ActiveFaults& faults) {
+  const netsim::ClientCondition condition =
+      netsim::ClientCondition::from_faults(faults, config_.region);
+
+  VisitOutcome outcome;
+  outcome.page_load_ms =
+      sim_->visit(service, profile_, condition, time_hours, faults, rng_);
+  outcome.degraded =
+      sim_->qoe_degraded(service, config_.region, outcome.page_load_ms);
+  if (!outcome.degraded) return outcome;
+
+  // Diagnose from whatever the window currently covers.
+  const std::vector<bool> coverage = window_.landmark_coverage();
+  bool any = false;
+  for (bool c : coverage) any |= c;
+  DIAGNET_REQUIRE_MSG(any, "degraded visit before any probe epoch");
+  outcome.diagnosis =
+      model_->diagnose(window_.snapshot(), service, coverage);
+  return outcome;
+}
+
+}  // namespace diagnet::agent

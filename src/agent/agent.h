@@ -1,0 +1,72 @@
+// The client-side agent of the paper's deployment (Fig. 1): the browser
+// probe that periodically measures landmarks under a probe budget,
+// maintains a measurement window, evaluates QoE on every service visit,
+// and asks the analysis model for a ranked diagnosis when the experience
+// degrades.
+//
+// The agent only talks to the *measurement* surface of the simulator (the
+// same interfaces a real probe would expose) plus a trained DiagNetModel;
+// it never sees injected faults or any ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "agent/window.h"
+#include "core/diagnet.h"
+#include "fleet/fleet.h"
+#include "netsim/simulator.h"
+
+namespace diagnet::agent {
+
+struct AgentConfig {
+  std::size_t region = 0;
+  std::uint64_t client_id = 0;
+  fleet::ProbeBudget probe_budget;
+  std::size_t window_capacity = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one service visit.
+struct VisitOutcome {
+  double page_load_ms = 0.0;
+  bool degraded = false;
+  /// Present iff degraded: the ranked root causes from the current window.
+  std::optional<core::Diagnosis> diagnosis;
+};
+
+class ClientAgent {
+ public:
+  /// The model must already be trained; the fleet tells the agent which
+  /// landmarks are reachable at probe time.
+  ClientAgent(const netsim::Simulator& sim, const fleet::LandmarkFleet& fleet,
+              core::DiagNetModel& model, const data::FeatureSpace& fs,
+              const AgentConfig& config);
+
+  /// One probe epoch: select landmarks (budget ∩ fleet availability),
+  /// measure them plus the local metrics, fold into the window. `faults`
+  /// is the simulator-side world state the agent cannot observe directly.
+  void probe_epoch(double time_hours, const netsim::ActiveFaults& faults);
+
+  /// Visit a service; on degraded QoE, diagnose from the window.
+  VisitOutcome visit(std::size_t service, double time_hours,
+                     const netsim::ActiveFaults& faults);
+
+  const MeasurementWindow& window() const { return window_; }
+  std::size_t probes_sent() const { return probes_sent_; }
+
+ private:
+  const netsim::Simulator* sim_;
+  const fleet::LandmarkFleet* fleet_;
+  core::DiagNetModel* model_;
+  const data::FeatureSpace* fs_;
+  AgentConfig config_;
+  netsim::ClientProfile profile_;
+  fleet::ProbeScheduler scheduler_;
+  MeasurementWindow window_;
+  util::Rng rng_;
+  std::uint64_t epoch_ = 0;
+  std::size_t probes_sent_ = 0;
+};
+
+}  // namespace diagnet::agent

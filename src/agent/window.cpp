@@ -1,0 +1,83 @@
+#include "agent/window.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace diagnet::agent {
+
+MeasurementWindow::MeasurementWindow(const data::FeatureSpace& fs,
+                                     std::size_t capacity)
+    : fs_(&fs), capacity_(capacity) {
+  DIAGNET_REQUIRE(capacity_ > 0);
+  values_.assign(fs.total() * capacity_, 0.0);
+  size_.assign(fs.total(), 0);
+  head_.assign(fs.total(), 0);
+}
+
+void MeasurementWindow::push(std::size_t feature, double value) {
+  values_[feature * capacity_ + head_[feature]] = value;
+  head_[feature] = (head_[feature] + 1) % capacity_;
+  size_[feature] = std::min(capacity_, size_[feature] + 1);
+}
+
+void MeasurementWindow::record_probe(
+    std::size_t landmark, const netsim::LandmarkMeasurement& measurement) {
+  using data::Metric;
+  push(fs_->landmark_feature(landmark, Metric::Latency),
+       measurement.latency_ms);
+  push(fs_->landmark_feature(landmark, Metric::Jitter),
+       measurement.jitter_ms);
+  push(fs_->landmark_feature(landmark, Metric::Loss), measurement.loss_ratio);
+  push(fs_->landmark_feature(landmark, Metric::DownBw),
+       measurement.down_mbps);
+  push(fs_->landmark_feature(landmark, Metric::UpBw), measurement.up_mbps);
+}
+
+void MeasurementWindow::record_local(
+    const netsim::LocalMeasurement& measurement) {
+  using data::LocalFeature;
+  push(fs_->local_feature(LocalFeature::GatewayRtt),
+       measurement.gateway_rtt_ms);
+  push(fs_->local_feature(LocalFeature::CpuLoad), measurement.cpu_load);
+  push(fs_->local_feature(LocalFeature::MemLoad), measurement.mem_load);
+  push(fs_->local_feature(LocalFeature::ProcLoad), measurement.proc_load);
+  push(fs_->local_feature(LocalFeature::DnsTime), measurement.dns_ms);
+}
+
+bool MeasurementWindow::has_landmark(std::size_t landmark) const {
+  return size_[fs_->landmark_feature(landmark, data::Metric::Latency)] > 0;
+}
+
+std::vector<bool> MeasurementWindow::landmark_coverage() const {
+  std::vector<bool> coverage(fs_->landmark_count());
+  for (std::size_t lam = 0; lam < coverage.size(); ++lam)
+    coverage[lam] = has_landmark(lam);
+  return coverage;
+}
+
+std::vector<double> MeasurementWindow::snapshot() const {
+  std::vector<double> features(fs_->total(), 0.0);
+  std::vector<double> window;
+  for (std::size_t j = 0; j < fs_->total(); ++j) {
+    if (size_[j] == 0) continue;
+    window.assign(values_.begin() + static_cast<std::ptrdiff_t>(j * capacity_),
+                  values_.begin() +
+                      static_cast<std::ptrdiff_t>(j * capacity_ + size_[j]));
+    features[j] = util::percentile(std::move(window), 0.5);
+  }
+  return features;
+}
+
+std::size_t MeasurementWindow::count(std::size_t feature) const {
+  DIAGNET_REQUIRE(feature < fs_->total());
+  return size_[feature];
+}
+
+void MeasurementWindow::clear() {
+  std::fill(size_.begin(), size_.end(), 0);
+  std::fill(head_.begin(), head_.end(), 0);
+}
+
+}  // namespace diagnet::agent

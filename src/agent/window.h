@@ -1,0 +1,56 @@
+// Windowed measurement aggregation. The paper's clients "periodically
+// fetch network features from landmarks" (§IV-A(c)); a diagnosis then
+// needs one feature vector summarising the recent window. This class keeps
+// a small ring of recent values per feature and summarises each with the
+// median — robust to the measurement noise of individual probes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/feature_space.h"
+#include "netsim/measurement.h"
+
+namespace diagnet::agent {
+
+class MeasurementWindow {
+ public:
+  /// `capacity` — probes retained per feature (older ones are evicted).
+  MeasurementWindow(const data::FeatureSpace& fs, std::size_t capacity = 8);
+
+  /// Record one probe of a landmark (its k metrics enter the window).
+  void record_probe(std::size_t landmark,
+                    const netsim::LandmarkMeasurement& measurement);
+
+  /// Record one local-metrics observation.
+  void record_local(const netsim::LocalMeasurement& measurement);
+
+  /// Whether any probe of this landmark is in the window.
+  bool has_landmark(std::size_t landmark) const;
+  /// Landmarks with at least one probe in the window — the availability
+  /// mask a diagnosis should use.
+  std::vector<bool> landmark_coverage() const;
+
+  /// Per-feature medians over the window. Features of landmarks without
+  /// data are 0 (they must be masked via landmark_coverage()).
+  std::vector<double> snapshot() const;
+
+  /// Number of observations currently held for one feature.
+  std::size_t count(std::size_t feature) const;
+
+  /// Drop everything (e.g. after a network change invalidates history).
+  void clear();
+
+ private:
+  void push(std::size_t feature, double value);
+
+  const data::FeatureSpace* fs_;
+  std::size_t capacity_;
+  // Ring buffer per feature: values_ is (feature x capacity), sizes/heads
+  // track occupancy.
+  std::vector<double> values_;
+  std::vector<std::size_t> size_;
+  std::vector<std::size_t> head_;
+};
+
+}  // namespace diagnet::agent

@@ -1,0 +1,111 @@
+#include "bayes/kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace diagnet::bayes {
+
+namespace {
+
+constexpr double kDensityFloor = 1e-12;
+
+double gaussian(double u) {
+  return std::exp(-0.5 * u * u) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+}  // namespace
+
+void Kde::fit(const std::vector<double>& values, double bandwidth,
+              std::size_t grid_points) {
+  DIAGNET_REQUIRE_MSG(!values.empty(), "KDE needs at least one value");
+  DIAGNET_REQUIRE(grid_points >= 2);
+  values_ = values;
+  std::sort(values_.begin(), values_.end());
+
+  // Large pools are quantile-subsampled: evenly spaced picks from the sorted
+  // values preserve the empirical distribution while bounding both the grid
+  // build and density_exact() at O(kMaxSamples).
+  constexpr std::size_t kMaxSamples = 2048;
+  if (values_.size() > kMaxSamples) {
+    std::vector<double> sub(kMaxSamples);
+    const double stride = static_cast<double>(values_.size() - 1) /
+                          static_cast<double>(kMaxSamples - 1);
+    for (std::size_t i = 0; i < kMaxSamples; ++i)
+      sub[i] = values_[static_cast<std::size_t>(
+          std::round(stride * static_cast<double>(i)))];
+    values_ = std::move(sub);
+  }
+
+  if (bandwidth > 0.0) {
+    bandwidth_ = bandwidth;
+  } else {
+    const double n = static_cast<double>(values_.size());
+    const double sigma = std::sqrt(util::variance(values_));
+    const double iqr = util::percentile_sorted(values_, 0.75) -
+                       util::percentile_sorted(values_, 0.25);
+    double spread = sigma;
+    if (iqr > 0.0) spread = std::min(spread > 0.0 ? spread : iqr, iqr / 1.34);
+    bandwidth_ = 0.9 * spread * std::pow(n, -0.2);
+    if (bandwidth_ <= 0.0) {
+      // Degenerate sample (all values equal): pick a floor relative to the
+      // value's magnitude so the density is a narrow but finite bump.
+      const double scale = std::abs(values_.front());
+      bandwidth_ = std::max(scale * 1e-3, 1e-6);
+    }
+  }
+
+  // Precompute densities on a uniform grid covering the data ± 4h.
+  grid_lo_ = values_.front() - 4.0 * bandwidth_;
+  const double hi = values_.back() + 4.0 * bandwidth_;
+  grid_step_ = (hi - grid_lo_) / static_cast<double>(grid_points - 1);
+  grid_density_.resize(grid_points);
+  const double inv_nh =
+      1.0 / (static_cast<double>(values_.size()) * bandwidth_);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double x = grid_lo_ + grid_step_ * static_cast<double>(g);
+    double d = 0.0;
+    for (double v : values_) d += gaussian((x - v) / bandwidth_);
+    grid_density_[g] = std::max(d * inv_nh, kDensityFloor);
+  }
+}
+
+double Kde::density(double x) const {
+  DIAGNET_REQUIRE_MSG(fitted(), "density on an unfitted KDE");
+  const double pos = (x - grid_lo_) / grid_step_;
+  if (pos <= 0.0 || pos >= static_cast<double>(grid_density_.size() - 1)) {
+    // Beyond the grid: all kernels are > 4h away; floor the density.
+    return kDensityFloor;
+  }
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  return grid_density_[lo] +
+         frac * (grid_density_[lo + 1] - grid_density_[lo]);
+}
+
+double Kde::log_density(double x) const { return std::log(density(x)); }
+
+double Kde::density_exact(double x) const {
+  DIAGNET_REQUIRE_MSG(fitted(), "density on an unfitted KDE");
+  double d = 0.0;
+  for (double v : values_) d += gaussian((x - v) / bandwidth_);
+  return std::max(
+      d / (static_cast<double>(values_.size()) * bandwidth_), kDensityFloor);
+}
+
+Kde union_kde(const std::vector<const std::vector<double>*>& pools,
+              double bandwidth) {
+  std::vector<double> merged;
+  for (const auto* pool : pools) {
+    DIAGNET_REQUIRE(pool != nullptr);
+    merged.insert(merged.end(), pool->begin(), pool->end());
+  }
+  Kde kde;
+  kde.fit(merged, bandwidth);
+  return kde;
+}
+
+}  // namespace diagnet::bayes

@@ -1,0 +1,140 @@
+#include "bayes/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::bayes {
+
+namespace {
+constexpr double kLogFloor = -27.631021115928547;  // log(1e-12)
+}
+
+void ExtensibleNaiveBayes::fit(const Matrix& x,
+                               const std::vector<std::size_t>& y_cause,
+                               const std::vector<std::size_t>& feature_family,
+                               const std::vector<bool>& available,
+                               const NaiveBayesConfig& config) {
+  const std::size_t m = x.cols();
+  DIAGNET_REQUIRE(m > 0 && x.rows() > 0);
+  DIAGNET_REQUIRE(y_cause.size() == x.rows());
+  DIAGNET_REQUIRE(feature_family.size() == m && available.size() == m);
+
+  feature_count_ = m;
+  family_ = feature_family;
+  available_ = available;
+  family_count_ = 1 + *std::max_element(family_.begin(), family_.end());
+
+  // Group training rows by cause.
+  std::vector<std::vector<std::size_t>> rows_of_cause(m);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    if (y_cause[i] == kNominal) continue;
+    DIAGNET_REQUIRE(y_cause[i] < m);
+    rows_of_cause[y_cause[i]].push_back(i);
+  }
+
+  cause_trained_.assign(m, false);
+  specific_.assign(m * m, 0);
+  specific_kdes_.clear();
+
+  // Specific likelihoods: one KDE per (trained cause, available feature).
+  std::vector<double> pool;
+  for (std::size_t c = 0; c < m; ++c) {
+    if (rows_of_cause[c].size() < config.min_class_samples) continue;
+    cause_trained_[c] = true;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!available_[j]) continue;
+      pool.clear();
+      pool.reserve(rows_of_cause[c].size());
+      for (std::size_t i : rows_of_cause[c]) pool.push_back(x(i, j));
+      Kde kde;
+      kde.fit(pool, config.bandwidth);
+      specific_kdes_.push_back(std::move(kde));
+      specific_[c * m + j] =
+          static_cast<std::uint32_t>(specific_kdes_.size());
+    }
+  }
+
+  // Generic likelihoods per measure family.
+  affected_.assign(family_count_, Kde{});
+  background_.assign(family_count_, Kde{});
+  for (std::size_t t = 0; t < family_count_; ++t) {
+    // affected[t]: the cause's own feature values under family-t faults,
+    // pooled over every trained cause of family t.
+    pool.clear();
+    for (std::size_t c = 0; c < m; ++c) {
+      if (!cause_trained_[c] || family_[c] != t || !available_[c]) continue;
+      for (std::size_t i : rows_of_cause[c]) pool.push_back(x(i, c));
+    }
+    if (!pool.empty()) affected_[t].fit(pool, config.bandwidth);
+
+    // background[t]: union of all available family-t measurements.
+    pool.clear();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (family_[j] != t || !available_[j]) continue;
+      for (std::size_t i = 0; i < x.rows(); ++i) pool.push_back(x(i, j));
+    }
+    if (!pool.empty()) background_[t].fit(pool, config.bandwidth);
+  }
+}
+
+bool ExtensibleNaiveBayes::cause_is_trained(std::size_t cause) const {
+  DIAGNET_REQUIRE(cause < feature_count_);
+  return cause_trained_[cause];
+}
+
+std::vector<double> ExtensibleNaiveBayes::score_causes(
+    const double* sample) const {
+  DIAGNET_REQUIRE_MSG(trained(), "score on an unfitted model");
+  const std::size_t m = feature_count_;
+  std::vector<double> log_scores(m, 0.0);
+
+  // Background log-likelihood per feature is shared by most (cause, feature)
+  // pairs — compute once.
+  std::vector<double> bg(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const Kde& kde = background_[family_[j]];
+    bg[j] = kde.fitted() ? kde.log_density(sample[j]) : kLogFloor;
+  }
+  double bg_sum = 0.0;
+  for (double v : bg) bg_sum += v;
+
+  for (std::size_t c = 0; c < m; ++c) {
+    double ls = bg_sum;
+    if (cause_trained_[c]) {
+      // Replace the background terms by specific likelihoods where known.
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint32_t slot = specific_[c * m + j];
+        if (slot == 0) continue;
+        ls += specific_kdes_[slot - 1].log_density(sample[j]) - bg[j];
+      }
+    } else {
+      // Unseen cause: its own feature uses the family's affected-KDE.
+      const Kde& kde = affected_[family_[c]];
+      const double own =
+          kde.fitted() ? kde.log_density(sample[c]) : kLogFloor;
+      ls += own - bg[c];
+    }
+    log_scores[c] = ls;
+  }
+
+  // Flat priors: posterior ∝ likelihood; normalise via log-sum-exp.
+  const double mx = *std::max_element(log_scores.begin(), log_scores.end());
+  double sum = 0.0;
+  std::vector<double> scores(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    scores[c] = std::exp(log_scores[c] - mx);
+    sum += scores[c];
+  }
+  for (auto& s : scores) s /= sum;
+  return scores;
+}
+
+std::vector<double> ExtensibleNaiveBayes::score_causes(
+    const std::vector<double>& sample) const {
+  DIAGNET_REQUIRE(sample.size() == feature_count_);
+  return score_causes(sample.data());
+}
+
+}  // namespace diagnet::bayes

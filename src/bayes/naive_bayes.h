@@ -1,0 +1,79 @@
+// The paper's "Extensible Naive Bayes Classifier" baseline (§IV-B.b).
+//
+// Classes are the root causes, which DiagNet identifies with the input
+// features themselves (cause index == feature index). Following the paper:
+//
+//  * flat priors: P(C_k) = 1 for every cause — unseen causes have no prior
+//    and this also cancels dataset imbalance;
+//  * per-(class, feature) likelihoods are Kernel Density Estimates fitted
+//    on the training samples of that class;
+//  * *generic* likelihoods are built per measure family as the union KDE of
+//    the measures of every landmark available during training, and used
+//    whenever a specific likelihood is unavailable (unseen class, or a
+//    feature hidden during training).
+//
+// Two generic tables are kept per family t:
+//   affected[t]  — values of the *cause's own* feature under family-t
+//                  faults (how a family-t metric looks when its landmark is
+//                  the faulty one), used for the unseen cause's own feature;
+//   background[t] — the union of all family-t measurements over all
+//                  training samples, used for every other fallback.
+// This concretises the paper's single-index P(x_t | C_t) notation; the
+// qualitative behaviour it reports (a bias towards unseen causes, KDE-merge
+// flattening under client diversity) emerges from this construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bayes/kde.h"
+#include "tensor/matrix.h"
+
+namespace diagnet::bayes {
+
+using tensor::Matrix;
+
+struct NaiveBayesConfig {
+  /// Fixed KDE bandwidth; <= 0 selects Silverman's rule per KDE.
+  double bandwidth = 0.0;
+  /// Specific likelihoods need at least this many class samples.
+  std::size_t min_class_samples = 5;
+};
+
+class ExtensibleNaiveBayes {
+ public:
+  static constexpr std::size_t kNominal = static_cast<std::size_t>(-1);
+
+  /// x: (n x m) training features. y_cause[i] in [0, m) or kNominal.
+  /// feature_family[j]: measure-family id of feature j (shared by the cause
+  /// j). available[j]: whether feature j was measured during training
+  /// (features of hidden landmarks are not).
+  void fit(const Matrix& x, const std::vector<std::size_t>& y_cause,
+           const std::vector<std::size_t>& feature_family,
+           const std::vector<bool>& available,
+           const NaiveBayesConfig& config = {});
+
+  /// Posterior-proportional scores over all m causes (sums to 1).
+  /// `sample` has the full m features (new landmarks included).
+  std::vector<double> score_causes(const double* sample) const;
+  std::vector<double> score_causes(const std::vector<double>& sample) const;
+
+  bool trained() const { return feature_count_ > 0; }
+  std::size_t feature_count() const { return feature_count_; }
+  bool cause_is_trained(std::size_t cause) const;
+
+ private:
+  std::size_t feature_count_ = 0;
+  std::size_t family_count_ = 0;
+  std::vector<std::size_t> family_;
+  std::vector<bool> available_;
+  std::vector<bool> cause_trained_;
+  // specific_[c * m + j]: KDE index + 1, or 0 when absent.
+  std::vector<std::uint32_t> specific_;
+  std::vector<Kde> specific_kdes_;
+  std::vector<Kde> affected_;        // per family; may be unfitted
+  std::vector<Kde> background_;      // per family; may be unfitted
+};
+
+}  // namespace diagnet::bayes

@@ -1,0 +1,137 @@
+#include "core/attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/softmax.h"
+#include "util/require.h"
+
+namespace diagnet::core {
+
+namespace {
+
+/// Normalise γ to sum 1. When the signal is degenerate (saturated softmax
+/// gives an all-zero gradient; occlusion may find no probability drop),
+/// fall back to a uniform distribution over the *available* features —
+/// masked-out landmarks must stay at exactly 0.
+void normalize_gamma(std::vector<double>& gamma, const nn::LandBatch& sample,
+                     const data::FeatureSpace& fs, double sum) {
+  if (sum > 0.0) {
+    for (auto& g : gamma) g /= sum;
+    return;
+  }
+  std::size_t usable = fs.local_count();
+  for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam)
+    if (sample.mask(0, lam) >= 0.5) usable += fs.metrics_per_landmark();
+  const double uniform = 1.0 / static_cast<double>(usable);
+  for (std::size_t j = 0; j < gamma.size(); ++j) {
+    const bool available =
+        !fs.is_landmark_feature(j) ||
+        sample.mask(0, fs.landmark_of(j)) >= 0.5;
+    gamma[j] = available ? uniform : 0.0;
+  }
+}
+
+}  // namespace
+
+AttentionResult compute_attention(nn::CoarseNet& net,
+                                  const nn::LandBatch& sample,
+                                  const data::FeatureSpace& fs) {
+  DIAGNET_REQUIRE_MSG(sample.size() == 1, "attention works on one sample");
+
+  AttentionResult result;
+  const nn::Matrix logits = net.forward(sample);
+  const nn::Matrix probs = nn::softmax(logits);
+  result.coarse_probs = probs.row_copy(0);
+  result.coarse_argmax = static_cast<std::size_t>(
+      std::max_element(result.coarse_probs.begin(),
+                       result.coarse_probs.end()) -
+      result.coarse_probs.begin());
+
+  // One backpropagation step of the ideal-label loss, down to the inputs.
+  const nn::Matrix grad_logits =
+      nn::ideal_label_grad(logits, result.coarse_argmax);
+  nn::Matrix grad_land;
+  nn::Matrix grad_local;
+  net.backward(grad_logits, &grad_land, &grad_local);
+  net.zero_grad();  // attention must not leak into parameter gradients
+
+  // Map (land, local) gradients back to the m-dimensional feature space.
+  const std::size_t k = fs.metrics_per_landmark();
+  result.gamma.assign(fs.total(), 0.0);
+  double sum = 0.0;
+  for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam) {
+    for (std::size_t metric = 0; metric < k; ++metric) {
+      const std::size_t j = fs.landmark_feature(
+          lam, static_cast<data::Metric>(metric));
+      const double g = std::abs(grad_land(0, lam * k + metric));
+      result.gamma[j] = g;
+      sum += g;
+    }
+  }
+  for (std::size_t t = 0; t < fs.local_count(); ++t) {
+    const std::size_t j =
+        fs.local_feature(static_cast<data::LocalFeature>(t));
+    const double g = std::abs(grad_local(0, t));
+    result.gamma[j] = g;
+    sum += g;
+  }
+
+  normalize_gamma(result.gamma, sample, fs, sum);
+  return result;
+}
+
+AttentionResult compute_occlusion_attention(nn::CoarseNet& net,
+                                            const nn::LandBatch& sample,
+                                            const data::FeatureSpace& fs) {
+  DIAGNET_REQUIRE_MSG(sample.size() == 1, "attention works on one sample");
+
+  AttentionResult result;
+  {
+    const nn::Matrix probs = nn::softmax(net.forward(sample));
+    result.coarse_probs = probs.row_copy(0);
+  }
+  result.coarse_argmax = static_cast<std::size_t>(
+      std::max_element(result.coarse_probs.begin(),
+                       result.coarse_probs.end()) -
+      result.coarse_probs.begin());
+  const double base = result.coarse_probs[result.coarse_argmax];
+
+  // Occlude each feature in turn. Normalised features have mean ~0 per
+  // metric kind, so 0 is the natural "typical value" baseline.
+  const std::size_t k = fs.metrics_per_landmark();
+  result.gamma.assign(fs.total(), 0.0);
+  double sum = 0.0;
+  nn::LandBatch probe = sample;
+  const auto drop_for = [&]() {
+    const nn::Matrix probs = nn::softmax(net.forward(probe));
+    return std::max(0.0, base - probs(0, result.coarse_argmax));
+  };
+  for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam) {
+    if (sample.mask(0, lam) < 0.5) continue;  // unavailable: stays 0
+    for (std::size_t metric = 0; metric < k; ++metric) {
+      const std::size_t col = lam * k + metric;
+      const double saved = probe.land(0, col);
+      probe.land(0, col) = 0.0;
+      const std::size_t j =
+          fs.landmark_feature(lam, static_cast<data::Metric>(metric));
+      result.gamma[j] = drop_for();
+      sum += result.gamma[j];
+      probe.land(0, col) = saved;
+    }
+  }
+  for (std::size_t t = 0; t < fs.local_count(); ++t) {
+    const double saved = probe.local(0, t);
+    probe.local(0, t) = 0.0;
+    const std::size_t j =
+        fs.local_feature(static_cast<data::LocalFeature>(t));
+    result.gamma[j] = drop_for();
+    sum += result.gamma[j];
+    probe.local(0, t) = saved;
+  }
+
+  normalize_gamma(result.gamma, sample, fs, sum);
+  return result;
+}
+
+}  // namespace diagnet::core

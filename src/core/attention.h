@@ -1,0 +1,43 @@
+// Fine-grained inference via the gradient attention mechanism (paper
+// §III-E): compute the ideal label y* = onehot(argmax y) of the coarse
+// prediction, backpropagate the cross-entropy L* = -log y_argmax through
+// the coarse network down to the *input features*, and read each feature's
+// usefulness as its normalised absolute partial derivative (Eq. 1):
+//
+//   γ̂_j = |∂L*/∂x_j| / Σ_k |∂L*/∂x_k|
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/feature_space.h"
+#include "nn/coarse_net.h"
+
+namespace diagnet::core {
+
+struct AttentionResult {
+  std::vector<double> coarse_probs;  // softmax over the c fault families
+  std::size_t coarse_argmax = 0;
+  /// γ̂ over the m features (masked-out landmarks get exactly 0).
+  std::vector<double> gamma;
+};
+
+/// Runs one forward + one input-gradient backward pass on a single sample.
+/// Parameter gradients accumulated by the pass are zeroed before returning,
+/// so attention never perturbs training state.
+AttentionResult compute_attention(nn::CoarseNet& net,
+                                  const nn::LandBatch& sample,
+                                  const data::FeatureSpace& fs);
+
+/// Black-box alternative (the paper cites LIME-style model-agnostic
+/// explainers as the generic option before choosing gradients, §III-E):
+/// occlude one feature at a time — replace its normalised value with 0,
+/// the training mean of its metric kind — and read the feature's usefulness
+/// as the drop in the winning class probability. Costs m forward passes
+/// instead of one backward pass; compared against the gradient method in
+/// bench/ablation_attention.
+AttentionResult compute_occlusion_attention(nn::CoarseNet& net,
+                                            const nn::LandBatch& sample,
+                                            const data::FeatureSpace& fs);
+
+}  // namespace diagnet::core

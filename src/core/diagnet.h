@@ -1,0 +1,143 @@
+// The DiagNet root-cause-analysis model: the paper's full pipeline behind
+// one façade.
+//
+//   train_general()  — fit the normaliser, train the coarse network on all
+//                      services' samples, train the auxiliary extensible
+//                      Random Forest (§III-F), record which landmarks /
+//                      features were available ("known").
+//   specialize()     — derive a per-service model: clone the general
+//                      network, freeze the representation (convolution +
+//                      first hidden layer), retrain the final
+//                      fully-connected layers on that service's samples
+//                      (§III-D, §IV-F).
+//   diagnose()       — rank all m root causes for one degraded sample:
+//                      coarse prediction -> gradient attention (§III-E) ->
+//                      Algorithm 1 score weighting -> ensemble averaging
+//                      with the auxiliary forest (§III-F).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/attention.h"
+#include "data/dataset.h"
+#include "data/encoding.h"
+#include "data/normalizer.h"
+#include "forest/extensible_forest.h"
+#include "nn/coarse_net.h"
+#include "nn/trainer.h"
+
+namespace diagnet::core {
+
+/// Which fine-grained attention mechanism diagnose() uses. The paper picks
+/// Gradient (white-box, one backward pass); Occlusion is the model-agnostic
+/// alternative it mentions (§III-E), kept for the ablation bench.
+enum class AttentionMethod { Gradient, Occlusion };
+
+struct DiagNetConfig {
+  /// Table I hyperparameters (f = 24 filters, Ω = 13 pooling ops, hidden
+  /// layers 512/128, c = 7). Landmark/local/class sizes are derived from
+  /// the feature space at construction.
+  nn::CoarseNetConfig coarse;
+  /// General-model training (SGD + Nesterov, lr 0.05, decay 0.001).
+  nn::TrainerConfig trainer;
+  /// Per-service specialisation training.
+  nn::TrainerConfig specialization;
+  /// Auxiliary model (Table I: Gini, 50 estimators, depth 10).
+  forest::ForestConfig auxiliary;
+  /// Ablation toggles (both on in the paper).
+  bool use_score_weighting = true;
+  bool use_ensemble = true;
+  AttentionMethod attention = AttentionMethod::Gradient;
+  std::uint64_t seed = 20210517;
+
+  static DiagNetConfig defaults();
+};
+
+/// One ranked diagnosis.
+struct Diagnosis {
+  std::vector<double> scores;       // final score per cause (sums to 1)
+  std::vector<std::size_t> ranking; // causes ordered by decreasing score
+  std::vector<double> coarse_probs; // c fault-family probabilities
+  std::size_t coarse_argmax = 0;
+  std::vector<double> attention;    // tuned attention scores γ̂'
+  double w_unknown = 0.0;           // ensemble weight of the attention side
+};
+
+class DiagNetModel {
+ public:
+  DiagNetModel(const data::FeatureSpace& fs, DiagNetConfig config);
+
+  /// Train the general model on a training split (its landmark_available
+  /// mask defines the known landmarks). Returns the training history
+  /// (per-epoch losses feed Fig. 9).
+  nn::TrainingHistory train_general(const data::Dataset& train);
+
+  /// Derive the specialised model for `service` from the general model.
+  /// Uses only the training samples of that service.
+  nn::TrainingHistory specialize(std::size_t service,
+                                 const data::Dataset& train);
+
+  /// Diagnose one degraded sample (raw feature vector) for a service.
+  /// `landmark_available` is the inference-time fleet (usually all true —
+  /// more landmarks than during training is the extensibility case).
+  /// Uses the service's specialised model when one exists.
+  Diagnosis diagnose(const std::vector<double>& raw_features,
+                     std::size_t service,
+                     const std::vector<bool>& landmark_available);
+
+  /// Same, but always through the general model (Fig. 10 compares the two).
+  Diagnosis diagnose_general(const std::vector<double>& raw_features,
+                             const std::vector<bool>& landmark_available);
+
+  /// Coarse fault-family probabilities only (Fig. 7 evaluates these).
+  std::vector<double> coarse_predict(const std::vector<double>& raw_features,
+                                     std::size_t service,
+                                     const std::vector<bool>& landmark_available);
+
+  bool trained() const { return general_ != nullptr; }
+  bool has_specialized(std::size_t service) const;
+  const data::Normalizer& normalizer() const { return normalizer_; }
+  const forest::ExtensibleForest& auxiliary() const { return auxiliary_; }
+  nn::CoarseNet& general_net();
+  nn::CoarseNet& service_net(std::size_t service);
+  /// Features unseen during training (the set U of §III-F).
+  const std::vector<std::size_t>& unknown_features() const {
+    return unknown_features_;
+  }
+  const DiagNetConfig& config() const { return config_; }
+
+  /// Binary persistence of the trained state (see core/registry.h for the
+  /// user-facing file API). save() requires a trained model.
+  void save(util::BinaryWriter& writer) const;
+  static std::unique_ptr<DiagNetModel> load(util::BinaryReader& reader,
+                                            const data::FeatureSpace& fs);
+
+  /// Inference-time ablation toggles (both on in the paper): Algorithm 1
+  /// score weighting and §III-F ensemble averaging. Safe to flip on a
+  /// trained model — they only affect diagnose().
+  void set_score_weighting(bool enabled) {
+    config_.use_score_weighting = enabled;
+  }
+  void set_ensemble(bool enabled) { config_.use_ensemble = enabled; }
+  void set_attention_method(AttentionMethod method) {
+    config_.attention = method;
+  }
+
+ private:
+  Diagnosis diagnose_with(nn::CoarseNet& net,
+                          const std::vector<double>& raw_features,
+                          const std::vector<bool>& landmark_available);
+
+  const data::FeatureSpace* fs_;
+  DiagNetConfig config_;
+  data::Normalizer normalizer_;
+  std::unique_ptr<nn::CoarseNet> general_;
+  std::map<std::size_t, std::unique_ptr<nn::CoarseNet>> specialized_;
+  forest::ExtensibleForest auxiliary_;
+  std::vector<std::size_t> unknown_features_;
+};
+
+}  // namespace diagnet::core

@@ -1,0 +1,46 @@
+#include "core/registry.h"
+
+#include <fstream>
+
+#include "util/binary_io.h"
+#include "util/require.h"
+
+namespace diagnet::core {
+
+namespace {
+constexpr std::uint64_t kFileMagic = 0x44474e4554'4d4f44ULL;  // "DGNET MOD"
+constexpr std::uint64_t kFileVersion = 1;
+}  // namespace
+
+void save_model(const DiagNetModel& model, std::ostream& os) {
+  util::BinaryWriter writer(os);
+  writer.write_u64(kFileMagic);
+  writer.write_u64(kFileVersion);
+  model.save(writer);
+}
+
+void save_model_file(const DiagNetModel& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("model registry: cannot open " + path);
+  save_model(model, os);
+  if (!os) throw std::runtime_error("model registry: write failed: " + path);
+}
+
+std::unique_ptr<DiagNetModel> load_model(std::istream& is,
+                                         const data::FeatureSpace& fs) {
+  util::BinaryReader reader(is);
+  reader.expect_u64(kFileMagic, "model file magic");
+  const std::uint64_t version = reader.read_u64();
+  if (version != kFileVersion)
+    throw std::runtime_error("model registry: unsupported version");
+  return DiagNetModel::load(reader, fs);
+}
+
+std::unique_ptr<DiagNetModel> load_model_file(const std::string& path,
+                                              const data::FeatureSpace& fs) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("model registry: cannot open " + path);
+  return load_model(is, fs);
+}
+
+}  // namespace diagnet::core

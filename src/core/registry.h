@@ -1,0 +1,32 @@
+// Model registry: binary persistence of a fully-trained DiagNet model.
+//
+// The paper's deployment (Fig. 1) has a central analysis service that
+// trains the inference model and *shares* it with clients; this registry
+// is the wire/disk format for that hand-off. A saved model bundle carries
+// everything inference needs — the coarse-network architecture and
+// weights, every specialised per-service head, the normaliser statistics,
+// the auxiliary Random Forest, and the unknown-feature set — so a client
+// can diagnose without access to any training data.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/diagnet.h"
+
+namespace diagnet::core {
+
+/// Serialise a trained model (throws std::logic_error if untrained).
+void save_model(const DiagNetModel& model, std::ostream& os);
+void save_model_file(const DiagNetModel& model, const std::string& path);
+
+/// Reconstruct a model bound to `fs`. The feature space must describe the
+/// same deployment shape (k metrics per landmark, local feature count) the
+/// model was trained for; mismatches throw std::runtime_error.
+std::unique_ptr<DiagNetModel> load_model(std::istream& is,
+                                         const data::FeatureSpace& fs);
+std::unique_ptr<DiagNetModel> load_model_file(const std::string& path,
+                                              const data::FeatureSpace& fs);
+
+}  // namespace diagnet::core

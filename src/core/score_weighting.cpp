@@ -1,0 +1,39 @@
+#include "core/score_weighting.h"
+
+#include "util/require.h"
+
+namespace diagnet::core {
+
+std::vector<double> weight_scores(const std::vector<double>& gamma,
+                                  const std::vector<double>& coarse_probs,
+                                  std::size_t coarse_argmax,
+                                  const data::FeatureSpace& fs) {
+  DIAGNET_REQUIRE(gamma.size() == fs.total());
+  DIAGNET_REQUIRE(coarse_argmax < coarse_probs.size());
+
+  const auto family = static_cast<data::FaultFamily>(coarse_argmax);
+  const std::vector<std::size_t> p = fs.features_of_family(family);
+
+  double prob_sum = 0.0;
+  for (double y : coarse_probs) prob_sum += y;
+  DIAGNET_REQUIRE(prob_sum > 0.0);
+  const double w = coarse_probs[coarse_argmax] / prob_sum;
+
+  double s = 0.0;
+  for (std::size_t j : p) s += gamma[j];
+
+  // Extreme cases (s = 0: no attention mass on the family, e.g. the coarse
+  // winner is Nominal whose family has no features; s = 1: all of it).
+  if (s <= 0.0 || s >= 1.0) return gamma;
+
+  std::vector<double> tuned = gamma;
+  std::vector<bool> in_p(fs.total(), false);
+  for (std::size_t j : p) in_p[j] = true;
+  const double bonus = w / s;
+  const double penalty = (1.0 - w) / (1.0 - s);
+  for (std::size_t j = 0; j < tuned.size(); ++j)
+    tuned[j] *= in_p[j] ? bonus : penalty;
+  return tuned;
+}
+
+}  // namespace diagnet::core

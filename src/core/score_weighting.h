@@ -1,0 +1,24 @@
+// Multi-label score weighting — Algorithm 1 of the paper. The attention
+// scores alone under-use the coarse prediction, so features sharing the
+// fault family of the winning coarse class receive a bonus and every other
+// feature a penalty, preserving normalisation by construction:
+//
+//   φ = argmax(y); p = features of φ's family
+//   w = y_φ / Σ y;  s = Σ_{j∈p} γ̂_j
+//   if s ∈ {0, 1}: γ̂' = γ̂
+//   else: γ̂'_j = γ̂_j · w/s for j ∈ p, γ̂_j · (1-w)/(1-s) otherwise
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/feature_space.h"
+
+namespace diagnet::core {
+
+std::vector<double> weight_scores(const std::vector<double>& gamma,
+                                  const std::vector<double>& coarse_probs,
+                                  std::size_t coarse_argmax,
+                                  const data::FeatureSpace& fs);
+
+}  // namespace diagnet::core

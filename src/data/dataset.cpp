@@ -1,0 +1,27 @@
+#include "data/dataset.h"
+
+#include "util/require.h"
+
+namespace diagnet::data {
+
+std::size_t Dataset::count_faulty() const {
+  std::size_t n = 0;
+  for (const Sample& s : samples) n += s.is_faulty() ? 1 : 0;
+  return n;
+}
+
+std::size_t Dataset::count_nominal() const {
+  return samples.size() - count_faulty();
+}
+
+std::vector<bool> Dataset::feature_available(const FeatureSpace& fs) const {
+  DIAGNET_REQUIRE(landmark_available.size() == fs.landmark_count());
+  std::vector<bool> available(fs.total(), true);
+  for (std::size_t j = 0; j < fs.total(); ++j) {
+    if (fs.is_landmark_feature(j))
+      available[j] = landmark_available[fs.landmark_of(j)];
+  }
+  return available;
+}
+
+}  // namespace diagnet::data

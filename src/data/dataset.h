@@ -1,0 +1,56 @@
+// Labelled samples and datasets.
+//
+// A sample is one (client, service, instant) observation: the m raw
+// features plus QoE and ground truth. Labelling follows the paper
+// (§IV-A(c,e)): a sample is "faulty" only when its QoE is degraded AND an
+// injected fault explains the degradation; injected faults that do not
+// degrade QoE leave the sample "nominal".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/feature_space.h"
+#include "netsim/fault.h"
+
+namespace diagnet::data {
+
+constexpr std::size_t kNoCause = static_cast<std::size_t>(-1);
+
+struct Sample {
+  std::vector<double> features;  // raw values, length FeatureSpace::total()
+  std::size_t client_region = 0;
+  std::size_t service = 0;
+  double time_hours = 0.0;
+  double page_load_ms = 0.0;
+  bool qoe_degraded = false;
+
+  netsim::ActiveFaults injected;
+  /// Cause features whose fault individually degrades this visit's QoE
+  /// (empty for nominal samples; can hold 2 entries in multi-fault
+  /// scenarios — Fig. 10).
+  std::vector<std::size_t> true_causes;
+  /// The dominant cause (highest counterfactual impact), or kNoCause.
+  std::size_t primary_cause = kNoCause;
+  /// Fault family of the primary cause; Nominal when there is none.
+  FaultFamily coarse_label = FaultFamily::Nominal;
+
+  bool is_faulty() const { return primary_cause != kNoCause; }
+};
+
+struct Dataset {
+  std::vector<Sample> samples;
+  /// Landmark availability for consumers of this dataset (training sets
+  /// hide the paper's three landmarks; test sets see all of them).
+  std::vector<bool> landmark_available;
+
+  std::size_t size() const { return samples.size(); }
+  std::size_t count_faulty() const;
+  std::size_t count_nominal() const;
+
+  /// Per-feature availability derived from landmark_available (local
+  /// features are always available).
+  std::vector<bool> feature_available(const FeatureSpace& fs) const;
+};
+
+}  // namespace diagnet::data

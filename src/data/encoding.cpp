@@ -1,0 +1,101 @@
+#include "data/encoding.h"
+
+#include "util/require.h"
+
+namespace diagnet::data {
+
+nn::CoarseDataset encode_coarse(const Dataset& dataset,
+                                const FeatureSpace& fs,
+                                const Normalizer& normalizer) {
+  const std::size_t n = dataset.size();
+  const std::size_t L = fs.landmark_count();
+  const std::size_t k = fs.metrics_per_landmark();
+  DIAGNET_REQUIRE(dataset.landmark_available.size() == L);
+
+  nn::CoarseDataset out;
+  out.land = tensor::Matrix(n, L * k);
+  out.mask = tensor::Matrix(n, L);
+  out.local = tensor::Matrix(n, fs.local_count());
+  out.labels.resize(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& sample = dataset.samples[i];
+    const std::vector<double> z = normalizer.apply(sample.features);
+    for (std::size_t lam = 0; lam < L; ++lam) {
+      const bool avail = dataset.landmark_available[lam];
+      out.mask(i, lam) = avail ? 1.0 : 0.0;
+      for (std::size_t metric = 0; metric < k; ++metric) {
+        const std::size_t j =
+            fs.landmark_feature(lam, static_cast<Metric>(metric));
+        out.land(i, lam * k + metric) = avail ? z[j] : 0.0;
+      }
+    }
+    for (std::size_t t = 0; t < fs.local_count(); ++t)
+      out.local(i, t) = z[fs.local_feature(static_cast<LocalFeature>(t))];
+    out.labels[i] = static_cast<std::size_t>(sample.coarse_label);
+  }
+  return out;
+}
+
+nn::LandBatch encode_sample(const std::vector<double>& raw_features,
+                            const FeatureSpace& fs,
+                            const Normalizer& normalizer,
+                            const std::vector<bool>& landmark_available) {
+  const std::size_t L = fs.landmark_count();
+  const std::size_t k = fs.metrics_per_landmark();
+  DIAGNET_REQUIRE(landmark_available.size() == L);
+
+  nn::LandBatch batch;
+  batch.land = tensor::Matrix(1, L * k);
+  batch.mask = tensor::Matrix(1, L);
+  batch.local = tensor::Matrix(1, fs.local_count());
+
+  const std::vector<double> z = normalizer.apply(raw_features);
+  for (std::size_t lam = 0; lam < L; ++lam) {
+    batch.mask(0, lam) = landmark_available[lam] ? 1.0 : 0.0;
+    for (std::size_t metric = 0; metric < k; ++metric) {
+      const std::size_t j =
+          fs.landmark_feature(lam, static_cast<Metric>(metric));
+      batch.land(0, lam * k + metric) = landmark_available[lam] ? z[j] : 0.0;
+    }
+  }
+  for (std::size_t t = 0; t < fs.local_count(); ++t)
+    batch.local(0, t) = z[fs.local_feature(static_cast<LocalFeature>(t))];
+  return batch;
+}
+
+tensor::Matrix encode_flat(const Dataset& dataset, const FeatureSpace& fs,
+                           const Normalizer& normalizer) {
+  const std::vector<bool> available = dataset.feature_available(fs);
+  tensor::Matrix x(dataset.size(), fs.total());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const std::vector<double> z =
+        encode_flat_sample(dataset.samples[i].features, fs, normalizer,
+                           available);
+    std::copy(z.begin(), z.end(), x.row_ptr(i));
+  }
+  return x;
+}
+
+std::vector<double> encode_flat_sample(const std::vector<double>& raw,
+                                       const FeatureSpace& fs,
+                                       const Normalizer& normalizer,
+                                       const std::vector<bool>& available) {
+  DIAGNET_REQUIRE(available.size() == fs.total());
+  std::vector<double> z = normalizer.apply(raw);
+  for (std::size_t j = 0; j < z.size(); ++j)
+    if (!available[j]) z[j] = 0.0;
+  return z;
+}
+
+std::vector<std::size_t> cause_labels(const Dataset& dataset,
+                                      std::size_t nominal_marker) {
+  std::vector<std::size_t> labels(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const Sample& sample = dataset.samples[i];
+    labels[i] = sample.is_faulty() ? sample.primary_cause : nominal_marker;
+  }
+  return labels;
+}
+
+}  // namespace diagnet::data

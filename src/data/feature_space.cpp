@@ -1,0 +1,127 @@
+#include "data/feature_space.h"
+
+#include "util/require.h"
+
+namespace diagnet::data {
+
+const char* metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::Latency: return "latency";
+    case Metric::Jitter: return "jitter";
+    case Metric::Loss: return "loss";
+    case Metric::DownBw: return "down_bw";
+    case Metric::UpBw: return "up_bw";
+  }
+  return "?";
+}
+
+const char* local_feature_name(LocalFeature feature) {
+  switch (feature) {
+    case LocalFeature::GatewayRtt: return "gateway_rtt";
+    case LocalFeature::CpuLoad: return "cpu";
+    case LocalFeature::MemLoad: return "mem";
+    case LocalFeature::ProcLoad: return "proc";
+    case LocalFeature::DnsTime: return "dns";
+  }
+  return "?";
+}
+
+FaultFamily metric_family(Metric metric) {
+  switch (metric) {
+    case Metric::Latency: return FaultFamily::Latency;
+    case Metric::Jitter: return FaultFamily::Jitter;
+    case Metric::Loss: return FaultFamily::Loss;
+    case Metric::DownBw:
+    case Metric::UpBw: return FaultFamily::Bandwidth;
+  }
+  return FaultFamily::Nominal;
+}
+
+FaultFamily local_feature_family(LocalFeature feature) {
+  switch (feature) {
+    case LocalFeature::GatewayRtt: return FaultFamily::Uplink;
+    case LocalFeature::CpuLoad:
+    case LocalFeature::MemLoad:
+    case LocalFeature::ProcLoad: return FaultFamily::Load;
+    case LocalFeature::DnsTime: return FaultFamily::Latency;
+  }
+  return FaultFamily::Nominal;
+}
+
+FeatureSpace::FeatureSpace(const netsim::Topology& topology)
+    : topology_(&topology), landmarks_(topology.region_count()) {}
+
+std::size_t FeatureSpace::landmark_feature(std::size_t landmark,
+                                           Metric metric) const {
+  DIAGNET_REQUIRE(landmark < landmarks_);
+  return landmark * metrics_per_landmark() + static_cast<std::size_t>(metric);
+}
+
+std::size_t FeatureSpace::local_feature(LocalFeature feature) const {
+  return landmarks_ * metrics_per_landmark() +
+         static_cast<std::size_t>(feature);
+}
+
+bool FeatureSpace::is_landmark_feature(std::size_t j) const {
+  DIAGNET_REQUIRE(j < total());
+  return j < landmarks_ * metrics_per_landmark();
+}
+
+std::size_t FeatureSpace::landmark_of(std::size_t j) const {
+  DIAGNET_REQUIRE(is_landmark_feature(j));
+  return j / metrics_per_landmark();
+}
+
+Metric FeatureSpace::metric_of(std::size_t j) const {
+  DIAGNET_REQUIRE(is_landmark_feature(j));
+  return static_cast<Metric>(j % metrics_per_landmark());
+}
+
+LocalFeature FeatureSpace::local_of(std::size_t j) const {
+  DIAGNET_REQUIRE(j < total() && !is_landmark_feature(j));
+  return static_cast<LocalFeature>(j - landmarks_ * metrics_per_landmark());
+}
+
+FaultFamily FeatureSpace::family_of(std::size_t j) const {
+  return is_landmark_feature(j) ? metric_family(metric_of(j))
+                                : local_feature_family(local_of(j));
+}
+
+std::vector<std::size_t> FeatureSpace::features_of_family(
+    FaultFamily family) const {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < total(); ++j)
+    if (family_of(j) == family) out.push_back(j);
+  return out;
+}
+
+std::size_t FeatureSpace::cause_of_fault(
+    const netsim::FaultSpec& fault) const {
+  switch (fault.family) {
+    case FaultFamily::Latency:
+      return landmark_feature(fault.region, Metric::Latency);
+    case FaultFamily::Jitter:
+      return landmark_feature(fault.region, Metric::Jitter);
+    case FaultFamily::Loss:
+      return landmark_feature(fault.region, Metric::Loss);
+    case FaultFamily::Bandwidth:
+      return landmark_feature(fault.region, Metric::DownBw);
+    case FaultFamily::Uplink:
+      return local_feature(LocalFeature::GatewayRtt);
+    case FaultFamily::Load:
+      return local_feature(LocalFeature::CpuLoad);
+    case FaultFamily::Nominal:
+      break;
+  }
+  DIAGNET_REQUIRE_MSG(false, "nominal fault has no cause feature");
+}
+
+std::string FeatureSpace::name(std::size_t j) const {
+  if (is_landmark_feature(j)) {
+    return topology_->region(landmark_of(j)).code + "/" +
+           metric_name(metric_of(j));
+  }
+  return std::string("local/") + local_feature_name(local_of(j));
+}
+
+}  // namespace diagnet::data

@@ -1,0 +1,93 @@
+// The feature space IS the root-cause space (paper §III-A): each of the
+// m = ℓ·k + local features doubles as a diagnosable root cause — a remote
+// (landmark, metric) pair or a local client metric. This class is the
+// single source of truth for that indexing, the feature → fault-family map
+// used by Algorithm 1, and the fault → cause-feature map used to label
+// ground truth.
+//
+// Layout: feature j for j < ℓ·k is landmark feature (λ = j / k,
+// metric = j % k); the last `kLocalFeatures` features are local.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netsim/fault.h"
+#include "netsim/measurement.h"
+#include "netsim/topology.h"
+
+namespace diagnet::data {
+
+using netsim::FaultFamily;
+
+/// The k = 5 per-landmark metrics, in feature order.
+enum class Metric : std::size_t {
+  Latency = 0,
+  Jitter = 1,
+  Loss = 2,
+  DownBw = 3,
+  UpBw = 4,
+};
+
+/// The 5 local features, in feature order (matches LocalMeasurement).
+enum class LocalFeature : std::size_t {
+  GatewayRtt = 0,
+  CpuLoad = 1,
+  MemLoad = 2,
+  ProcLoad = 3,
+  DnsTime = 4,
+};
+
+const char* metric_name(Metric metric);
+const char* local_feature_name(LocalFeature feature);
+
+FaultFamily metric_family(Metric metric);
+FaultFamily local_feature_family(LocalFeature feature);
+
+class FeatureSpace {
+ public:
+  explicit FeatureSpace(const netsim::Topology& topology);
+
+  std::size_t landmark_count() const { return landmarks_; }
+  std::size_t metrics_per_landmark() const {
+    return netsim::kMetricsPerLandmark;
+  }
+  std::size_t local_count() const { return netsim::kLocalFeatures; }
+  /// m — the total feature/root-cause count (55 by default).
+  std::size_t total() const {
+    return landmarks_ * metrics_per_landmark() + local_count();
+  }
+
+  std::size_t landmark_feature(std::size_t landmark, Metric metric) const;
+  std::size_t local_feature(LocalFeature feature) const;
+
+  bool is_landmark_feature(std::size_t j) const;
+  std::size_t landmark_of(std::size_t j) const;   // requires landmark feature
+  Metric metric_of(std::size_t j) const;          // requires landmark feature
+  LocalFeature local_of(std::size_t j) const;     // requires local feature
+
+  /// Fault family of the root cause identified with feature j — the family
+  /// assignment of Algorithm 1 ("we manually assign each feature to a
+  /// coarse class").
+  FaultFamily family_of(std::size_t j) const;
+
+  /// Features sharing the given family (the set `p` of Algorithm 1).
+  std::vector<std::size_t> features_of_family(FaultFamily family) const;
+
+  /// The cause feature a fault maps to for an affected client: remote
+  /// faults map to (landmark of the fault's region, family metric), Uplink
+  /// maps to the local gateway-RTT feature, Load to the local CPU feature.
+  std::size_t cause_of_fault(const netsim::FaultSpec& fault) const;
+
+  /// Human-readable feature/cause name, e.g. "GRAV/latency", "local/cpu".
+  std::string name(std::size_t j) const;
+
+  const netsim::Topology& topology() const { return *topology_; }
+
+ private:
+  const netsim::Topology* topology_;
+  std::size_t landmarks_;
+};
+
+}  // namespace diagnet::data

@@ -1,0 +1,189 @@
+#include "data/generator.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace diagnet::data {
+
+namespace {
+
+using netsim::ActiveFaults;
+using netsim::ClientCondition;
+using netsim::ClientProfile;
+using netsim::FaultFamily;
+using netsim::FaultSpec;
+using netsim::Simulator;
+
+constexpr FaultFamily kInjectable[] = {
+    FaultFamily::Uplink,    FaultFamily::Latency, FaultFamily::Jitter,
+    FaultFamily::Loss,      FaultFamily::Bandwidth, FaultFamily::Load,
+};
+
+FaultSpec draw_fault(const std::vector<std::size_t>& regions,
+                     util::Rng& rng) {
+  const FaultFamily family =
+      kInjectable[rng.uniform_index(std::size(kInjectable))];
+  const std::size_t region = regions[rng.uniform_index(regions.size())];
+  FaultSpec fault = netsim::default_fault(family, region);
+  // "additional jitter (up to 100 msec)": the magnitude varies per scenario.
+  if (family == FaultFamily::Jitter) fault.magnitude = rng.uniform(30.0, 100.0);
+  return fault;
+}
+
+/// Median page-load time of `draws` replays under exactly `faults`.
+double median_plt(const Simulator& sim, std::size_t service,
+                  const ClientProfile& client, double time_hours,
+                  const ActiveFaults& faults, std::size_t draws,
+                  util::Rng rng) {
+  const ClientCondition condition =
+      ClientCondition::from_faults(faults, client.region);
+  std::vector<double> plts;
+  plts.reserve(draws);
+  for (std::size_t d = 0; d < draws; ++d)
+    plts.push_back(
+        sim.visit(service, client, condition, time_hours, faults, rng));
+  return util::percentile(std::move(plts), 0.5);
+}
+
+}  // namespace
+
+Dataset generate_campaign(const Simulator& sim, const FeatureSpace& fs,
+                          const CampaignConfig& config) {
+  DIAGNET_REQUIRE_MSG(sim.qoe_calibrated(),
+                      "simulator must be QoE-calibrated before generation");
+  DIAGNET_REQUIRE(config.clients_per_region > 0);
+  DIAGNET_REQUIRE(config.counterfactual_draws >= 1);
+
+  const auto& topology = sim.topology();
+
+  std::vector<std::size_t> fault_regions = config.fault_regions;
+  if (fault_regions.empty())
+    fault_regions = netsim::default_fault_regions(topology);
+
+  std::vector<std::size_t> client_regions = config.active_client_regions;
+  if (client_regions.empty()) {
+    client_regions.resize(topology.region_count());
+    for (std::size_t r = 0; r < client_regions.size(); ++r)
+      client_regions[r] = r;
+  }
+
+  std::vector<std::size_t> services = config.services;
+  if (services.empty()) {
+    services.resize(sim.services().size());
+    for (std::size_t s = 0; s < services.size(); ++s) services[s] = s;
+  }
+
+  const std::size_t total = config.nominal_samples + config.fault_samples;
+  Dataset dataset;
+  dataset.samples.resize(total);
+  dataset.landmark_available.assign(sim.landmark_count(), true);
+
+  const util::Rng root(config.seed);
+  util::parallel_for(total, [&](std::size_t idx) {
+    util::Rng rng = root.fork(idx);
+    Sample& sample = dataset.samples[idx];
+
+    sample.time_hours = rng.uniform(0.0, config.duration_hours);
+    sample.service = services[rng.uniform_index(services.size())];
+
+    // Injected faults for this scenario.
+    if (idx >= config.nominal_samples) {
+      if (!config.fixed_faults.empty()) {
+        sample.injected = config.fixed_faults;
+      } else {
+        sample.injected.push_back(draw_fault(fault_regions, rng));
+        if (rng.bernoulli(config.multi_fault_prob)) {
+          for (int attempt = 0; attempt < 8; ++attempt) {
+            const FaultSpec second = draw_fault(fault_regions, rng);
+            if (second.family != sample.injected[0].family ||
+                second.region != sample.injected[0].region) {
+              sample.injected.push_back(second);
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // Observed client.
+    if (!sample.injected.empty() &&
+        rng.bernoulli(config.client_in_fault_region_prob)) {
+      sample.client_region = sample.injected[0].region;
+    } else {
+      sample.client_region =
+          client_regions[rng.uniform_index(client_regions.size())];
+    }
+    const std::uint64_t client_id =
+        sample.client_region * 1000 + rng.uniform_index(config.clients_per_region);
+    const ClientProfile client =
+        ClientProfile::make(sample.client_region, client_id, sim.seed());
+    const ClientCondition condition =
+        ClientCondition::from_faults(sample.injected, sample.client_region);
+
+    // The measurement vector: l landmark probes + local metrics.
+    sample.features.resize(fs.total());
+    const auto probes = sim.probe_landmarks(client, condition,
+                                            sample.time_hours,
+                                            sample.injected, rng);
+    for (std::size_t lam = 0; lam < probes.size(); ++lam) {
+      sample.features[fs.landmark_feature(lam, Metric::Latency)] =
+          probes[lam].latency_ms;
+      sample.features[fs.landmark_feature(lam, Metric::Jitter)] =
+          probes[lam].jitter_ms;
+      sample.features[fs.landmark_feature(lam, Metric::Loss)] =
+          probes[lam].loss_ratio;
+      sample.features[fs.landmark_feature(lam, Metric::DownBw)] =
+          probes[lam].down_mbps;
+      sample.features[fs.landmark_feature(lam, Metric::UpBw)] =
+          probes[lam].up_mbps;
+    }
+    const auto local =
+        sim.measure_local(client, condition, sample.time_hours, rng);
+    sample.features[fs.local_feature(LocalFeature::GatewayRtt)] =
+        local.gateway_rtt_ms;
+    sample.features[fs.local_feature(LocalFeature::CpuLoad)] = local.cpu_load;
+    sample.features[fs.local_feature(LocalFeature::MemLoad)] = local.mem_load;
+    sample.features[fs.local_feature(LocalFeature::ProcLoad)] =
+        local.proc_load;
+    sample.features[fs.local_feature(LocalFeature::DnsTime)] = local.dns_ms;
+
+    // The visit itself.
+    sample.page_load_ms =
+        sim.visit(sample.service, client, condition, sample.time_hours,
+                  sample.injected, rng);
+    sample.qoe_degraded = sim.qoe_degraded(sample.service,
+                                           sample.client_region,
+                                           sample.page_load_ms);
+
+    // Ground truth: counterfactual single-fault replays decide which
+    // injected faults are relevant causes for THIS client/service pair.
+    if (sample.qoe_degraded && !sample.injected.empty()) {
+      const double threshold =
+          sim.qoe_threshold(sample.service, sample.client_region);
+      double best_impact = 0.0;
+      for (std::size_t f = 0; f < sample.injected.size(); ++f) {
+        const ActiveFaults alone{sample.injected[f]};
+        const double median =
+            median_plt(sim, sample.service, client, sample.time_hours, alone,
+                       config.counterfactual_draws, rng.fork(1000 + f));
+        if (median > threshold) {
+          const std::size_t cause = fs.cause_of_fault(sample.injected[f]);
+          sample.true_causes.push_back(cause);
+          if (median > best_impact) {
+            best_impact = median;
+            sample.primary_cause = cause;
+          }
+        }
+      }
+      if (sample.primary_cause != kNoCause)
+        sample.coarse_label = fs.family_of(sample.primary_cause);
+    }
+  });
+
+  return dataset;
+}
+
+}  // namespace diagnet::data

@@ -1,0 +1,178 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace diagnet::data {
+
+namespace {
+
+constexpr const char* kMetaColumns =
+    "client_region,service,time_hours,page_load_ms,qoe_degraded,"
+    "primary_cause,coarse_label,true_causes,injected";
+
+std::string encode_faults(const netsim::ActiveFaults& faults) {
+  std::ostringstream os;
+  os << std::setprecision(17);  // magnitudes must round-trip exactly
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (i > 0) os << ';';
+    os << static_cast<std::size_t>(faults[i].family) << '@'
+       << faults[i].region << '@' << faults[i].magnitude;
+  }
+  return os.str();
+}
+
+netsim::ActiveFaults decode_faults(const std::string& text) {
+  netsim::ActiveFaults faults;
+  if (text.empty()) return faults;
+  std::istringstream items(text);
+  std::string item;
+  while (std::getline(items, item, ';')) {
+    netsim::FaultSpec fault;
+    std::size_t family = 0;
+    char sep1 = 0, sep2 = 0;
+    std::istringstream is(item);
+    if (!(is >> family >> sep1 >> fault.region >> sep2 >> fault.magnitude) ||
+        sep1 != '@' || sep2 != '@')
+      throw std::runtime_error("dataset csv: malformed fault spec: " + item);
+    fault.family = static_cast<netsim::FaultFamily>(family);
+    faults.push_back(fault);
+  }
+  return faults;
+}
+
+std::string encode_causes(const std::vector<std::size_t>& causes) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < causes.size(); ++i) {
+    if (i > 0) os << ';';
+    os << causes[i];
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> decode_causes(const std::string& text) {
+  std::vector<std::size_t> causes;
+  if (text.empty()) return causes;
+  std::istringstream items(text);
+  std::string item;
+  while (std::getline(items, item, ';'))
+    causes.push_back(std::stoull(item));
+  return causes;
+}
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::istringstream is(line);
+  std::string cell;
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  // A trailing empty cell is dropped by getline; restore it.
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(const Dataset& dataset, const FeatureSpace& fs,
+               std::ostream& os) {
+  // Line 1: landmark availability of this dataset.
+  os << "#landmark_available";
+  for (bool available : dataset.landmark_available)
+    os << ',' << (available ? 1 : 0);
+  os << '\n';
+
+  // Header.
+  for (std::size_t j = 0; j < fs.total(); ++j) os << fs.name(j) << ',';
+  os << kMetaColumns << '\n';
+
+  os << std::setprecision(17);
+  for (const Sample& sample : dataset.samples) {
+    DIAGNET_REQUIRE(sample.features.size() == fs.total());
+    for (double v : sample.features) os << v << ',';
+    os << sample.client_region << ',' << sample.service << ','
+       << sample.time_hours << ',' << sample.page_load_ms << ','
+       << (sample.qoe_degraded ? 1 : 0) << ',';
+    if (sample.is_faulty())
+      os << sample.primary_cause;
+    os << ',' << static_cast<std::size_t>(sample.coarse_label) << ','
+       << encode_causes(sample.true_causes) << ','
+       << encode_faults(sample.injected) << '\n';
+  }
+}
+
+void write_csv_file(const Dataset& dataset, const FeatureSpace& fs,
+                    const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("dataset csv: cannot open " + path);
+  write_csv(dataset, fs, os);
+  if (!os) throw std::runtime_error("dataset csv: write failed: " + path);
+}
+
+Dataset read_csv(std::istream& is, const FeatureSpace& fs) {
+  Dataset dataset;
+  std::string line;
+
+  // Availability preamble.
+  if (!std::getline(is, line))
+    throw std::runtime_error("dataset csv: empty input");
+  {
+    const auto cells = split_line(line);
+    if (cells.empty() || cells[0] != "#landmark_available" ||
+        cells.size() != fs.landmark_count() + 1)
+      throw std::runtime_error("dataset csv: bad availability preamble");
+    dataset.landmark_available.resize(fs.landmark_count());
+    for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam)
+      dataset.landmark_available[lam] = cells[lam + 1] == "1";
+  }
+
+  // Header check.
+  if (!std::getline(is, line))
+    throw std::runtime_error("dataset csv: missing header");
+  {
+    const auto cells = split_line(line);
+    if (cells.size() != fs.total() + 9)
+      throw std::runtime_error("dataset csv: header width mismatch");
+    for (std::size_t j = 0; j < fs.total(); ++j)
+      if (cells[j] != fs.name(j))
+        throw std::runtime_error("dataset csv: header names do not match "
+                                 "the feature space (col " +
+                                 std::to_string(j) + ")");
+  }
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    if (cells.size() != fs.total() + 9)
+      throw std::runtime_error("dataset csv: row width mismatch");
+    Sample sample;
+    sample.features.resize(fs.total());
+    for (std::size_t j = 0; j < fs.total(); ++j)
+      sample.features[j] = std::stod(cells[j]);
+    std::size_t c = fs.total();
+    sample.client_region = std::stoull(cells[c++]);
+    sample.service = std::stoull(cells[c++]);
+    sample.time_hours = std::stod(cells[c++]);
+    sample.page_load_ms = std::stod(cells[c++]);
+    sample.qoe_degraded = cells[c++] == "1";
+    sample.primary_cause =
+        cells[c].empty() ? kNoCause : std::stoull(cells[c]);
+    ++c;
+    sample.coarse_label =
+        static_cast<netsim::FaultFamily>(std::stoull(cells[c++]));
+    sample.true_causes = decode_causes(cells[c++]);
+    sample.injected = decode_faults(cells[c++]);
+    dataset.samples.push_back(std::move(sample));
+  }
+  return dataset;
+}
+
+Dataset read_csv_file(const std::string& path, const FeatureSpace& fs) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("dataset csv: cannot open " + path);
+  return read_csv(is, fs);
+}
+
+}  // namespace diagnet::data

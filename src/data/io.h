@@ -1,0 +1,27 @@
+// Dataset persistence: CSV export/import of labelled campaigns. One row
+// per sample: the m features (named per FeatureSpace) followed by the
+// metadata and ground-truth columns. Lets campaigns be generated once,
+// inspected with standard tooling, and re-used across runs — the analogue
+// of the paper's two-week measurement archive.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace diagnet::data {
+
+/// Write the dataset (features + ground truth) as CSV.
+void write_csv(const Dataset& dataset, const FeatureSpace& fs,
+               std::ostream& os);
+void write_csv_file(const Dataset& dataset, const FeatureSpace& fs,
+                    const std::string& path);
+
+/// Parse a CSV previously produced by write_csv. The header must match the
+/// feature space; malformed input throws std::runtime_error.
+/// landmark_available is restored from the embedded per-dataset line.
+Dataset read_csv(std::istream& is, const FeatureSpace& fs);
+Dataset read_csv_file(const std::string& path, const FeatureSpace& fs);
+
+}  // namespace diagnet::data

@@ -1,0 +1,71 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace diagnet::data {
+
+bool DataSplit::cause_is_new(const FeatureSpace& fs,
+                             const Sample& sample) const {
+  if (!sample.is_faulty() || !fs.is_landmark_feature(sample.primary_cause))
+    return false;
+  const std::size_t landmark = fs.landmark_of(sample.primary_cause);
+  return std::find(hidden_landmarks.begin(), hidden_landmarks.end(),
+                   landmark) != hidden_landmarks.end();
+}
+
+DataSplit make_split(const Dataset& full, const FeatureSpace& fs,
+                     const SplitConfig& config) {
+  DIAGNET_REQUIRE(config.train_fraction > 0.0 && config.train_fraction < 1.0);
+
+  DataSplit split;
+  split.hidden_landmarks = config.hidden_landmarks;
+  if (split.hidden_landmarks.empty() && config.use_default_hidden)
+    split.hidden_landmarks = netsim::default_hidden_landmarks(fs.topology());
+
+  const std::size_t landmarks = fs.landmark_count();
+  split.train.landmark_available.assign(landmarks, true);
+  split.test.landmark_available.assign(landmarks, true);
+  for (std::size_t lam : split.hidden_landmarks) {
+    DIAGNET_REQUIRE(lam < landmarks);
+    split.train.landmark_available[lam] = false;
+  }
+
+  // Partition indices: hidden-cause samples go straight to test; the rest
+  // are shuffled per stratum (faulty/nominal) and cut at train_fraction.
+  std::vector<std::size_t> strata[2];  // 0 = nominal, 1 = faulty
+  for (std::size_t i = 0; i < full.samples.size(); ++i) {
+    const Sample& sample = full.samples[i];
+    const bool hidden_cause = [&] {
+      if (!sample.is_faulty() || !fs.is_landmark_feature(sample.primary_cause))
+        return false;
+      const std::size_t lam = fs.landmark_of(sample.primary_cause);
+      return std::find(split.hidden_landmarks.begin(),
+                       split.hidden_landmarks.end(),
+                       lam) != split.hidden_landmarks.end();
+    }();
+    if (hidden_cause) {
+      split.test.samples.push_back(sample);
+    } else {
+      strata[sample.is_faulty() ? 1 : 0].push_back(i);
+    }
+  }
+
+  util::Rng rng(config.seed);
+  for (auto& stratum : strata) {
+    rng.shuffle(stratum);
+    const auto cut = static_cast<std::size_t>(
+        config.train_fraction * static_cast<double>(stratum.size()));
+    for (std::size_t p = 0; p < stratum.size(); ++p) {
+      (p < cut ? split.train : split.test)
+          .samples.push_back(full.samples[stratum[p]]);
+    }
+  }
+
+  DIAGNET_REQUIRE_MSG(!split.train.samples.empty(), "empty training split");
+  return split;
+}
+
+}  // namespace diagnet::data

@@ -1,0 +1,35 @@
+// Train/test split with the paper's hidden-landmark protocol (§IV-A(d,e)):
+// three landmarks are hidden during training — their features are masked
+// out of the training set and every sample whose primary cause sits at a
+// hidden landmark is forced into the test set. The split is stratified
+// 80/20 over faulty and nominal samples.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace diagnet::data {
+
+struct SplitConfig {
+  /// Landmarks hidden during training; empty = the paper's EAST/GRAV/SEAT.
+  std::vector<std::size_t> hidden_landmarks;
+  bool use_default_hidden = true;
+  double train_fraction = 0.8;
+  std::uint64_t seed = 7;
+};
+
+struct DataSplit {
+  Dataset train;  // landmark_available excludes the hidden landmarks
+  Dataset test;   // all landmarks available
+  std::vector<std::size_t> hidden_landmarks;
+
+  /// Whether a test sample's primary cause involves a hidden ("new")
+  /// landmark — the paper's new-vs-known breakdown of Figs. 5-7.
+  bool cause_is_new(const FeatureSpace& fs, const Sample& sample) const;
+};
+
+DataSplit make_split(const Dataset& full, const FeatureSpace& fs,
+                     const SplitConfig& config);
+
+}  // namespace diagnet::data

@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::eval {
+
+double recall_at_k(const std::vector<std::vector<std::size_t>>& rankings,
+                   const std::vector<std::size_t>& truths, std::size_t k) {
+  DIAGNET_REQUIRE(rankings.size() == truths.size());
+  DIAGNET_REQUIRE(k >= 1);
+  if (rankings.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < rankings.size(); ++i) {
+    const auto& ranking = rankings[i];
+    const std::size_t depth = std::min(k, ranking.size());
+    for (std::size_t r = 0; r < depth; ++r) {
+      if (ranking[r] == truths[i]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(rankings.size());
+}
+
+double recall_at_k_multi(
+    const std::vector<std::vector<std::size_t>>& rankings,
+    const std::vector<std::vector<std::size_t>>& truths, std::size_t k) {
+  DIAGNET_REQUIRE(rankings.size() == truths.size());
+  DIAGNET_REQUIRE(k >= 1);
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < rankings.size(); ++i) {
+    const auto& ranking = rankings[i];
+    const std::size_t depth = std::min(k, ranking.size());
+    for (std::size_t truth : truths[i]) {
+      ++total;
+      for (std::size_t r = 0; r < depth; ++r) {
+        if (ranking[r] == truth) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+ClassificationReport classification_report(
+    const std::vector<std::size_t>& y_true,
+    const std::vector<std::size_t>& y_pred, std::size_t classes) {
+  DIAGNET_REQUIRE(y_true.size() == y_pred.size());
+  ClassificationReport report;
+  report.total = y_true.size();
+  report.per_class.resize(classes);
+
+  std::vector<std::size_t> tp(classes, 0), fp(classes, 0), fn(classes, 0);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    DIAGNET_REQUIRE(y_true[i] < classes && y_pred[i] < classes);
+    report.per_class[y_true[i]].support += 1;
+    if (y_true[i] == y_pred[i]) {
+      ++tp[y_true[i]];
+      ++correct;
+    } else {
+      ++fp[y_pred[i]];
+      ++fn[y_true[i]];
+    }
+  }
+
+  for (std::size_t c = 0; c < classes; ++c) {
+    ClassScores& scores = report.per_class[c];
+    const double p_den = static_cast<double>(tp[c] + fp[c]);
+    const double r_den = static_cast<double>(tp[c] + fn[c]);
+    scores.precision = p_den > 0 ? static_cast<double>(tp[c]) / p_den : 0.0;
+    scores.recall = r_den > 0 ? static_cast<double>(tp[c]) / r_den : 0.0;
+    scores.f1 = (scores.precision + scores.recall) > 0
+                    ? 2.0 * scores.precision * scores.recall /
+                          (scores.precision + scores.recall)
+                    : 0.0;
+  }
+
+  if (report.total > 0) {
+    report.accuracy =
+        static_cast<double>(correct) / static_cast<double>(report.total);
+    report.accuracy_stderr =
+        std::sqrt(report.accuracy * (1.0 - report.accuracy) /
+                  static_cast<double>(report.total));
+  }
+  return report;
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<std::size_t>& y_true,
+    const std::vector<std::size_t>& y_pred, std::size_t classes) {
+  DIAGNET_REQUIRE(y_true.size() == y_pred.size());
+  std::vector<std::vector<std::size_t>> cm(
+      classes, std::vector<std::size_t>(classes, 0));
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    DIAGNET_REQUIRE(y_true[i] < classes && y_pred[i] < classes);
+    cm[y_true[i]][y_pred[i]] += 1;
+  }
+  return cm;
+}
+
+}  // namespace diagnet::eval

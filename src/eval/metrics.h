@@ -1,0 +1,48 @@
+// Evaluation metrics: Recall@k over ranked cause lists (the paper's main
+// metric, §IV-C) and standard classification scores (accuracy, per-class
+// precision/recall/F1) for the coarse classifier (Fig. 7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace diagnet::eval {
+
+/// Fraction of samples whose true cause appears in the first k entries of
+/// its ranking. rankings[i] is a cause list ordered by decreasing score;
+/// truths[i] the sample's true cause.
+double recall_at_k(const std::vector<std::vector<std::size_t>>& rankings,
+                   const std::vector<std::size_t>& truths, std::size_t k);
+
+/// Multi-cause variant (Fig. 10): the numerator counts every true cause
+/// found within the first k entries; the denominator is the total number
+/// of true causes.
+double recall_at_k_multi(
+    const std::vector<std::vector<std::size_t>>& rankings,
+    const std::vector<std::vector<std::size_t>>& truths, std::size_t k);
+
+struct ClassScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t support = 0;
+};
+
+struct ClassificationReport {
+  std::vector<ClassScores> per_class;
+  double accuracy = 0.0;
+  /// Standard error of the accuracy (binomial), as quoted by Fig. 7.
+  double accuracy_stderr = 0.0;
+  std::size_t total = 0;
+};
+
+ClassificationReport classification_report(
+    const std::vector<std::size_t>& y_true,
+    const std::vector<std::size_t>& y_pred, std::size_t classes);
+
+/// Confusion matrix, rows = true class, cols = predicted.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<std::size_t>& y_true,
+    const std::vector<std::size_t>& y_pred, std::size_t classes);
+
+}  // namespace diagnet::eval

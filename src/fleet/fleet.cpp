@@ -1,0 +1,162 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace diagnet::fleet {
+
+LandmarkFleet::LandmarkFleet(std::size_t landmark_count,
+                             const FleetConfig& config)
+    : horizon_hours_(config.horizon_hours) {
+  DIAGNET_REQUIRE(landmark_count > 0);
+  DIAGNET_REQUIRE(config.horizon_hours > 0.0);
+  up_intervals_.resize(landmark_count);
+
+  const util::Rng root(config.seed);
+  for (std::size_t lam = 0; lam < landmark_count; ++lam) {
+    util::Rng rng = root.fork(lam);
+    std::vector<std::pair<double, double>> outages;
+
+    // Periodic maintenance with a per-landmark phase.
+    if (config.maintenance_hours > 0.0 &&
+        config.maintenance_period_days > 0.0) {
+      const double period = config.maintenance_period_days * 24.0;
+      double start = rng.uniform(0.0, period);
+      while (start < horizon_hours_) {
+        outages.emplace_back(start, start + config.maintenance_hours);
+        start += period;
+      }
+    }
+
+    // Unplanned failures: Poisson arrivals, exponential repair times.
+    if (config.failures_per_day > 0.0) {
+      const double rate_per_hour = config.failures_per_day / 24.0;
+      double t = rng.exponential(rate_per_hour);
+      while (t < horizon_hours_) {
+        const double repair =
+            rng.exponential(1.0 / std::max(0.01, config.mean_outage_hours));
+        outages.emplace_back(t, t + repair);
+        t += repair + rng.exponential(rate_per_hour);
+      }
+    }
+
+    // Merge overlapping outages so queries are a single binary search.
+    std::sort(outages.begin(), outages.end());
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& outage : outages) {
+      if (!merged.empty() && outage.first <= merged.back().second)
+        merged.back().second = std::max(merged.back().second, outage.second);
+      else
+        merged.push_back(outage);
+    }
+    up_intervals_[lam] = std::move(merged);
+  }
+}
+
+bool LandmarkFleet::available(std::size_t landmark, double time_hours) const {
+  DIAGNET_REQUIRE(landmark < up_intervals_.size());
+  const auto& outages = up_intervals_[landmark];
+  // First outage starting after t; the previous one is the only candidate
+  // that can cover t.
+  auto it = std::upper_bound(
+      outages.begin(), outages.end(), time_hours,
+      [](double t, const auto& interval) { return t < interval.first; });
+  if (it == outages.begin()) return true;
+  --it;
+  return time_hours >= it->second;
+}
+
+std::vector<bool> LandmarkFleet::availability(double time_hours) const {
+  std::vector<bool> mask(landmark_count());
+  for (std::size_t lam = 0; lam < mask.size(); ++lam)
+    mask[lam] = available(lam, time_hours);
+  return mask;
+}
+
+std::size_t LandmarkFleet::available_count(double time_hours) const {
+  std::size_t n = 0;
+  for (std::size_t lam = 0; lam < landmark_count(); ++lam)
+    n += available(lam, time_hours) ? 1 : 0;
+  return n;
+}
+
+double LandmarkFleet::downtime_hours(std::size_t landmark) const {
+  DIAGNET_REQUIRE(landmark < up_intervals_.size());
+  double total = 0.0;
+  for (const auto& [start, end] : up_intervals_[landmark])
+    total += std::min(end, horizon_hours_) - std::min(start, horizon_hours_);
+  return total;
+}
+
+const char* probe_strategy_name(ProbeStrategy strategy) {
+  switch (strategy) {
+    case ProbeStrategy::RandomK: return "random-k";
+    case ProbeStrategy::NearestK: return "nearest-k";
+    case ProbeStrategy::SpreadK: return "spread-k";
+  }
+  return "?";
+}
+
+ProbeScheduler::ProbeScheduler(const netsim::Topology& topology,
+                               ProbeBudget budget, std::uint64_t seed)
+    : topology_(&topology), budget_(budget), root_(seed) {
+  DIAGNET_REQUIRE(budget.max_probes > 0);
+}
+
+std::vector<bool> ProbeScheduler::select(std::size_t client_region,
+                                         const std::vector<bool>& available,
+                                         std::uint64_t client_id,
+                                         std::uint64_t epoch) const {
+  DIAGNET_REQUIRE(available.size() == topology_->region_count());
+  DIAGNET_REQUIRE(client_region < topology_->region_count());
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t lam = 0; lam < available.size(); ++lam)
+    if (available[lam]) candidates.push_back(lam);
+  DIAGNET_REQUIRE_MSG(!candidates.empty(), "no landmark available");
+
+  std::vector<bool> selected(available.size(), false);
+  if (candidates.size() <= budget_.max_probes) {
+    for (std::size_t lam : candidates) selected[lam] = true;
+    return selected;
+  }
+
+  util::Rng rng = root_.fork(client_id * 1000003ULL + epoch);
+  const auto by_rtt = [&](std::size_t a, std::size_t b) {
+    return topology_->base_rtt_ms(client_region, a) <
+           topology_->base_rtt_ms(client_region, b);
+  };
+
+  switch (budget_.strategy) {
+    case ProbeStrategy::RandomK: {
+      const auto picks = rng.sample_without_replacement(
+          candidates.size(), budget_.max_probes);
+      for (std::size_t p : picks) selected[candidates[p]] = true;
+      break;
+    }
+    case ProbeStrategy::NearestK: {
+      std::sort(candidates.begin(), candidates.end(), by_rtt);
+      for (std::size_t i = 0; i < budget_.max_probes; ++i)
+        selected[candidates[i]] = true;
+      break;
+    }
+    case ProbeStrategy::SpreadK: {
+      // Half the budget on the nearest landmarks (fault locality), the
+      // rest uniformly over the remainder (global coverage).
+      std::sort(candidates.begin(), candidates.end(), by_rtt);
+      const std::size_t near = (budget_.max_probes + 1) / 2;
+      for (std::size_t i = 0; i < near; ++i) selected[candidates[i]] = true;
+      std::vector<std::size_t> rest(candidates.begin() + near,
+                                    candidates.end());
+      const auto picks = rng.sample_without_replacement(
+          rest.size(), budget_.max_probes - near);
+      for (std::size_t p : picks) selected[rest[p]] = true;
+      break;
+    }
+  }
+  return selected;
+}
+
+}  // namespace diagnet::fleet

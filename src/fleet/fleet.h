@@ -1,0 +1,92 @@
+// Landmark-fleet management (paper §II-D): "Many factors can alter the
+// availability of these landmarks (failures, maintenance or saturated
+// capacity). Conversely, if the system contains a very high number of
+// landmarks, individual clients cannot be expected to probe every landmark."
+//
+// LandmarkFleet models the availability of each landmark over the campaign
+// horizon (periodic maintenance windows plus random failures), and
+// ProbeScheduler picks which of the available landmarks a given client
+// probes under a probe budget. Both feed the availability masks that
+// DiagNet's LandPooling consumes — no retraining is ever involved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/topology.h"
+#include "util/rng.h"
+
+namespace diagnet::fleet {
+
+struct FleetConfig {
+  /// Poisson rate of unplanned outages, per landmark per day.
+  double failures_per_day = 0.05;
+  /// Outage durations are exponential with this mean.
+  double mean_outage_hours = 4.0;
+  /// Periodic maintenance: every `maintenance_period_days`, each landmark
+  /// goes down for `maintenance_hours` (phase randomised per landmark).
+  double maintenance_period_days = 7.0;
+  double maintenance_hours = 2.0;
+  /// Availability horizon that outages are materialised for.
+  double horizon_hours = 24.0 * 28.0;
+  std::uint64_t seed = 1;
+};
+
+class LandmarkFleet {
+ public:
+  LandmarkFleet(std::size_t landmark_count, const FleetConfig& config);
+
+  std::size_t landmark_count() const { return up_intervals_.size(); }
+
+  /// Whether a landmark is reachable at the given time.
+  bool available(std::size_t landmark, double time_hours) const;
+
+  /// Availability mask over the whole fleet.
+  std::vector<bool> availability(double time_hours) const;
+
+  std::size_t available_count(double time_hours) const;
+
+  /// Total downtime of one landmark across the horizon (for tests/reports).
+  double downtime_hours(std::size_t landmark) const;
+
+ private:
+  // Sorted, merged outage intervals [start, end) per landmark.
+  std::vector<std::vector<std::pair<double, double>>> up_intervals_;
+  double horizon_hours_;
+};
+
+/// How a client selects the landmarks it probes.
+enum class ProbeStrategy {
+  RandomK,   // uniform among available landmarks
+  NearestK,  // lowest base RTT from the client's region
+  SpreadK,   // half nearest (fault locality), half random (coverage)
+};
+
+const char* probe_strategy_name(ProbeStrategy strategy);
+
+struct ProbeBudget {
+  std::size_t max_probes = 10;
+  ProbeStrategy strategy = ProbeStrategy::SpreadK;
+};
+
+class ProbeScheduler {
+ public:
+  ProbeScheduler(const netsim::Topology& topology, ProbeBudget budget,
+                 std::uint64_t seed = 1);
+
+  /// Landmarks the client probes this epoch: a subset of `available` of
+  /// size <= budget. Deterministic in (client_id, epoch).
+  std::vector<bool> select(std::size_t client_region,
+                           const std::vector<bool>& available,
+                           std::uint64_t client_id,
+                           std::uint64_t epoch) const;
+
+  const ProbeBudget& budget() const { return budget_; }
+
+ private:
+  const netsim::Topology* topology_;
+  ProbeBudget budget_;
+  util::Rng root_;
+};
+
+}  // namespace diagnet::fleet

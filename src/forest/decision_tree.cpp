@@ -1,0 +1,196 @@
+#include "forest/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::forest {
+
+namespace {
+
+double gini(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double g = 1.0;
+  for (double c : counts) {
+    const double p = c / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<std::size_t>& y,
+                       std::size_t classes,
+                       const std::vector<std::size_t>& rows,
+                       const TreeConfig& config, util::Rng& rng) {
+  DIAGNET_REQUIRE(classes >= 2);
+  DIAGNET_REQUIRE(y.size() == x.rows());
+  DIAGNET_REQUIRE(!rows.empty());
+  classes_ = classes;
+  nodes_.clear();
+  std::vector<std::size_t> work = rows;
+  build(x, y, work, 0, config, rng);
+}
+
+int DecisionTree::build(const Matrix& x, const std::vector<std::size_t>& y,
+                        std::vector<std::size_t>& rows, std::size_t depth,
+                        const TreeConfig& config, util::Rng& rng) {
+  // Class histogram of this node.
+  std::vector<double> counts(classes_, 0.0);
+  for (std::size_t r : rows) {
+    DIAGNET_REQUIRE(y[r] < classes_);
+    counts[y[r]] += 1.0;
+  }
+  const auto total = static_cast<double>(rows.size());
+
+  const auto make_leaf = [&]() -> int {
+    Node leaf;
+    leaf.proba.resize(classes_);
+    for (std::size_t c = 0; c < classes_; ++c) leaf.proba[c] = counts[c] / total;
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  const double node_gini = gini(counts, total);
+  if (depth >= config.max_depth || rows.size() < config.min_samples_split ||
+      node_gini == 0.0) {
+    return make_leaf();
+  }
+
+  // Candidate features: a random subset of size max_features.
+  const std::size_t m = x.cols();
+  std::size_t mtry = config.max_features;
+  if (mtry == 0)
+    mtry = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(m))));
+  mtry = std::min(mtry, m);
+  const std::vector<std::size_t> features =
+      rng.sample_without_replacement(m, mtry);
+
+  // Best weighted-Gini split over candidate features.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = node_gini;
+
+  std::vector<std::pair<double, std::size_t>> sorted;  // (value, label)
+  for (std::size_t f : features) {
+    sorted.clear();
+    sorted.reserve(rows.size());
+    for (std::size_t r : rows) sorted.emplace_back(x(r, f), y[r]);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;
+
+    std::vector<double> left_counts(classes_, 0.0);
+    std::vector<double> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      left_counts[sorted[i].second] += 1.0;
+      right_counts[sorted[i].second] -= 1.0;
+      // Only split between distinct values.
+      if (sorted[i].first == sorted[i + 1].first) continue;
+      const double nl = static_cast<double>(i + 1);
+      const double nr = total - nl;
+      if (nl < config.min_samples_leaf || nr < config.min_samples_leaf)
+        continue;
+      const double impurity =
+          (nl * gini(left_counts, nl) + nr * gini(right_counts, nr)) / total;
+      if (impurity < best_impurity - 1e-12) {
+        best_impurity = impurity;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition rows in place.
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    if (x(r, static_cast<std::size_t>(best_feature)) < best_threshold)
+      left_rows.push_back(r);
+    else
+      right_rows.push_back(r);
+  }
+  DIAGNET_REQUIRE(!left_rows.empty() && !right_rows.empty());
+
+  // Reserve our slot before recursing (children get later indices).
+  nodes_.emplace_back();
+  const auto self = static_cast<int>(nodes_.size() - 1);
+  const int left = build(x, y, left_rows, depth + 1, config, rng);
+  const int right = build(x, y, right_rows, depth + 1, config, rng);
+  nodes_[self].feature = best_feature;
+  nodes_[self].threshold = best_threshold;
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+std::vector<double> DecisionTree::predict_proba(const double* sample) const {
+  DIAGNET_REQUIRE_MSG(trained(), "predict on an unfitted tree");
+  int idx = 0;
+  while (nodes_[idx].feature >= 0) {
+    const Node& node = nodes_[idx];
+    idx = sample[node.feature] < node.threshold ? node.left : node.right;
+  }
+  return nodes_[idx].proba;
+}
+
+std::size_t DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree structure.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, std::size_t>> stack{{0, 1}};
+  std::size_t deepest = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, d);
+    const Node& node = nodes_[idx];
+    if (node.feature >= 0) {
+      stack.emplace_back(node.left, d + 1);
+      stack.emplace_back(node.right, d + 1);
+    }
+  }
+  return deepest;
+}
+
+}  // namespace diagnet::forest
+
+namespace diagnet::forest {
+
+void DecisionTree::save(util::BinaryWriter& writer) const {
+  writer.write_u64(0xd7ee0001ULL);
+  writer.write_u64(classes_);
+  writer.write_u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.write_u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(node.feature)));
+    writer.write_double(node.threshold);
+    writer.write_u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(node.left)));
+    writer.write_u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(node.right)));
+    writer.write_doubles(node.proba);
+  }
+}
+
+void DecisionTree::load(util::BinaryReader& reader) {
+  reader.expect_u64(0xd7ee0001ULL, "DecisionTree");
+  classes_ = static_cast<std::size_t>(reader.read_u64());
+  const std::uint64_t count = reader.read_u64();
+  nodes_.clear();
+  nodes_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Node node;
+    node.feature = static_cast<int>(static_cast<std::int64_t>(reader.read_u64()));
+    node.threshold = reader.read_double();
+    node.left = static_cast<int>(static_cast<std::int64_t>(reader.read_u64()));
+    node.right = static_cast<int>(static_cast<std::int64_t>(reader.read_u64()));
+    node.proba = reader.read_doubles();
+    nodes_.push_back(std::move(node));
+  }
+}
+
+}  // namespace diagnet::forest

@@ -1,0 +1,65 @@
+// CART classification tree with the Gini impurity criterion — the building
+// block of the Random-Forest auxiliary model (paper Table I: Gini, 50
+// estimators, max depth 10).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/binary_io.h"
+#include "util/rng.h"
+
+namespace diagnet::forest {
+
+using tensor::Matrix;
+
+struct TreeConfig {
+  std::size_t max_depth = 10;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features considered per split; 0 selects floor(sqrt(m)) (the usual
+  /// random-forest default).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on the rows of X listed in `rows` (bootstrap indices may repeat).
+  /// y holds integer class labels in [0, classes).
+  void fit(const Matrix& x, const std::vector<std::size_t>& y,
+           std::size_t classes, const std::vector<std::size_t>& rows,
+           const TreeConfig& config, util::Rng& rng);
+
+  /// Class distribution at the leaf reached by `sample` (sums to 1).
+  std::vector<double> predict_proba(const double* sample) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+  std::size_t classes() const { return classes_; }
+  bool trained() const { return !nodes_.empty(); }
+
+  /// Binary (de)serialisation of the fitted structure.
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
+
+ private:
+  struct Node {
+    // Internal node: split on feature < threshold -> left, else right.
+    // Leaf: feature == -1, proba holds the class distribution.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::vector<double> proba;
+  };
+
+  int build(const Matrix& x, const std::vector<std::size_t>& y,
+            std::vector<std::size_t>& rows, std::size_t depth,
+            const TreeConfig& config, util::Rng& rng);
+
+  std::vector<Node> nodes_;
+  std::size_t classes_ = 0;
+};
+
+}  // namespace diagnet::forest

@@ -1,0 +1,85 @@
+#include "forest/extensible_forest.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace diagnet::forest {
+
+void ExtensibleForest::fit(const Matrix& x,
+                           const std::vector<std::size_t>& y_cause,
+                           std::size_t total_causes,
+                           const ForestConfig& config, std::uint64_t seed) {
+  DIAGNET_REQUIRE(total_causes > 0);
+  DIAGNET_REQUIRE(y_cause.size() == x.rows());
+  total_causes_ = total_causes;
+
+  // Map the causes present in training data to compact class indices.
+  class_to_cause_.clear();
+  std::vector<std::size_t> cause_to_class(total_causes,
+                                          static_cast<std::size_t>(-1));
+  for (std::size_t label : y_cause) {
+    if (label == kNominal) continue;
+    DIAGNET_REQUIRE(label < total_causes);
+    if (cause_to_class[label] == static_cast<std::size_t>(-1)) {
+      cause_to_class[label] = class_to_cause_.size();
+      class_to_cause_.push_back(label);
+    }
+  }
+  DIAGNET_REQUIRE_MSG(!class_to_cause_.empty(),
+                      "training data contains no faulty sample");
+  std::sort(class_to_cause_.begin(), class_to_cause_.end());
+  for (std::size_t c = 0; c < class_to_cause_.size(); ++c)
+    cause_to_class[class_to_cause_[c]] = c;
+
+  // The "unknown" class takes the last internal index.
+  const std::size_t unknown_class = class_to_cause_.size();
+  std::vector<std::size_t> labels(y_cause.size());
+  for (std::size_t i = 0; i < y_cause.size(); ++i) {
+    labels[i] = (y_cause[i] == kNominal) ? unknown_class
+                                         : cause_to_class[y_cause[i]];
+  }
+  forest_.fit(x, labels, unknown_class + 1, config, seed);
+}
+
+std::vector<double> ExtensibleForest::score_causes(
+    const double* sample) const {
+  DIAGNET_REQUIRE_MSG(trained(), "score on an unfitted model");
+  const std::vector<double> proba = forest_.predict_proba(sample);
+  const double unknown_share =
+      proba.back() / static_cast<double>(total_causes_);
+  std::vector<double> scores(total_causes_, unknown_share);
+  for (std::size_t c = 0; c < class_to_cause_.size(); ++c)
+    scores[class_to_cause_[c]] += proba[c];
+  return scores;
+}
+
+std::vector<double> ExtensibleForest::score_causes(
+    const std::vector<double>& sample) const {
+  return score_causes(sample.data());
+}
+
+double ExtensibleForest::unknown_probability(const double* sample) const {
+  DIAGNET_REQUIRE_MSG(trained(), "score on an unfitted model");
+  return forest_.predict_proba(sample).back();
+}
+
+}  // namespace diagnet::forest
+
+namespace diagnet::forest {
+
+void ExtensibleForest::save(util::BinaryWriter& writer) const {
+  writer.write_u64(0xe47e4500ULL);
+  writer.write_u64(total_causes_);
+  writer.write_indices(class_to_cause_);
+  forest_.save(writer);
+}
+
+void ExtensibleForest::load(util::BinaryReader& reader) {
+  reader.expect_u64(0xe47e4500ULL, "ExtensibleForest");
+  total_causes_ = static_cast<std::size_t>(reader.read_u64());
+  class_to_cause_ = reader.read_indices();
+  forest_.load(reader);
+}
+
+}  // namespace diagnet::forest

@@ -1,0 +1,57 @@
+// The paper's "Extensible Random Forest Classifier" baseline (§IV-B.a),
+// also used as the auxiliary model inside DiagNet's ensemble averaging
+// (§III-F):
+//
+//  * the feature dimension is fixed to the maximum landmark fleet; features
+//    of landmarks missing at training time are zero-filled upstream;
+//  * output classes are the root causes observed during training plus a
+//    special "unknown" class trained on nominal samples;
+//  * at inference, the unknown-class probability mass is redistributed
+//    evenly over every possible root cause, so causes never seen during
+//    training still receive a non-null score.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "forest/random_forest.h"
+
+namespace diagnet::forest {
+
+class ExtensibleForest {
+ public:
+  /// Label value marking a nominal (fault-free) sample in `y_cause`.
+  static constexpr std::size_t kNominal = static_cast<std::size_t>(-1);
+
+  /// y_cause[i]: the root-cause index in [0, total_causes) of sample i, or
+  /// kNominal. `total_causes` is the full root-cause space (m in the paper),
+  /// including causes absent from the training data.
+  void fit(const Matrix& x, const std::vector<std::size_t>& y_cause,
+           std::size_t total_causes, const ForestConfig& config,
+           std::uint64_t seed);
+
+  /// Scores over all root causes (length total_causes, sums to 1).
+  std::vector<double> score_causes(const double* sample) const;
+  std::vector<double> score_causes(const std::vector<double>& sample) const;
+
+  /// Probability assigned to the "unknown" (nominal) class before
+  /// redistribution — exposed for diagnostics and tests.
+  double unknown_probability(const double* sample) const;
+
+  std::size_t total_causes() const { return total_causes_; }
+  /// Root causes that had at least one training sample.
+  const std::vector<std::size_t>& trained_causes() const {
+    return class_to_cause_;
+  }
+  bool trained() const { return forest_.trained(); }
+
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
+
+ private:
+  RandomForest forest_;
+  std::vector<std::size_t> class_to_cause_;  // internal class -> cause index
+  std::size_t total_causes_ = 0;
+};
+
+}  // namespace diagnet::forest

@@ -1,0 +1,71 @@
+#include "forest/random_forest.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/thread_pool.h"
+
+namespace diagnet::forest {
+
+void RandomForest::fit(const Matrix& x, const std::vector<std::size_t>& y,
+                       std::size_t classes, const ForestConfig& config,
+                       std::uint64_t seed) {
+  DIAGNET_REQUIRE(config.n_estimators > 0);
+  DIAGNET_REQUIRE(x.rows() > 0 && y.size() == x.rows());
+  classes_ = classes;
+  trees_.assign(config.n_estimators, DecisionTree{});
+
+  const util::Rng root(seed);
+  const std::size_t n = x.rows();
+  util::parallel_for(config.n_estimators, [&](std::size_t t) {
+    util::Rng rng = root.fork(t);
+    // Bootstrap sample: n draws with replacement.
+    std::vector<std::size_t> rows(n);
+    for (auto& r : rows) r = static_cast<std::size_t>(rng.uniform_index(n));
+    trees_[t].fit(x, y, classes, rows, config.tree, rng);
+  });
+}
+
+std::vector<double> RandomForest::predict_proba(const double* sample) const {
+  DIAGNET_REQUIRE_MSG(trained(), "predict on an unfitted forest");
+  std::vector<double> proba(classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const std::vector<double> p = tree.predict_proba(sample);
+    for (std::size_t c = 0; c < classes_; ++c) proba[c] += p[c];
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (auto& p : proba) p *= inv;
+  return proba;
+}
+
+std::vector<double> RandomForest::predict_proba(
+    const std::vector<double>& sample) const {
+  return predict_proba(sample.data());
+}
+
+std::size_t RandomForest::predict(const double* sample) const {
+  const std::vector<double> p = predict_proba(sample);
+  return static_cast<std::size_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace diagnet::forest
+
+namespace diagnet::forest {
+
+void RandomForest::save(util::BinaryWriter& writer) const {
+  writer.write_u64(0xf03e5700ULL);
+  writer.write_u64(classes_);
+  writer.write_u64(trees_.size());
+  for (const DecisionTree& tree : trees_) tree.save(writer);
+}
+
+void RandomForest::load(util::BinaryReader& reader) {
+  reader.expect_u64(0xf03e5700ULL, "RandomForest");
+  classes_ = static_cast<std::size_t>(reader.read_u64());
+  const std::uint64_t count = reader.read_u64();
+  trees_.assign(count, DecisionTree{});
+  for (auto& tree : trees_) tree.load(reader);
+}
+
+}  // namespace diagnet::forest

@@ -1,0 +1,44 @@
+// Bagged ensemble of CART trees. Trees are trained in parallel; every tree
+// derives its bootstrap and split randomness from fork(tree_index), so the
+// fitted forest is identical regardless of thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "forest/decision_tree.h"
+
+namespace diagnet::forest {
+
+struct ForestConfig {
+  std::size_t n_estimators = 50;
+  TreeConfig tree;
+};
+
+class RandomForest {
+ public:
+  /// Fit on all rows of X; labels in [0, classes).
+  void fit(const Matrix& x, const std::vector<std::size_t>& y,
+           std::size_t classes, const ForestConfig& config,
+           std::uint64_t seed);
+
+  /// Mean of per-tree leaf distributions (sums to 1).
+  std::vector<double> predict_proba(const double* sample) const;
+  std::vector<double> predict_proba(const std::vector<double>& sample) const;
+
+  /// argmax of predict_proba.
+  std::size_t predict(const double* sample) const;
+
+  std::size_t classes() const { return classes_; }
+  std::size_t tree_count() const { return trees_.size(); }
+  bool trained() const { return !trees_.empty(); }
+
+  void save(util::BinaryWriter& writer) const;
+  void load(util::BinaryReader& reader);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t classes_ = 0;
+};
+
+}  // namespace diagnet::forest

@@ -1,0 +1,56 @@
+#include "netsim/fault.h"
+
+#include "util/require.h"
+
+namespace diagnet::netsim {
+
+const char* fault_family_name(FaultFamily family) {
+  switch (family) {
+    case FaultFamily::Nominal: return "nominal";
+    case FaultFamily::Uplink: return "uplink";
+    case FaultFamily::Latency: return "latency";
+    case FaultFamily::Jitter: return "jitter";
+    case FaultFamily::Loss: return "loss";
+    case FaultFamily::Bandwidth: return "bandwidth";
+    case FaultFamily::Load: return "load";
+  }
+  return "?";
+}
+
+bool is_remote_family(FaultFamily family) {
+  switch (family) {
+    case FaultFamily::Latency:
+    case FaultFamily::Jitter:
+    case FaultFamily::Loss:
+    case FaultFamily::Bandwidth:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FaultSpec default_fault(FaultFamily family, std::size_t region) {
+  switch (family) {
+    case FaultFamily::Uplink:
+      return {family, region, 50.0};  // +50 ms gateway latency
+    case FaultFamily::Latency:
+      return {family, region, 50.0};  // +50 ms service latency
+    case FaultFamily::Jitter:
+      return {family, region, 100.0};  // up to +100 ms jitter
+    case FaultFamily::Loss:
+      return {family, region, 0.08};  // +8% packet loss
+    case FaultFamily::Bandwidth:
+      return {family, region, 8.0};  // shaped to 8 Mbit/s
+    case FaultFamily::Load:
+      return {family, region, 0.85};  // heavy CPU stress
+    case FaultFamily::Nominal:
+      break;
+  }
+  DIAGNET_REQUIRE_MSG(false, "nominal is not an injectable fault");
+}
+
+std::string to_string(const FaultSpec& fault, const std::string& region_code) {
+  return std::string(fault_family_name(fault.family)) + "@" + region_code;
+}
+
+}  // namespace diagnet::netsim

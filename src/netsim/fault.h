@@ -1,0 +1,58 @@
+// Fault taxonomy and injected-fault descriptions.
+//
+// The seven coarse fault families mirror the paper (§III-B): nominal,
+// uplink latency (gateway malfunction), remote link latency, link jitter,
+// link loss, link bandwidth, and local load. The six *injectable* families
+// (everything except Nominal, with Bandwidth standing for download shaping)
+// match the `tc netem` campaign of §IV-A(e).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace diagnet::netsim {
+
+enum class FaultFamily : std::size_t {
+  Nominal = 0,
+  Uplink = 1,     // latency at the client's local gateway
+  Latency = 2,    // added end-to-end latency near a region
+  Jitter = 3,     // added delay variation near a region
+  Loss = 4,       // added packet loss near a region
+  Bandwidth = 5,  // download bandwidth shaping near a region
+  Load = 6,       // client device overload (CPU stress)
+};
+
+constexpr std::size_t kFaultFamilies = 7;
+
+const char* fault_family_name(FaultFamily family);
+
+/// True for families injected at a region (they perturb every path with an
+/// endpoint in that region); false for client-local families (Uplink, Load).
+bool is_remote_family(FaultFamily family);
+
+/// One injected fault. For remote families, `region` is the region the
+/// fault is injected in; for client-local families it is the region whose
+/// clients are affected.
+struct FaultSpec {
+  FaultFamily family = FaultFamily::Nominal;
+  std::size_t region = 0;
+  /// Family-specific magnitude: added ms (Uplink/Latency/Jitter), loss
+  /// fraction (Loss), bandwidth cap in Mbps (Bandwidth), CPU utilisation
+  /// added in [0,1] (Load).
+  double magnitude = 0.0;
+
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// Paper §IV-A(e) magnitudes: 8 Mbit/s shaping, +50 ms latency, +50 ms
+/// gateway latency, up-to-100 ms jitter, 8% loss, heavy CPU stress.
+FaultSpec default_fault(FaultFamily family, std::size_t region);
+
+/// The set of faults active in a scenario.
+using ActiveFaults = std::vector<FaultSpec>;
+
+std::string to_string(const FaultSpec& fault,
+                      const std::string& region_code);
+
+}  // namespace diagnet::netsim

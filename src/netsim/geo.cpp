@@ -1,0 +1,31 @@
+#include "netsim/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace diagnet::netsim {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kFibreKmPerMs = 200.0;
+constexpr double kRouteInflation = 1.5;
+
+double radians(double deg) { return deg * std::numbers::pi / 180.0; }
+}  // namespace
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = radians(a.latitude_deg);
+  const double lat2 = radians(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = radians(b.longitude_deg - a.longitude_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(double distance_km) {
+  return distance_km * kRouteInflation / kFibreKmPerMs;
+}
+
+}  // namespace diagnet::netsim

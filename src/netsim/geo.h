@@ -1,0 +1,20 @@
+// Geographic primitives: the latency floor between two cloud regions is set
+// by the speed of light in fibre over the great-circle distance.
+#pragma once
+
+namespace diagnet::netsim {
+
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Great-circle (haversine) distance in kilometres.
+double great_circle_km(const GeoPoint& a, const GeoPoint& b);
+
+/// One-way propagation delay in milliseconds for a fibre path of the given
+/// great-circle length: light in fibre travels ≈ 200 km/ms, and real routes
+/// detour ≈ 1.3-2x the geodesic; we use a 1.5x route-inflation factor.
+double propagation_delay_ms(double distance_km);
+
+}  // namespace diagnet::netsim

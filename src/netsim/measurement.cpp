@@ -1,0 +1,102 @@
+#include "netsim/measurement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/require.h"
+
+namespace diagnet::netsim {
+
+ClientProfile ClientProfile::make(std::size_t region, std::uint64_t client_id,
+                                  std::uint64_t seed) {
+  util::Rng rng = util::Rng(seed).fork(0x10000000ULL + client_id);
+  ClientProfile p;
+  p.region = region;
+  p.gateway_base_ms = rng.uniform(1.0, 6.0);
+  p.dns_base_ms = rng.uniform(4.0, 25.0);
+  p.cpu_base = rng.uniform(0.05, 0.35);
+  p.mem_base = rng.uniform(0.30, 0.65);
+  p.access_down_mbps = rng.uniform(80.0, 500.0);
+  p.access_up_mbps = p.access_down_mbps * rng.uniform(0.3, 0.6);
+  return p;
+}
+
+ClientCondition ClientCondition::from_faults(const ActiveFaults& faults,
+                                             std::size_t region) {
+  ClientCondition condition;
+  for (const FaultSpec& fault : faults) {
+    if (fault.region != region) continue;
+    if (fault.family == FaultFamily::Uplink)
+      condition.gateway_extra_ms += fault.magnitude;
+    else if (fault.family == FaultFamily::Load)
+      condition.cpu_stress = std::max(condition.cpu_stress, fault.magnitude);
+  }
+  return condition;
+}
+
+double effective_gateway_ms(const ClientProfile& profile,
+                            const ClientCondition& condition) {
+  return profile.gateway_base_ms + condition.gateway_extra_ms;
+}
+
+LandmarkMeasurement measure_landmark(const PathState& path,
+                                     const ClientProfile& profile,
+                                     const ClientCondition& condition,
+                                     util::Rng& rng) {
+  LandmarkMeasurement m;
+  const double gateway = effective_gateway_ms(profile, condition);
+  const double rtt = gateway + path.rtt_ms;
+
+  // WebSocket RTT: one sample, jittered.
+  m.latency_ms =
+      rtt + path.jitter_ms * std::abs(rng.normal()) + rng.uniform(0.0, 0.5);
+
+  // Jitter estimated over a burst — a noisy but unbiased view.
+  m.jitter_ms = std::max(0.0, path.jitter_ms * rng.lognormal(0.0, 0.25));
+
+  // Retransmit ratio from ~200 packets of the throughput transfers:
+  // normal approximation of the binomial proportion.
+  constexpr double kPackets = 200.0;
+  const double p = std::clamp(path.loss_rate, 0.0, 1.0);
+  const double se = std::sqrt(std::max(p * (1.0 - p), 1e-9) / kPackets);
+  m.loss_ratio = std::clamp(p + se * rng.normal(), 0.0, 1.0);
+
+  // Goodput: TCP model over the WAN path, capped by the client access link.
+  const double down =
+      tcp_throughput_mbps(std::min(path.down_mbps, profile.access_down_mbps),
+                          rtt, path.loss_rate);
+  const double up =
+      tcp_throughput_mbps(std::min(path.up_mbps, profile.access_up_mbps),
+                          rtt, path.loss_rate);
+  m.down_mbps = std::max(0.05, down * rng.lognormal(0.0, 0.15));
+  m.up_mbps = std::max(0.05, up * rng.lognormal(0.0, 0.15));
+  return m;
+}
+
+LocalMeasurement measure_local(const ClientProfile& profile,
+                               const ClientCondition& condition,
+                               double time_hours, util::Rng& rng) {
+  LocalMeasurement m;
+  const double gateway = effective_gateway_ms(profile, condition);
+  m.gateway_rtt_ms = gateway + std::abs(rng.normal(0.0, 0.3));
+
+  // Mild diurnal host activity on top of the client's idle level.
+  const double diurnal =
+      0.05 * (1.0 + std::sin(2.0 * std::numbers::pi * time_hours / 24.0));
+  const double cpu =
+      profile.cpu_base + diurnal + condition.cpu_stress + rng.normal(0.0, 0.03);
+  m.cpu_load = std::clamp(cpu, 0.0, 1.0);
+  m.mem_load = std::clamp(
+      profile.mem_base + 0.25 * condition.cpu_stress + rng.normal(0.0, 0.04),
+      0.0, 1.0);
+  m.proc_load = std::clamp(0.8 * m.cpu_load + rng.normal(0.0, 0.05), 0.0, 1.0);
+
+  // DNS queries traverse the gateway: an uplink fault inflates them too
+  // (a hidden correlation the models must disentangle).
+  m.dns_ms = profile.dns_base_ms + condition.gateway_extra_ms +
+             std::abs(rng.normal(0.0, 2.0));
+  return m;
+}
+
+}  // namespace diagnet::netsim

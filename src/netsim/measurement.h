@@ -1,0 +1,79 @@
+// Client-side measurement emulation: what the browser probe actually
+// records, i.e. ground-truth path state plus estimation noise (paper
+// §IV-A(b): throughput from large GET/POST timings, RTT over WebSocket,
+// TCP retransmit statistics via getsockopt).
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/fault.h"
+#include "netsim/path_model.h"
+#include "util/rng.h"
+
+namespace diagnet::netsim {
+
+/// The k = 5 metrics recorded per landmark (Table I).
+struct LandmarkMeasurement {
+  double latency_ms = 0.0;   // WebSocket RTT estimate
+  double jitter_ms = 0.0;    // delay variation over a probe burst
+  double loss_ratio = 0.0;   // retransmitted/reordered packet ratio
+  double down_mbps = 0.0;    // large-GET goodput
+  double up_mbps = 0.0;      // large-POST goodput
+};
+
+constexpr std::size_t kMetricsPerLandmark = 5;
+
+/// The 5 landmark-independent local features.
+struct LocalMeasurement {
+  double gateway_rtt_ms = 0.0;  // RTT to the local network gateway
+  double cpu_load = 0.0;        // [0, 1]
+  double mem_load = 0.0;        // [0, 1]
+  double proc_load = 0.0;       // process/tab pressure, [0, 1]
+  double dns_ms = 0.0;          // resolver latency
+};
+
+constexpr std::size_t kLocalFeatures = 5;
+
+/// Static per-client conditions (access link, resolver, host habits), drawn
+/// once per emulated client from its id.
+struct ClientProfile {
+  std::size_t region = 0;
+  double gateway_base_ms = 0.0;  // healthy gateway RTT
+  double dns_base_ms = 0.0;
+  double cpu_base = 0.0;   // idle-ish utilisation level
+  double mem_base = 0.0;
+  double access_down_mbps = 0.0;  // last-mile cap
+  double access_up_mbps = 0.0;
+
+  static ClientProfile make(std::size_t region, std::uint64_t client_id,
+                            std::uint64_t seed);
+};
+
+/// Client-local fault effects at measurement time.
+struct ClientCondition {
+  double gateway_extra_ms = 0.0;  // Uplink fault magnitude (0 when healthy)
+  double cpu_stress = 0.0;        // Load fault magnitude (0 when healthy)
+
+  /// Extract from the active faults for a client in `region`.
+  static ClientCondition from_faults(const ActiveFaults& faults,
+                                     std::size_t region);
+};
+
+/// Effective client-side gateway RTT (base + fault), used by every
+/// measurement and page load of the client.
+double effective_gateway_ms(const ClientProfile& profile,
+                            const ClientCondition& condition);
+
+/// Sample what the browser records when probing a landmark over `path`.
+/// The access link caps throughput; latency includes the gateway hop.
+LandmarkMeasurement measure_landmark(const PathState& path,
+                                     const ClientProfile& profile,
+                                     const ClientCondition& condition,
+                                     util::Rng& rng);
+
+/// Sample local system metrics. `time_hours` drives a mild diurnal load.
+LocalMeasurement measure_local(const ClientProfile& profile,
+                               const ClientCondition& condition,
+                               double time_hours, util::Rng& rng);
+
+}  // namespace diagnet::netsim

@@ -1,0 +1,101 @@
+#include "netsim/path_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace diagnet::netsim {
+
+double tcp_throughput_mbps(double bottleneck_mbps, double rtt_ms,
+                           double loss_rate) {
+  DIAGNET_REQUIRE(rtt_ms > 0.0);
+  const double loss = std::max(loss_rate, 1e-5);
+  // Mathis et al.: rate <= (MSS / RTT) * C / sqrt(p), with C = sqrt(3/2).
+  const double mss_bits = 1460.0 * 8.0;
+  const double per_flow_bps =
+      (mss_bits / (rtt_ms / 1000.0)) * std::sqrt(1.5) / std::sqrt(loss);
+  // Browsers fetch over ~6 parallel connections with window scaling; a
+  // single effective factor keeps base loss from dominating healthy paths
+  // while 8%-loss faults still crush throughput.
+  constexpr double kBrowserAggressiveness = 16.0;
+  const double mathis_mbps = per_flow_bps * kBrowserAggressiveness / 1e6;
+  return std::min(bottleneck_mbps, mathis_mbps);
+}
+
+PathModel::PathModel(const Topology& topology, std::uint64_t seed)
+    : topology_(&topology) {
+  const std::size_t n = topology.region_count();
+  factors_.resize(n * n);
+  const util::Rng root(seed);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      util::Rng rng = root.fork(a * n + b);
+      PathFactors& f = factors_[a * n + b];
+      f.congestion_phase_h = rng.uniform(0.0, 24.0);
+      f.congestion_amp = rng.uniform(0.05, 0.35);
+      // Median base loss ≈ 2e-4 with a heavy-ish tail, capped well below
+      // the 8% fault magnitude so faults stay identifiable.
+      f.base_loss = std::min(5e-3, 2e-4 * rng.lognormal(0.0, 0.8));
+      f.base_jitter_ms = rng.uniform(0.3, 2.5);
+    }
+  }
+}
+
+const PathModel::PathFactors& PathModel::factors(std::size_t src,
+                                                 std::size_t dst) const {
+  const std::size_t n = topology_->region_count();
+  DIAGNET_REQUIRE(src < n && dst < n);
+  return factors_[src * n + dst];
+}
+
+PathState PathModel::nominal_path(std::size_t src, std::size_t dst,
+                                  double time_hours) const {
+  const PathFactors& f = factors(src, dst);
+
+  // Diurnal congestion: a raised-cosine bump peaking at the path's phase.
+  const double phase =
+      std::cos(2.0 * std::numbers::pi *
+               (time_hours - f.congestion_phase_h) / 24.0);
+  const double congestion = 1.0 + f.congestion_amp * 0.5 * (1.0 + phase);
+
+  PathState state;
+  state.rtt_ms = topology_->base_rtt_ms(src, dst) * (0.9 + 0.1 * congestion);
+  state.jitter_ms = f.base_jitter_ms * congestion;
+  state.loss_rate = f.base_loss * congestion;
+  const double bw = topology_->base_bandwidth_mbps(src, dst);
+  state.down_mbps = bw / congestion;
+  state.up_mbps = 0.5 * bw / congestion;
+  return state;
+}
+
+PathState PathModel::path(std::size_t src, std::size_t dst,
+                          double time_hours,
+                          const ActiveFaults& faults) const {
+  PathState state = nominal_path(src, dst, time_hours);
+  for (const FaultSpec& fault : faults) {
+    if (!is_remote_family(fault.family)) continue;
+    if (fault.region != src && fault.region != dst) continue;
+    switch (fault.family) {
+      case FaultFamily::Latency:
+        state.rtt_ms += fault.magnitude;
+        break;
+      case FaultFamily::Jitter:
+        state.jitter_ms += fault.magnitude;
+        break;
+      case FaultFamily::Loss:
+        state.loss_rate = std::min(1.0, state.loss_rate + fault.magnitude);
+        break;
+      case FaultFamily::Bandwidth:
+        state.down_mbps = std::min(state.down_mbps, fault.magnitude);
+        break;
+      default:
+        break;
+    }
+  }
+  return state;
+}
+
+}  // namespace diagnet::netsim

@@ -1,0 +1,64 @@
+// Time-varying characteristics of the WAN path between two regions, with
+// injected faults applied. This is the simulator's causal core: a remote
+// fault injected in region R perturbs exactly the paths with an endpoint in
+// R, which is what lets measurements towards the landmark in R localise the
+// fault — the signal DiagNet's inference exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/fault.h"
+#include "netsim/topology.h"
+
+namespace diagnet::netsim {
+
+/// Ground-truth state of a directed path at some instant (before
+/// measurement noise).
+struct PathState {
+  double rtt_ms = 0.0;
+  double jitter_ms = 0.0;
+  double loss_rate = 0.0;
+  double down_mbps = 0.0;  // bottleneck bandwidth towards the client
+  double up_mbps = 0.0;    // bottleneck bandwidth from the client
+};
+
+/// Steady-state TCP throughput (Mbit/s) for a path: the bottleneck
+/// bandwidth capped by a Mathis-style loss/RTT bound, scaled for a modern
+/// browser (parallel connections + window scaling). Loss is floored at 1e-5
+/// to keep the bound finite.
+double tcp_throughput_mbps(double bottleneck_mbps, double rtt_ms,
+                           double loss_rate);
+
+class PathModel {
+ public:
+  /// Static per-path factors (congestion phase/amplitude, base loss and
+  /// jitter draws) derive from `seed` only.
+  PathModel(const Topology& topology, std::uint64_t seed);
+
+  /// State of the directed path src -> dst at `time_hours` (hours since the
+  /// campaign start; congestion follows a 24 h cycle), with every fault in
+  /// `faults` applied. Deterministic: no internal RNG consumption.
+  PathState path(std::size_t src, std::size_t dst, double time_hours,
+                 const ActiveFaults& faults) const;
+
+  /// Same, without faults (used for QoE threshold calibration).
+  PathState nominal_path(std::size_t src, std::size_t dst,
+                         double time_hours) const;
+
+  const Topology& topology() const { return *topology_; }
+
+ private:
+  struct PathFactors {
+    double congestion_phase_h = 0.0;  // diurnal peak offset
+    double congestion_amp = 0.0;      // peak relative slowdown
+    double base_loss = 0.0;
+    double base_jitter_ms = 0.0;
+  };
+
+  const PathFactors& factors(std::size_t src, std::size_t dst) const;
+
+  const Topology* topology_;
+  std::vector<PathFactors> factors_;  // dense (n x n)
+};
+
+}  // namespace diagnet::netsim

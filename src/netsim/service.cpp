@@ -1,0 +1,155 @@
+#include "netsim/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::netsim {
+
+std::size_t nearest_region(const Topology& topology,
+                           std::size_t client_region) {
+  std::size_t best = client_region;
+  double best_rtt = topology.base_rtt_ms(client_region, client_region);
+  for (std::size_t r = 0; r < topology.region_count(); ++r) {
+    const double rtt = topology.base_rtt_ms(client_region, r);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::vector<Service> default_services(const Topology& topology) {
+  const std::size_t grav = topology.index_of("GRAV");
+  const std::size_t seat = topology.index_of("SEAT");
+  const std::size_t sing = topology.index_of("SING");
+  const std::size_t beau = topology.index_of("BEAU");
+
+  std::vector<Service> services;
+
+  // 1. single — static HTML page with no dependency.
+  services.push_back({"single", grav, 20.0, 15.0, {}});
+
+  // 2. script.far — requires a JS file hosted in BEAU (render-heavy).
+  services.push_back({"script.far",
+                      seat,
+                      25.0,
+                      120.0,
+                      {{ResourceSource::Fixed, beau, 0.2, true}}});
+
+  // 3. script.cdn — requires a JS file from the region nearest the client.
+  services.push_back({"script.cdn",
+                      sing,
+                      25.0,
+                      120.0,
+                      {{ResourceSource::Nearest, 0, 0.2, true}}});
+
+  // 4. image.local — 5 MB image from the same server, same connection.
+  services.push_back(
+      {"image.local", grav, 30.0, 90.0, {{ResourceSource::Host, 0, 5.0, false}}});
+
+  // 5. image.far — 5 MB image from BEAU.
+  services.push_back({"image.far",
+                      seat,
+                      30.0,
+                      90.0,
+                      {{ResourceSource::Fixed, beau, 5.0, true}}});
+
+  // 6. image.cdn — 5 MB image from the nearest region.
+  services.push_back({"image.cdn",
+                      sing,
+                      30.0,
+                      90.0,
+                      {{ResourceSource::Nearest, 0, 5.0, true}}});
+
+  // 7. mixed.cdn — JS from BEAU plus a 2 MB image from the nearest region
+  //    (additional training service, §IV-F trains on 8 services).
+  services.push_back({"mixed.cdn",
+                      grav,
+                      40.0,
+                      140.0,
+                      {{ResourceSource::Fixed, beau, 0.2, true},
+                       {ResourceSource::Nearest, 0, 2.0, true}}});
+
+  // 8. video.far — a 20 MB media segment from BEAU (bandwidth-bound).
+  services.push_back({"video.far",
+                      seat,
+                      25.0,
+                      40.0,
+                      {{ResourceSource::Fixed, beau, 20.0, true}}});
+
+  return services;
+}
+
+namespace {
+
+/// One request/response exchange over a path: RTT plus jitter tail, plus a
+/// sampled retransmission timeout when the exchange loses a packet.
+double exchange_ms(double rtt_ms, const PathState& path, util::Rng& rng) {
+  double ms = rtt_ms + path.jitter_ms * std::abs(rng.normal());
+  if (rng.bernoulli(std::min(0.5, path.loss_rate * 2.0)))
+    ms += rng.uniform(200.0, 800.0);
+  return ms;
+}
+
+/// Transfer time of `size_mb` over the path's TCP goodput (download).
+double transfer_ms(double size_mb, const PathState& path, double rtt_ms,
+                   const ClientProfile& client, util::Rng& rng) {
+  const double bw = std::min(path.down_mbps, client.access_down_mbps);
+  const double goodput = tcp_throughput_mbps(bw, rtt_ms, path.loss_rate);
+  const double noisy = std::max(0.05, goodput * rng.lognormal(0.0, 0.1));
+  return size_mb * 8.0 * 1000.0 / noisy;
+}
+
+}  // namespace
+
+double page_load_ms(const Service& service, const PathModel& paths,
+                    const ClientProfile& client,
+                    const ClientCondition& condition, double time_hours,
+                    const ActiveFaults& faults, util::Rng& rng) {
+  const Topology& topology = paths.topology();
+  const double gateway = effective_gateway_ms(client, condition);
+
+  // DNS resolution goes through the gateway.
+  double plt = client.dns_base_ms + condition.gateway_extra_ms +
+               std::abs(rng.normal(0.0, 2.0));
+
+  // Main document: TCP+TLS handshake (2 exchanges) + request + transfer.
+  const PathState host_path =
+      paths.path(client.region, service.host_region, time_hours, faults);
+  const double host_rtt = gateway + host_path.rtt_ms;
+  plt += 2.0 * exchange_ms(host_rtt, host_path, rng);
+  plt += exchange_ms(host_rtt, host_path, rng);
+  plt += transfer_ms(service.html_kb / 1024.0, host_path, host_rtt, client,
+                     rng);
+
+  // Sub-resources on the critical path, fetched sequentially.
+  for (const Resource& res : service.resources) {
+    std::size_t region = service.host_region;
+    if (res.source == ResourceSource::Fixed) region = res.fixed_region;
+    if (res.source == ResourceSource::Nearest)
+      region = nearest_region(topology, client.region);
+
+    const PathState path =
+        paths.path(client.region, region, time_hours, faults);
+    const double rtt = gateway + path.rtt_ms;
+    if (res.new_connection) {
+      plt += client.dns_base_ms * 0.5 + condition.gateway_extra_ms;
+      plt += 2.0 * exchange_ms(rtt, path, rng);
+    }
+    plt += exchange_ms(rtt, path, rng);
+    plt += transfer_ms(res.size_mb, path, rtt, client, rng);
+  }
+
+  // Rendering: CPU-bound, inflated when the device is stressed.
+  const double cpu =
+      std::clamp(client.cpu_base + condition.cpu_stress, 0.0, 1.0);
+  const double cpu_factor = 1.0 + 4.0 * std::max(0.0, cpu - 0.6);
+  plt += service.base_render_ms * cpu_factor * rng.lognormal(0.0, 0.1);
+
+  return plt;
+}
+
+}  // namespace diagnet::netsim

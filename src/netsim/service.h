@@ -1,0 +1,54 @@
+// Mock-up online services (paper Table II) and the browser page-load model
+// that turns network/path state into a Quality-of-Experience measurement.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netsim/measurement.h"
+#include "netsim/path_model.h"
+
+namespace diagnet::netsim {
+
+/// Where a sub-resource is served from.
+enum class ResourceSource {
+  Host,     // the service's own region, reusing the main connection
+  Fixed,    // a fixed region (e.g. a JS file in BEAU), new connection
+  Nearest,  // the CDN point of presence nearest to the client
+};
+
+struct Resource {
+  ResourceSource source = ResourceSource::Host;
+  std::size_t fixed_region = 0;  // meaningful for Fixed
+  double size_mb = 0.0;
+  bool new_connection = true;  // pays an extra TCP+TLS handshake
+};
+
+struct Service {
+  std::string name;
+  std::size_t host_region = 0;
+  double html_kb = 30.0;        // main document size
+  double base_render_ms = 60.0; // CPU-bound layout/paint time
+  std::vector<Resource> resources;
+};
+
+/// The paper's six Table-II services plus two richer ones (mixed.cdn,
+/// video.far) to reach the 8 training services of §IV-F. Host regions
+/// rotate over GRAV, SEAT and SING.
+std::vector<Service> default_services(const Topology& topology);
+
+/// Simulated browser page load (milliseconds). Walks the service's critical
+/// path: DNS, TCP+TLS handshakes, document and sub-resource transfers
+/// (TCP-model goodput per path), then CPU-scaled rendering. Faults enter
+/// through `paths` (remote families) and `condition` (Uplink/Load).
+double page_load_ms(const Service& service, const PathModel& paths,
+                    const ClientProfile& client,
+                    const ClientCondition& condition, double time_hours,
+                    const ActiveFaults& faults, util::Rng& rng);
+
+/// Region index of the CDN node nearest to `client_region`.
+std::size_t nearest_region(const Topology& topology,
+                           std::size_t client_region);
+
+}  // namespace diagnet::netsim

@@ -1,0 +1,95 @@
+#include "netsim/simulator.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace diagnet::netsim {
+
+Simulator::Simulator(Topology topology, std::vector<Service> services,
+                     std::uint64_t seed)
+    : topology_(std::move(topology)),
+      services_(std::move(services)),
+      seed_(seed),
+      path_model_(topology_, seed) {
+  DIAGNET_REQUIRE(!services_.empty());
+  for (const Service& s : services_)
+    DIAGNET_REQUIRE(s.host_region < topology_.region_count());
+}
+
+Simulator Simulator::make_default(std::uint64_t seed) {
+  Topology topology = default_topology();
+  std::vector<Service> services = default_services(topology);
+  return Simulator(std::move(topology), std::move(services), seed);
+}
+
+std::vector<LandmarkMeasurement> Simulator::probe_landmarks(
+    const ClientProfile& client, const ClientCondition& condition,
+    double time_hours, const ActiveFaults& faults, util::Rng& rng) const {
+  std::vector<LandmarkMeasurement> out;
+  out.reserve(landmark_count());
+  for (std::size_t lam = 0; lam < landmark_count(); ++lam) {
+    const PathState path =
+        path_model_.path(client.region, lam, time_hours, faults);
+    out.push_back(measure_landmark(path, client, condition, rng));
+  }
+  return out;
+}
+
+LocalMeasurement Simulator::measure_local(const ClientProfile& client,
+                                          const ClientCondition& condition,
+                                          double time_hours,
+                                          util::Rng& rng) const {
+  return netsim::measure_local(client, condition, time_hours, rng);
+}
+
+double Simulator::visit(std::size_t service_idx, const ClientProfile& client,
+                        const ClientCondition& condition, double time_hours,
+                        const ActiveFaults& faults, util::Rng& rng) const {
+  DIAGNET_REQUIRE(service_idx < services_.size());
+  return page_load_ms(services_[service_idx], path_model_, client, condition,
+                      time_hours, faults, rng);
+}
+
+void Simulator::calibrate_qoe(std::size_t visits_per_cell) {
+  DIAGNET_REQUIRE(visits_per_cell >= 8);
+  const std::size_t regions = topology_.region_count();
+  qoe_threshold_.assign(services_.size() * regions, 0.0);
+
+  const util::Rng root(seed_ ^ 0xca11b8a7edULL);
+  const ActiveFaults no_faults;
+  for (std::size_t s = 0; s < services_.size(); ++s) {
+    for (std::size_t r = 0; r < regions; ++r) {
+      util::Rng rng = root.fork(s * regions + r);
+      std::vector<double> plts;
+      plts.reserve(visits_per_cell);
+      // A small population of distinct clients at varied times of day, so
+      // the threshold reflects the cell, not one access link.
+      for (std::size_t v = 0; v < visits_per_cell; ++v) {
+        const ClientProfile client =
+            ClientProfile::make(r, 900000 + v % 8, seed_);
+        const double t = rng.uniform(0.0, 24.0);
+        plts.push_back(visit(s, client, ClientCondition{}, t, no_faults, rng));
+      }
+      const double median = util::percentile(std::move(plts), 0.5);
+      qoe_threshold_[s * regions + r] = 1.5 * median + 100.0;
+    }
+  }
+}
+
+bool Simulator::qoe_degraded(std::size_t service_idx,
+                             std::size_t client_region, double plt_ms) const {
+  return plt_ms > qoe_threshold(service_idx, client_region);
+}
+
+double Simulator::qoe_threshold(std::size_t service_idx,
+                                std::size_t client_region) const {
+  DIAGNET_REQUIRE_MSG(qoe_calibrated(), "call calibrate_qoe() first");
+  DIAGNET_REQUIRE(service_idx < services_.size() &&
+                  client_region < topology_.region_count());
+  return qoe_threshold_[service_idx * topology_.region_count() +
+                        client_region];
+}
+
+}  // namespace diagnet::netsim

@@ -1,0 +1,63 @@
+// Simulator façade: one object wiring topology, path model, landmarks (one
+// per region), services, and QoE thresholds. The dataset generator and the
+// examples drive everything through this interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/measurement.h"
+#include "netsim/path_model.h"
+#include "netsim/service.h"
+
+namespace diagnet::netsim {
+
+class Simulator {
+ public:
+  Simulator(Topology topology, std::vector<Service> services,
+            std::uint64_t seed);
+
+  /// Convenience: the paper's default deployment.
+  static Simulator make_default(std::uint64_t seed);
+
+  const Topology& topology() const { return topology_; }
+  const PathModel& paths() const { return path_model_; }
+  const std::vector<Service>& services() const { return services_; }
+  std::size_t landmark_count() const { return topology_.region_count(); }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Measurements of every landmark by a client (index = landmark/region).
+  std::vector<LandmarkMeasurement> probe_landmarks(
+      const ClientProfile& client, const ClientCondition& condition,
+      double time_hours, const ActiveFaults& faults, util::Rng& rng) const;
+
+  LocalMeasurement measure_local(const ClientProfile& client,
+                                 const ClientCondition& condition,
+                                 double time_hours, util::Rng& rng) const;
+
+  /// One browser visit: page load time in ms.
+  double visit(std::size_t service_idx, const ClientProfile& client,
+               const ClientCondition& condition, double time_hours,
+               const ActiveFaults& faults, util::Rng& rng) const;
+
+  /// Calibrate per-(service, client-region) QoE thresholds from nominal
+  /// page loads: threshold = 1.5 x median + 100 ms. Must be called before
+  /// qoe_degraded(). Deterministic given the simulator seed.
+  void calibrate_qoe(std::size_t visits_per_cell = 64);
+  bool qoe_calibrated() const { return !qoe_threshold_.empty(); }
+
+  /// Whether a page load time counts as a degraded user experience.
+  bool qoe_degraded(std::size_t service_idx, std::size_t client_region,
+                    double plt_ms) const;
+  double qoe_threshold(std::size_t service_idx,
+                       std::size_t client_region) const;
+
+ private:
+  Topology topology_;
+  std::vector<Service> services_;
+  std::uint64_t seed_;
+  PathModel path_model_;
+  std::vector<double> qoe_threshold_;  // (service x region), empty until calibrated
+};
+
+}  // namespace diagnet::netsim

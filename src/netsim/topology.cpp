@@ -1,0 +1,105 @@
+#include "netsim/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::netsim {
+
+const char* provider_name(Provider provider) {
+  switch (provider) {
+    case Provider::Aws: return "aws";
+    case Provider::Azure: return "azure";
+    case Provider::Gcp: return "gcp";
+    case Provider::Ovh: return "ovh";
+  }
+  return "?";
+}
+
+Topology::Topology(std::vector<Region> regions)
+    : regions_(std::move(regions)) {
+  DIAGNET_REQUIRE(!regions_.empty());
+  const std::size_t n = regions_.size();
+  distance_km_.assign(n * n, 0.0);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      distance_km_[a * n + b] =
+          great_circle_km(regions_[a].location, regions_[b].location);
+}
+
+const Region& Topology::region(std::size_t idx) const {
+  DIAGNET_REQUIRE(idx < regions_.size());
+  return regions_[idx];
+}
+
+std::size_t Topology::index_of(const std::string& code) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i)
+    if (regions_[i].code == code) return i;
+  DIAGNET_REQUIRE_MSG(false, "unknown region code: " + code);
+}
+
+double Topology::distance_km(std::size_t a, std::size_t b) const {
+  DIAGNET_REQUIRE(a < regions_.size() && b < regions_.size());
+  return distance_km_[a * regions_.size() + b];
+}
+
+double Topology::base_rtt_ms(std::size_t a, std::size_t b) const {
+  if (a == b) return 2.0;
+  const double prop = 2.0 * propagation_delay_ms(distance_km(a, b));
+  // Cross-provider paths traverse public peering points; same-provider
+  // traffic rides the provider backbone.
+  const double peering =
+      regions_[a].provider == regions_[b].provider ? 2.0 : 8.0;
+  return prop + peering;
+}
+
+double Topology::base_bandwidth_mbps(std::size_t a, std::size_t b) const {
+  if (a == b) return 900.0;
+  // Per-flow throughput decays with path length (more contention hops);
+  // same-provider backbones sustain more.
+  const double dist = distance_km(a, b);
+  const double base = 600.0 / (1.0 + dist / 4000.0);
+  const double backbone =
+      regions_[a].provider == regions_[b].provider ? 1.25 : 1.0;
+  return std::max(60.0, base * backbone);
+}
+
+Topology default_topology() {
+  return Topology({
+      {"EAST", Provider::Aws, {39.0, -77.5}},     // N. Virginia
+      {"SEAT", Provider::Azure, {47.6, -122.3}},  // Seattle
+      {"BEAU", Provider::Ovh, {45.3, -73.9}},     // Beauharnois (QC)
+      {"GRAV", Provider::Ovh, {51.0, 2.1}},       // Gravelines (FR)
+      {"AMST", Provider::Azure, {52.4, 4.9}},     // Amsterdam
+      {"LOND", Provider::Gcp, {51.5, -0.1}},      // London
+      {"FRAN", Provider::Aws, {50.1, 8.7}},       // Frankfurt
+      {"SING", Provider::Gcp, {1.35, 103.8}},     // Singapore
+      {"TOKY", Provider::Aws, {35.7, 139.7}},     // Tokyo
+      {"SYDN", Provider::Azure, {-33.9, 151.2}},  // Sydney
+  });
+}
+
+namespace {
+std::vector<std::size_t> indices_of(const Topology& topology,
+                                    const std::vector<std::string>& codes) {
+  std::vector<std::size_t> out;
+  out.reserve(codes.size());
+  for (const auto& code : codes) out.push_back(topology.index_of(code));
+  return out;
+}
+}  // namespace
+
+std::vector<std::size_t> default_service_regions(const Topology& topology) {
+  return indices_of(topology, {"GRAV", "SEAT", "SING"});
+}
+
+std::vector<std::size_t> default_fault_regions(const Topology& topology) {
+  return indices_of(topology, {"SEAT", "BEAU", "GRAV", "AMST", "SING"});
+}
+
+std::vector<std::size_t> default_hidden_landmarks(const Topology& topology) {
+  return indices_of(topology, {"EAST", "GRAV", "SEAT"});
+}
+
+}  // namespace diagnet::netsim

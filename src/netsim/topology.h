@@ -1,0 +1,66 @@
+// The multi-cloud deployment: providers, regions, and which regions host
+// landmarks / services / clients. Mirrors the paper's testbed (Fig. 4):
+// 4 cloud providers, 10 world regions, one landmark per region, mock-up
+// services in GRAV, SEAT and SING, emulated clients everywhere.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netsim/geo.h"
+
+namespace diagnet::netsim {
+
+enum class Provider : std::size_t { Aws = 0, Azure = 1, Gcp = 2, Ovh = 3 };
+
+const char* provider_name(Provider provider);
+
+struct Region {
+  std::string code;  // 4-letter code used throughout the paper's figures
+  Provider provider = Provider::Aws;
+  GeoPoint location;
+};
+
+class Topology {
+ public:
+  explicit Topology(std::vector<Region> regions);
+
+  std::size_t region_count() const { return regions_.size(); }
+  const Region& region(std::size_t idx) const;
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Index of the region with the given code; throws if unknown.
+  std::size_t index_of(const std::string& code) const;
+
+  /// Baseline round-trip time between two regions in ms: twice the fibre
+  /// propagation delay plus peering overhead (higher across providers).
+  /// Intra-region floor ≈ 2 ms.
+  double base_rtt_ms(std::size_t a, std::size_t b) const;
+
+  /// Baseline bottleneck bandwidth of the inter-region path in Mbit/s;
+  /// long-haul paths carry less per-flow throughput.
+  double base_bandwidth_mbps(std::size_t a, std::size_t b) const;
+
+  double distance_km(std::size_t a, std::size_t b) const;
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<double> distance_km_;  // dense matrix
+};
+
+/// The paper's 10-region deployment. Region codes EAST, SEAT, BEAU, GRAV,
+/// AMST and SING appear in the paper; the remaining four (LOND, FRAN, TOKY,
+/// SYDN) complete the 10-region fleet with plausible multi-cloud sites.
+Topology default_topology();
+
+/// Indices of the regions hosting mock-up services (GRAV, SEAT, SING).
+std::vector<std::size_t> default_service_regions(const Topology& topology);
+
+/// Regions receiving injected faults (SEAT, BEAU, GRAV, AMST, SING).
+std::vector<std::size_t> default_fault_regions(const Topology& topology);
+
+/// Landmarks hidden during training (EAST, GRAV, SEAT).
+std::vector<std::size_t> default_hidden_landmarks(const Topology& topology);
+
+}  // namespace diagnet::netsim

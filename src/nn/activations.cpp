@@ -1,0 +1,26 @@
+#include "nn/activations.h"
+
+#include "util/require.h"
+
+namespace diagnet::nn {
+
+Matrix ReLU::forward(const Matrix& input) {
+  input_ = input;
+  Matrix out = input;
+  double* p = out.data();
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (p[i] < 0.0) p[i] = 0.0;
+  return out;
+}
+
+Matrix ReLU::backward(const Matrix& grad_output) {
+  DIAGNET_REQUIRE(grad_output.same_shape(input_));
+  Matrix dx = grad_output;
+  const double* in = input_.data();
+  double* p = dx.data();
+  for (std::size_t i = 0; i < dx.size(); ++i)
+    if (in[i] <= 0.0) p[i] = 0.0;
+  return dx;
+}
+
+}  // namespace diagnet::nn

@@ -1,0 +1,18 @@
+// Stateless nonlinearities.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace diagnet::nn {
+
+class ReLU final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Matrix input_;  // cached pre-activation for the gradient gate
+};
+
+}  // namespace diagnet::nn

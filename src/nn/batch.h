@@ -1,0 +1,18 @@
+// Input batch for the coarse network: landmark features + availability mask
+// + local (landmark-independent) features. Rows across the three matrices
+// refer to the same samples.
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace diagnet::nn {
+
+struct LandBatch {
+  tensor::Matrix land;   // (B, L·k), landmark-major
+  tensor::Matrix mask;   // (B, L), 1.0 = available
+  tensor::Matrix local;  // (B, n_local)
+
+  std::size_t size() const { return land.rows(); }
+};
+
+}  // namespace diagnet::nn

@@ -1,0 +1,139 @@
+#include "nn/coarse_net.h"
+
+#include "util/require.h"
+
+namespace diagnet::nn {
+
+CoarseNet::CoarseNet(const CoarseNetConfig& config, util::Rng& rng)
+    : config_(config),
+      pool_(config.features_per_landmark, config.filters, config.pool_ops,
+            rng) {
+  DIAGNET_REQUIRE(config.classes >= 2);
+  local_offset_ = pool_.out_features();
+  std::size_t in = pool_.out_features() + config.local_features;
+  for (std::size_t h : config.hidden) {
+    fc_.emplace_back(in, h, rng);
+    relu_.emplace_back();
+    in = h;
+  }
+  fc_.emplace_back(in, config.classes, rng);
+}
+
+Matrix CoarseNet::forward(const LandBatch& batch) {
+  DIAGNET_REQUIRE(batch.local.cols() == config_.local_features);
+  DIAGNET_REQUIRE(batch.local.rows() == batch.land.rows());
+
+  const Matrix pooled = pool_.forward(batch.land, batch.mask);
+
+  // Concatenate pooled landmark representation with local features.
+  Matrix x(batch.size(), pooled.cols() + batch.local.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double* row = x.row_ptr(r);
+    const double* p = pooled.row_ptr(r);
+    for (std::size_t c = 0; c < pooled.cols(); ++c) row[c] = p[c];
+    const double* l = batch.local.row_ptr(r);
+    for (std::size_t c = 0; c < batch.local.cols(); ++c)
+      row[local_offset_ + c] = l[c];
+  }
+
+  for (std::size_t i = 0; i < relu_.size(); ++i) {
+    x = fc_[i].forward(x);
+    x = relu_[i].forward(x);
+  }
+  return fc_.back().forward(x);
+}
+
+void CoarseNet::backward(const Matrix& grad_logits, Matrix* grad_land,
+                         Matrix* grad_local) {
+  Matrix g = fc_.back().backward(grad_logits);
+  for (std::size_t i = relu_.size(); i-- > 0;) {
+    g = relu_[i].backward(g);
+    g = fc_[i].backward(g);
+  }
+
+  // Split the concat gradient back into (pooled, local) parts.
+  Matrix grad_pooled(g.rows(), local_offset_);
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const double* row = g.row_ptr(r);
+    double* p = grad_pooled.row_ptr(r);
+    for (std::size_t c = 0; c < local_offset_; ++c) p[c] = row[c];
+  }
+  if (grad_local) {
+    *grad_local = Matrix(g.rows(), config_.local_features);
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      const double* row = g.row_ptr(r);
+      double* l = grad_local->row_ptr(r);
+      for (std::size_t c = 0; c < config_.local_features; ++c)
+        l[c] = row[local_offset_ + c];
+    }
+  }
+
+  // LandPooling backward also accumulates kernel/bias gradients; it must run
+  // even when the caller discards the input gradient.
+  Matrix dland = pool_.backward(grad_pooled);
+  if (grad_land) *grad_land = std::move(dland);
+}
+
+std::vector<Parameter*> CoarseNet::parameters() {
+  std::vector<Parameter*> params = pool_.parameters();
+  for (auto& layer : fc_) {
+    for (Parameter* p : layer.parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void CoarseNet::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::size_t CoarseNet::parameter_count() const {
+  std::size_t n = 0;
+  for (Parameter* p : const_cast<CoarseNet*>(this)->parameters())
+    n += p->value.size();
+  return n;
+}
+
+std::size_t CoarseNet::trainable_parameter_count() const {
+  std::size_t n = 0;
+  for (Parameter* p : const_cast<CoarseNet*>(this)->parameters())
+    if (!p->frozen) n += p->value.size();
+  return n;
+}
+
+void CoarseNet::freeze_representation(bool frozen) {
+  for (Parameter* p : pool_.parameters()) p->frozen = frozen;
+  // Freeze every hidden layer except the last one; the "final
+  // fully-connected layers" (last hidden + output) stay trainable.
+  DIAGNET_REQUIRE(!fc_.empty());
+  const std::size_t keep_from = fc_.size() >= 2 ? fc_.size() - 2 : 0;
+  for (std::size_t i = 0; i < keep_from; ++i) {
+    for (Parameter* p : fc_[i].parameters()) p->frozen = frozen;
+  }
+}
+
+std::unique_ptr<CoarseNet> CoarseNet::clone() const {
+  return std::unique_ptr<CoarseNet>(new CoarseNet(*this));
+}
+
+std::vector<double> CoarseNet::save_parameters() const {
+  std::vector<double> flat;
+  for (Parameter* p : const_cast<CoarseNet*>(this)->parameters()) {
+    const double* d = p->value.data();
+    flat.insert(flat.end(), d, d + p->value.size());
+  }
+  return flat;
+}
+
+void CoarseNet::load_parameters(const std::vector<double>& flat) {
+  std::size_t off = 0;
+  for (Parameter* p : parameters()) {
+    DIAGNET_REQUIRE_MSG(off + p->value.size() <= flat.size(),
+                        "parameter blob too short");
+    double* d = p->value.data();
+    for (std::size_t i = 0; i < p->value.size(); ++i) d[i] = flat[off + i];
+    off += p->value.size();
+  }
+  DIAGNET_REQUIRE_MSG(off == flat.size(), "parameter blob too long");
+}
+
+}  // namespace diagnet::nn

@@ -1,0 +1,76 @@
+// The DiagNet coarse-prediction network (paper Fig. 2, steps 1-4):
+//
+//   land features ──> LandPooling ──┐
+//                                   ├─ concat ─> FC(512) ─ ReLU ─ FC(128)
+//   local features ─────────────────┘           ─ ReLU ─ FC(c) ─ softmax
+//
+// The network exposes input gradients (both landmark and local) because the
+// attention step (Fig. 2, step 5) differentiates the ideal-label loss with
+// respect to the features.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/batch.h"
+#include "nn/land_pooling.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace diagnet::nn {
+
+struct CoarseNetConfig {
+  std::size_t features_per_landmark = 5;   // k
+  std::size_t local_features = 5;
+  std::size_t filters = 24;                // f
+  std::vector<PoolOp> pool_ops = default_pool_ops();
+  std::vector<std::size_t> hidden = {512, 128};
+  std::size_t classes = 7;                 // c
+};
+
+class CoarseNet {
+ public:
+  CoarseNet(const CoarseNetConfig& config, util::Rng& rng);
+
+  /// Logits over the c coarse fault families, (B x c).
+  Matrix forward(const LandBatch& batch);
+
+  /// Backprop dLoss/dLogits. Accumulates parameter gradients; when
+  /// grad_land/grad_local are non-null they receive the input gradients.
+  void backward(const Matrix& grad_logits, Matrix* grad_land,
+                Matrix* grad_local);
+
+  std::vector<Parameter*> parameters();
+  void zero_grad();
+  std::size_t parameter_count() const;
+  std::size_t trainable_parameter_count() const;
+
+  /// Freeze the representation layers (LandPooling kernel + first hidden
+  /// layer); only the final fully-connected layers stay trainable. This is
+  /// the service-specialisation split of paper §IV-F.
+  void freeze_representation(bool frozen = true);
+
+  const CoarseNetConfig& config() const { return config_; }
+  LandPooling& pooling() { return pool_; }
+
+  /// Deep copy (shares nothing) — used to derive specialised models from
+  /// the general model.
+  std::unique_ptr<CoarseNet> clone() const;
+
+  /// Flat parameter (de)serialisation, ordered deterministically.
+  std::vector<double> save_parameters() const;
+  void load_parameters(const std::vector<double>& flat);
+
+ private:
+  CoarseNet(const CoarseNet&) = default;  // for clone()
+
+  CoarseNetConfig config_;
+  LandPooling pool_;
+  std::vector<Linear> fc_;     // hidden layers + output layer
+  std::vector<ReLU> relu_;     // one per hidden layer
+  std::size_t local_offset_ = 0;  // where local features sit in the concat
+};
+
+}  // namespace diagnet::nn

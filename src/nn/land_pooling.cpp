@@ -1,0 +1,258 @@
+#include "nn/land_pooling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::nn {
+
+std::vector<PoolOp> default_pool_ops() {
+  return {PoolOp::Min, PoolOp::Max, PoolOp::Avg, PoolOp::Var,
+          PoolOp::P10, PoolOp::P20, PoolOp::P30, PoolOp::P40, PoolOp::P50,
+          PoolOp::P60, PoolOp::P70, PoolOp::P80, PoolOp::P90};
+}
+
+const char* pool_op_name(PoolOp op) {
+  switch (op) {
+    case PoolOp::Min: return "min";
+    case PoolOp::Max: return "max";
+    case PoolOp::Avg: return "avg";
+    case PoolOp::Var: return "var";
+    case PoolOp::P10: return "p10";
+    case PoolOp::P20: return "p20";
+    case PoolOp::P30: return "p30";
+    case PoolOp::P40: return "p40";
+    case PoolOp::P50: return "p50";
+    case PoolOp::P60: return "p60";
+    case PoolOp::P70: return "p70";
+    case PoolOp::P80: return "p80";
+    case PoolOp::P90: return "p90";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Decile fraction for percentile operators; -1 for non-percentile ops.
+double percentile_q(PoolOp op) {
+  switch (op) {
+    case PoolOp::P10: return 0.1;
+    case PoolOp::P20: return 0.2;
+    case PoolOp::P30: return 0.3;
+    case PoolOp::P40: return 0.4;
+    case PoolOp::P50: return 0.5;
+    case PoolOp::P60: return 0.6;
+    case PoolOp::P70: return 0.7;
+    case PoolOp::P80: return 0.8;
+    case PoolOp::P90: return 0.9;
+    default: return -1.0;
+  }
+}
+
+/// Sort available-landmark slots by (value, slot) — the slot tiebreak makes
+/// gradient routing deterministic under ties.
+void sort_slots(const std::vector<double>& values, std::vector<std::size_t>& order) {
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] != values[b] ? values[a] < values[b] : a < b;
+  });
+}
+
+}  // namespace
+
+LandPooling::LandPooling(std::size_t k, std::size_t filters,
+                         std::vector<PoolOp> ops, util::Rng& rng)
+    : k_(k),
+      filters_(filters),
+      ops_(std::move(ops)),
+      kernel_(Matrix(filters, k)),
+      bias_(Matrix(1, filters)) {
+  DIAGNET_REQUIRE(k_ > 0 && filters_ > 0 && !ops_.empty());
+  const double limit = std::sqrt(6.0 / static_cast<double>(k_));
+  for (std::size_t r = 0; r < filters_; ++r)
+    for (std::size_t c = 0; c < k_; ++c)
+      kernel_.value(r, c) = rng.uniform(-limit, limit);
+}
+
+Matrix LandPooling::forward(const Matrix& land, const Matrix& mask) {
+  DIAGNET_REQUIRE_MSG(land.cols() % k_ == 0, "land width must be L*k");
+  const std::size_t L = land.cols() / k_;
+  DIAGNET_REQUIRE(mask.rows() == land.rows() && mask.cols() == L);
+
+  land_ = land;
+  mask_ = mask;
+  batch_ = land.rows();
+  landmarks_ = L;
+  conv_.assign(batch_ * L * filters_, 0.0);
+
+  Matrix out(batch_, out_features());
+
+  std::vector<double> values;   // per (sample, filter): available conv values
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < batch_; ++i) {
+    // Convolution per available landmark: F[λ] = K · x[λ] + b.
+    std::size_t avail = 0;
+    for (std::size_t lam = 0; lam < L; ++lam) {
+      if (mask(i, lam) < 0.5) continue;
+      ++avail;
+      const double* x = land.row_ptr(i) + lam * k_;
+      double* f = conv_.data() + (i * L + lam) * filters_;
+      for (std::size_t j = 0; j < filters_; ++j) {
+        const double* kj = kernel_.value.row_ptr(j);
+        double s = bias_.value(0, j);
+        for (std::size_t t = 0; t < k_; ++t) s += kj[t] * x[t];
+        f[j] = s;
+      }
+    }
+    DIAGNET_REQUIRE_MSG(avail > 0, "sample with no available landmark");
+
+    // Pooling across available landmarks, per filter.
+    for (std::size_t j = 0; j < filters_; ++j) {
+      values.clear();
+      order.clear();
+      for (std::size_t lam = 0; lam < L; ++lam) {
+        if (mask(i, lam) < 0.5) continue;
+        values.push_back(conv_[(i * L + lam) * filters_ + j]);
+        order.push_back(values.size() - 1);
+      }
+      const std::size_t n = values.size();
+      sort_slots(values, order);
+
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      const double avg = sum / static_cast<double>(n);
+
+      for (std::size_t o = 0; o < ops_.size(); ++o) {
+        double v = 0.0;
+        switch (ops_[o]) {
+          case PoolOp::Min:
+            v = values[order.front()];
+            break;
+          case PoolOp::Max:
+            v = values[order.back()];
+            break;
+          case PoolOp::Avg:
+            v = avg;
+            break;
+          case PoolOp::Var: {
+            if (n >= 2) {
+              double m2 = 0.0;
+              for (double x : values) m2 += (x - avg) * (x - avg);
+              v = m2 / static_cast<double>(n - 1);
+            }
+            break;
+          }
+          default: {
+            const double q = percentile_q(ops_[o]);
+            const double pos = q * static_cast<double>(n - 1);
+            const auto lo = static_cast<std::size_t>(pos);
+            const std::size_t hi = std::min(lo + 1, n - 1);
+            const double frac = pos - static_cast<double>(lo);
+            v = values[order[lo]] +
+                frac * (values[order[hi]] - values[order[lo]]);
+            break;
+          }
+        }
+        out(i, o * filters_ + j) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix LandPooling::backward(const Matrix& grad_pooled) {
+  DIAGNET_REQUIRE_MSG(grad_pooled.rows() == batch_ &&
+                          grad_pooled.cols() == out_features(),
+                      "backward shape mismatch (call forward first)");
+  const std::size_t L = landmarks_;
+
+  // Stage 1: route pooled gradients into dF (per sample, landmark, filter).
+  std::vector<double> dconv(batch_ * L * filters_, 0.0);
+  std::vector<double> values;
+  std::vector<std::size_t> order;     // sorted positions -> slot
+  std::vector<std::size_t> slot_lam;  // slot -> landmark index
+  for (std::size_t i = 0; i < batch_; ++i) {
+    for (std::size_t j = 0; j < filters_; ++j) {
+      values.clear();
+      order.clear();
+      slot_lam.clear();
+      for (std::size_t lam = 0; lam < L; ++lam) {
+        if (mask_(i, lam) < 0.5) continue;
+        values.push_back(conv_[(i * L + lam) * filters_ + j]);
+        order.push_back(values.size() - 1);
+        slot_lam.push_back(lam);
+      }
+      const std::size_t n = values.size();
+      sort_slots(values, order);
+
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      const double avg = sum / static_cast<double>(n);
+
+      const auto d_at = [&](std::size_t slot) -> double& {
+        return dconv[(i * L + slot_lam[slot]) * filters_ + j];
+      };
+
+      for (std::size_t o = 0; o < ops_.size(); ++o) {
+        const double g = grad_pooled(i, o * filters_ + j);
+        if (g == 0.0) continue;
+        switch (ops_[o]) {
+          case PoolOp::Min:
+            d_at(order.front()) += g;
+            break;
+          case PoolOp::Max:
+            d_at(order.back()) += g;
+            break;
+          case PoolOp::Avg: {
+            const double share = g / static_cast<double>(n);
+            for (std::size_t s = 0; s < n; ++s) d_at(s) += share;
+            break;
+          }
+          case PoolOp::Var: {
+            if (n >= 2) {
+              const double scale = 2.0 * g / static_cast<double>(n - 1);
+              for (std::size_t s = 0; s < n; ++s)
+                d_at(s) += scale * (values[s] - avg);
+            }
+            break;
+          }
+          default: {
+            const double q = percentile_q(ops_[o]);
+            const double pos = q * static_cast<double>(n - 1);
+            const auto lo = static_cast<std::size_t>(pos);
+            const std::size_t hi = std::min(lo + 1, n - 1);
+            const double frac = pos - static_cast<double>(lo);
+            d_at(order[lo]) += g * (1.0 - frac);
+            if (hi != lo) d_at(order[hi]) += g * frac;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Stage 2: dK += Σ dF[λ] ⊗ x[λ]; db += Σ dF[λ]; dx[λ] = K^T · dF[λ].
+  Matrix dland(batch_, L * k_);
+  for (std::size_t i = 0; i < batch_; ++i) {
+    for (std::size_t lam = 0; lam < L; ++lam) {
+      if (mask_(i, lam) < 0.5) continue;
+      const double* x = land_.row_ptr(i) + lam * k_;
+      const double* df = dconv.data() + (i * L + lam) * filters_;
+      double* dx = dland.row_ptr(i) + lam * k_;
+      for (std::size_t j = 0; j < filters_; ++j) {
+        const double dfj = df[j];
+        if (dfj == 0.0) continue;
+        double* kg = kernel_.grad.row_ptr(j);
+        const double* kv = kernel_.value.row_ptr(j);
+        for (std::size_t t = 0; t < k_; ++t) {
+          kg[t] += dfj * x[t];
+          dx[t] += dfj * kv[t];
+        }
+        bias_.grad(0, j) += dfj;
+      }
+    }
+  }
+  return dland;
+}
+
+}  // namespace diagnet::nn

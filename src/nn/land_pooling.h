@@ -1,0 +1,93 @@
+// LandPooling (paper §III-C): a non-overlapping convolution with a kernel
+// shared across landmarks, followed by a bank of commutative global pooling
+// operators applied across landmarks, element-wise per filter.
+//
+//   F[λ] = K · x[λ] + b            (K ∈ R^{f×k}, b ∈ R^f, per landmark λ)
+//   out  = concat_{Ω ∈ ops} Ω_{λ available} F[λ]   ∈ R^{ops·f}
+//
+// Because every pooling operator is invariant to landmark order and accepts
+// any number of arguments, the output dimension is independent of how many
+// landmarks were probed — the property that makes DiagNet root-cause
+// extensible (new landmarks can be fed to a trained model).
+//
+// The backward pass is exact for all operators, including the interpolated
+// deciles (gradient routed to the two order statistics that define the
+// interpolation). Input gradients are produced because the attention step
+// differentiates the loss w.r.t. raw features.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace diagnet::nn {
+
+/// Global pooling operators; the decile entries implement the "p10, ...,
+/// p90" row of Table I with linear interpolation between order statistics.
+enum class PoolOp {
+  Min,
+  Max,
+  Avg,
+  Var,
+  P10,
+  P20,
+  P30,
+  P40,
+  P50,
+  P60,
+  P70,
+  P80,
+  P90,
+};
+
+/// Table I's operator set: min, max, avg, variance, p10..p90 (13 ops).
+std::vector<PoolOp> default_pool_ops();
+
+const char* pool_op_name(PoolOp op);
+
+class LandPooling {
+ public:
+  /// k features per landmark, `filters` convolution filters, and the pooling
+  /// operator bank. Kernel gets He-uniform init; bias starts at zero.
+  LandPooling(std::size_t k, std::size_t filters, std::vector<PoolOp> ops,
+              util::Rng& rng);
+
+  /// land: (B, L·k) flattened landmark features, landmark-major (features of
+  /// landmark λ occupy columns [λ·k, λ·k+k)). Unavailable landmarks may hold
+  /// arbitrary values — they are skipped entirely via `mask`.
+  /// mask: (B, L), 1.0 = landmark available. Each sample needs ≥1 available.
+  /// Returns (B, ops·f).
+  Matrix forward(const Matrix& land, const Matrix& mask);
+
+  /// grad_pooled: (B, ops·f). Accumulates kernel/bias gradients and returns
+  /// the gradient w.r.t. `land` (zeros at masked-out landmarks).
+  Matrix backward(const Matrix& grad_pooled);
+
+  std::vector<Parameter*> parameters() { return {&kernel_, &bias_}; }
+
+  std::size_t feature_count() const { return k_; }
+  std::size_t filters() const { return filters_; }
+  std::size_t out_features() const { return ops_.size() * filters_; }
+  const std::vector<PoolOp>& ops() const { return ops_; }
+
+  Parameter& kernel() { return kernel_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t k_;
+  std::size_t filters_;
+  std::vector<PoolOp> ops_;
+  Parameter kernel_;  // (f x k)
+  Parameter bias_;    // (1 x f)
+
+  // Forward caches (valid until the next forward call).
+  Matrix land_;
+  Matrix mask_;
+  std::size_t batch_ = 0;
+  std::size_t landmarks_ = 0;
+  std::vector<double> conv_;  // (B, L, f): F[λ] values, 0 where unavailable
+};
+
+}  // namespace diagnet::nn

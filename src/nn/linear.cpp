@@ -1,0 +1,49 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/require.h"
+
+namespace diagnet::nn {
+
+Linear::Linear(std::size_t in, std::size_t out, util::Rng& rng)
+    : weight_(Matrix(in, out)), bias_(Matrix(1, out)) {
+  DIAGNET_REQUIRE(in > 0 && out > 0);
+  // He-uniform: U(-limit, limit) with limit = sqrt(6 / fan_in).
+  const double limit = std::sqrt(6.0 / static_cast<double>(in));
+  for (std::size_t r = 0; r < in; ++r)
+    for (std::size_t c = 0; c < out; ++c)
+      weight_.value(r, c) = rng.uniform(-limit, limit);
+  // Bias stays zero-initialised.
+}
+
+Matrix Linear::forward(const Matrix& input) {
+  DIAGNET_REQUIRE_MSG(input.cols() == in_features(), "input width mismatch");
+  input_ = input;
+  Matrix out;
+  tensor::gemm(input, weight_.value, out);
+  tensor::add_row_bias(out, bias_.value);
+  return out;
+}
+
+Matrix Linear::backward(const Matrix& grad_output) {
+  DIAGNET_REQUIRE_MSG(grad_output.rows() == input_.rows() &&
+                          grad_output.cols() == out_features(),
+                      "backward called with mismatched gradient");
+  // dW = X^T · dY, accumulated (a zero_grad happens per optimizer step).
+  Matrix dw;
+  tensor::gemm_at_b(input_, grad_output, dw);
+  weight_.grad += dw;
+
+  Matrix db;
+  tensor::sum_rows(grad_output, db);
+  bias_.grad += db;
+
+  // dX = dY · W^T.
+  Matrix dx;
+  tensor::gemm_a_bt(grad_output, weight_.value, dx);
+  return dx;
+}
+
+}  // namespace diagnet::nn

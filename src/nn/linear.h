@@ -1,0 +1,32 @@
+// Fully-connected layer: Y = X·W + b.
+#pragma once
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace diagnet::nn {
+
+class Linear final : public Layer {
+ public:
+  /// He-uniform initialisation (suits the ReLU activations that follow
+  /// every hidden layer in the coarse model).
+  Linear(std::size_t in, std::size_t out, util::Rng& rng);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Linear"; }
+
+  std::size_t in_features() const { return weight_.value.rows(); }
+  std::size_t out_features() const { return weight_.value.cols(); }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Parameter weight_;  // (in x out)
+  Parameter bias_;    // (1 x out)
+  Matrix input_;      // cached for backward
+};
+
+}  // namespace diagnet::nn

@@ -1,0 +1,37 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace diagnet::nn {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x44494147'4e455431ULL;  // "DIAGNET1"
+}
+
+void write_parameter_blob(std::ostream& os, const std::vector<double>& flat) {
+  const std::uint64_t magic = kMagic;
+  const std::uint64_t count = flat.size();
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  os.write(reinterpret_cast<const char*>(flat.data()),
+           static_cast<std::streamsize>(flat.size() * sizeof(double)));
+}
+
+std::vector<double> read_parameter_blob(std::istream& is) {
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is || magic != kMagic)
+    throw std::runtime_error("parameter blob: bad header");
+  std::vector<double> flat(count);
+  is.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!is) throw std::runtime_error("parameter blob: truncated payload");
+  return flat;
+}
+
+}  // namespace diagnet::nn

@@ -1,0 +1,16 @@
+// Minimal binary (de)serialisation for model parameters: a magic header,
+// element count, then raw little-endian doubles. Used by the model registry
+// to ship a trained general model to per-service specialisation.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+namespace diagnet::nn {
+
+void write_parameter_blob(std::ostream& os, const std::vector<double>& flat);
+
+/// Throws std::runtime_error on malformed input.
+std::vector<double> read_parameter_blob(std::istream& is);
+
+}  // namespace diagnet::nn

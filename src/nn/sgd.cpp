@@ -1,0 +1,42 @@
+#include "nn/sgd.h"
+
+#include "util/require.h"
+
+namespace diagnet::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<Parameter*> params,
+                           const SgdConfig& config)
+    : params_(std::move(params)), config_(config) {
+  DIAGNET_REQUIRE(config_.learning_rate > 0.0);
+  DIAGNET_REQUIRE(config_.momentum >= 0.0 && config_.momentum < 1.0);
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_)
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+}
+
+void SgdOptimizer::step() {
+  const double lr = config_.learning_rate;
+  const double mu = config_.momentum;
+  const double wd = config_.weight_decay;
+  for (std::size_t idx = 0; idx < params_.size(); ++idx) {
+    Parameter* p = params_[idx];
+    if (p->frozen) {
+      p->zero_grad();
+      continue;
+    }
+    Matrix& v = velocity_[idx];
+    double* vd = v.data();
+    double* wdta = p->value.data();
+    double* gd = p->grad.data();
+    const std::size_t n = p->value.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double g = gd[i] + wd * wdta[i];  // decoupled L2 -> coupled form
+      vd[i] = mu * vd[i] - lr * g;
+      // Nesterov look-ahead: w += mu*v - lr*g; plain momentum: w += v.
+      wdta[i] += config_.nesterov ? (mu * vd[i] - lr * g) : vd[i];
+    }
+    p->zero_grad();
+  }
+}
+
+}  // namespace diagnet::nn

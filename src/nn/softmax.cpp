@@ -1,0 +1,53 @@
+#include "nn/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::nn {
+
+Matrix softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.row_ptr(r);
+    const double mx = *std::max_element(row, row + out.cols());
+    double sum = 0.0;
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] /= sum;
+  }
+  return out;
+}
+
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::size_t>& labels,
+                             Matrix* grad) {
+  DIAGNET_REQUIRE(labels.size() == logits.rows());
+  const Matrix probs = softmax(logits);
+  const double inv_b = 1.0 / static_cast<double>(logits.rows());
+  double loss = 0.0;
+  if (grad) *grad = probs;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    DIAGNET_REQUIRE(labels[r] < logits.cols());
+    // Clamp avoids -inf on (pathological) zero probability.
+    loss -= std::log(std::max(probs(r, labels[r]), 1e-300));
+    if (grad) {
+      (*grad)(r, labels[r]) -= 1.0;
+      double* row = grad->row_ptr(r);
+      for (std::size_t c = 0; c < grad->cols(); ++c) row[c] *= inv_b;
+    }
+  }
+  return loss * inv_b;
+}
+
+Matrix ideal_label_grad(const Matrix& logits_row, std::size_t target) {
+  DIAGNET_REQUIRE(logits_row.rows() == 1 && target < logits_row.cols());
+  Matrix g = softmax(logits_row);
+  g(0, target) -= 1.0;
+  return g;
+}
+
+}  // namespace diagnet::nn

@@ -1,0 +1,28 @@
+// Row-wise softmax and the fused softmax + cross-entropy loss used to train
+// the coarse classifier (c fault-family classes, paper Fig. 2 step 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace diagnet::nn {
+
+using tensor::Matrix;
+
+/// Numerically-stable row-wise softmax.
+Matrix softmax(const Matrix& logits);
+
+/// Mean cross-entropy of softmax(logits) against integer labels.
+/// If grad != nullptr it receives dLoss/dLogits = (softmax - onehot) / B.
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::size_t>& labels,
+                             Matrix* grad);
+
+/// Gradient of -log softmax(logits)[target] w.r.t. the logits of a single
+/// row — the "ideal label" loss the attention mechanism backpropagates
+/// (paper §III-E, L* with y* = onehot(argmax y)).
+Matrix ideal_label_grad(const Matrix& logits_row, std::size_t target);
+
+}  // namespace diagnet::nn

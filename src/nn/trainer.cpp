@@ -1,0 +1,139 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "nn/softmax.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace diagnet::nn {
+
+LandBatch CoarseDataset::gather(const std::vector<std::size_t>& rows) const {
+  LandBatch batch;
+  batch.land = Matrix(rows.size(), land.cols());
+  batch.mask = Matrix(rows.size(), mask.cols());
+  batch.local = Matrix(rows.size(), local.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t r = rows[i];
+    DIAGNET_REQUIRE(r < size());
+    std::copy(land.row_ptr(r), land.row_ptr(r) + land.cols(),
+              batch.land.row_ptr(i));
+    std::copy(mask.row_ptr(r), mask.row_ptr(r) + mask.cols(),
+              batch.mask.row_ptr(i));
+    std::copy(local.row_ptr(r), local.row_ptr(r) + local.cols(),
+              batch.local.row_ptr(i));
+  }
+  return batch;
+}
+
+std::vector<std::size_t> CoarseDataset::gather_labels(
+    const std::vector<std::size_t>& rows) const {
+  std::vector<std::size_t> out(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) out[i] = labels[rows[i]];
+  return out;
+}
+
+namespace {
+
+double loss_over_rows(CoarseNet& net, const CoarseDataset& data,
+                      const std::vector<std::size_t>& rows,
+                      std::size_t batch_size) {
+  if (rows.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t begin = 0; begin < rows.size(); begin += batch_size) {
+    const std::size_t end = std::min(rows.size(), begin + batch_size);
+    const std::vector<std::size_t> slice(rows.begin() + begin,
+                                         rows.begin() + end);
+    const LandBatch batch = data.gather(slice);
+    const Matrix logits = net.forward(batch);
+    total += softmax_cross_entropy(logits, data.gather_labels(slice), nullptr) *
+             static_cast<double>(slice.size());
+  }
+  return total / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
+                             const TrainerConfig& config) {
+  DIAGNET_REQUIRE(data.size() > 1);
+  DIAGNET_REQUIRE(config.batch_size > 0 && config.max_epochs > 0);
+  DIAGNET_REQUIRE(config.validation_fraction >= 0.0 &&
+                  config.validation_fraction < 1.0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  util::Rng rng(config.seed);
+
+  // Deterministic train/validation split.
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  rng.shuffle(rows);
+  const auto val_count = static_cast<std::size_t>(
+      config.validation_fraction * static_cast<double>(rows.size()));
+  const std::vector<std::size_t> val_rows(rows.begin(),
+                                          rows.begin() + val_count);
+  std::vector<std::size_t> train_rows(rows.begin() + val_count, rows.end());
+  DIAGNET_REQUIRE_MSG(!train_rows.empty(), "empty training split");
+
+  SgdOptimizer optimizer(net.parameters(), config.sgd);
+
+  TrainingHistory history;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<double> best_params;
+  std::size_t stale = 0;
+
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.shuffle(train_rows);
+    double train_loss = 0.0;
+    for (std::size_t begin = 0; begin < train_rows.size();
+         begin += config.batch_size) {
+      const std::size_t end =
+          std::min(train_rows.size(), begin + config.batch_size);
+      const std::vector<std::size_t> slice(train_rows.begin() + begin,
+                                           train_rows.begin() + end);
+      const LandBatch batch = data.gather(slice);
+      const Matrix logits = net.forward(batch);
+      Matrix grad;
+      train_loss += softmax_cross_entropy(logits, data.gather_labels(slice),
+                                          &grad) *
+                    static_cast<double>(slice.size());
+      net.backward(grad, nullptr, nullptr);
+      optimizer.step();
+    }
+    train_loss /= static_cast<double>(train_rows.size());
+
+    // When no validation split was requested, early-stop on training loss.
+    const double val_loss =
+        val_rows.empty() ? train_loss
+                         : loss_over_rows(net, data, val_rows, 256);
+    history.epochs.push_back({train_loss, val_loss});
+
+    if (val_loss < best_val - config.min_delta) {
+      best_val = val_loss;
+      history.best_epoch = epoch;
+      stale = 0;
+      if (config.restore_best) best_params = net.save_parameters();
+    } else if (++stale > config.patience) {
+      break;
+    }
+  }
+
+  if (config.restore_best && !best_params.empty())
+    net.load_parameters(best_params);
+
+  history.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return history;
+}
+
+double evaluate_loss(CoarseNet& net, const CoarseDataset& data,
+                     std::size_t batch_size) {
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return loss_over_rows(net, data, rows, batch_size);
+}
+
+}  // namespace diagnet::nn

@@ -1,0 +1,70 @@
+// Mini-batch trainer for the coarse network, with validation-based early
+// stopping ("we consider that the training is done when the validation loss
+// is no longer decreasing", paper §IV-F) and per-epoch loss capture used to
+// regenerate Fig. 9.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/batch.h"
+#include "nn/coarse_net.h"
+#include "nn/sgd.h"
+
+namespace diagnet::nn {
+
+/// Flat training set: row i of each matrix plus labels[i] form one sample.
+struct CoarseDataset {
+  Matrix land;
+  Matrix mask;
+  Matrix local;
+  std::vector<std::size_t> labels;  // coarse fault-family index in [0, c)
+
+  std::size_t size() const { return labels.size(); }
+  /// Gather the given rows into a contiguous batch.
+  LandBatch gather(const std::vector<std::size_t>& rows) const;
+  std::vector<std::size_t> gather_labels(
+      const std::vector<std::size_t>& rows) const;
+};
+
+struct TrainerConfig {
+  std::size_t batch_size = 64;
+  std::size_t max_epochs = 60;
+  /// Stop after this many epochs without a new best validation loss.
+  std::size_t patience = 5;
+  /// An epoch only counts as an improvement when it beats the best
+  /// validation loss by more than this margin ("the training is done when
+  /// the validation loss is no longer decreasing", §IV-F).
+  double min_delta = 0.0;
+  /// Fraction of the training set held out for validation.
+  double validation_fraction = 0.1;
+  SgdConfig sgd;
+  std::uint64_t seed = 1;
+  /// Restore the parameters of the best validation epoch on completion.
+  bool restore_best = true;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double validation_loss = 0.0;
+};
+
+struct TrainingHistory {
+  std::vector<EpochStats> epochs;
+  std::size_t best_epoch = 0;    // index into `epochs`
+  double wall_seconds = 0.0;
+
+  std::size_t epochs_run() const { return epochs.size(); }
+};
+
+/// Train `net` on `data`. Shuffling, the train/validation split, and batch
+/// order derive from config.seed only.
+TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
+                             const TrainerConfig& config);
+
+/// Mean softmax cross-entropy of `net` over a dataset (no gradient).
+double evaluate_loss(CoarseNet& net, const CoarseDataset& data,
+                     std::size_t batch_size = 256);
+
+}  // namespace diagnet::nn

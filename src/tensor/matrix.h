@@ -1,0 +1,60 @@
+// Dense row-major matrix of doubles — the numeric workhorse of the library.
+// Deliberately minimal: the neural network layers and classic-ML models only
+// need 2-D storage, GEMM variants, and elementwise arithmetic.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace diagnet::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// rows x cols filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+  /// From nested initializer list (for tests/fixtures). All rows must have
+  /// equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  /// Row vector wrapping `v` (1 x v.size()).
+  static Matrix row(const std::vector<double>& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Set every element to `value`.
+  void fill(double value);
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Copy of row r as a std::vector.
+  std::vector<double> row_copy(std::size_t r) const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace diagnet::tensor

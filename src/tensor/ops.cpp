@@ -1,0 +1,103 @@
+#include "tensor/ops.h"
+
+#include "util/require.h"
+
+namespace diagnet::tensor {
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
+  else c.fill(0.0);
+  // i-k-j loop order: the inner j loop streams both B's row k and C's row i,
+  // which vectorises well and stays cache-friendly for our tall-skinny shapes.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.row_ptr(i);
+    const double* ai = a.row_ptr(i);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = ai[kk];
+      if (aik == 0.0) continue;
+      const double* bk = b.row_ptr(kk);
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.rows() == b.rows());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
+  else c.fill(0.0);
+  // C(i, j) = sum_kk A(kk, i) * B(kk, j): stream rows of A and B together.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* ak = a.row_ptr(kk);
+    const double* bk = b.row_ptr(kk);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c.row_ptr(i);
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
+  // C(i, j) = dot(A row i, B row j): both operands stream contiguously.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.row_ptr(i);
+    double* ci = c.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b.row_ptr(j);
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (std::size_t kk = 0; kk < k; ++kk) s += ai[kk] * bj[kk];
+      ci[j] = s;
+    }
+  }
+}
+
+void axpy(double alpha, const Matrix& a, Matrix& c) {
+  DIAGNET_REQUIRE(a.same_shape(c));
+  const double* pa = a.data();
+  double* pc = c.data();
+  const std::size_t n = a.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) pc[i] += alpha * pa[i];
+}
+
+void add_row_bias(Matrix& m, const Matrix& bias) {
+  DIAGNET_REQUIRE(bias.rows() == 1 && bias.cols() == m.cols());
+  const double* b = bias.data();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.row_ptr(r);
+#pragma omp simd
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void sum_rows(const Matrix& grad, Matrix& out) {
+  if (out.rows() != 1 || out.cols() != grad.cols()) out = Matrix(1, grad.cols());
+  else out.fill(0.0);
+  double* o = out.data();
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    const double* row = grad.row_ptr(r);
+#pragma omp simd
+    for (std::size_t c = 0; c < grad.cols(); ++c) o[c] += row[c];
+  }
+}
+
+double dot(const Matrix& a, const Matrix& b) {
+  DIAGNET_REQUIRE(a.same_shape(b));
+  double s = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+}  // namespace diagnet::tensor

@@ -1,0 +1,31 @@
+// GEMM variants and elementwise kernels. The three GEMM forms below cover
+// everything a fully-connected layer's forward and backward passes need
+// without ever materialising a transpose.
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace diagnet::tensor {
+
+/// C = A (M x K) · B (K x N). C is resized/overwritten.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T (K x M -> M x K view) · B. A is (K x M) in memory.
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A · B^T. B is (N x K) in memory.
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += alpha * A (shapes must match).
+void axpy(double alpha, const Matrix& a, Matrix& c);
+
+/// out(r, c) = m(r, c) + bias(0, c): broadcast a row bias over all rows.
+void add_row_bias(Matrix& m, const Matrix& bias);
+
+/// bias_grad(0, c) = sum_r grad(r, c): reduce rows (the bias backward).
+void sum_rows(const Matrix& grad, Matrix& out);
+
+/// Frobenius dot product.
+double dot(const Matrix& a, const Matrix& b);
+
+}  // namespace diagnet::tensor

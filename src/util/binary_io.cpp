@@ -1,0 +1,89 @@
+#include "util/binary_io.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace diagnet::util {
+
+void BinaryWriter::write_u64(std::uint64_t value) {
+  os_->write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::write_double(double value) {
+  os_->write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void BinaryWriter::write_bool(bool value) { write_u64(value ? 1 : 0); }
+
+void BinaryWriter::write_string(const std::string& value) {
+  write_u64(value.size());
+  os_->write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+void BinaryWriter::write_doubles(const std::vector<double>& values) {
+  write_u64(values.size());
+  os_->write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(values.size() * sizeof(double)));
+}
+
+void BinaryWriter::write_indices(const std::vector<std::size_t>& values) {
+  write_u64(values.size());
+  for (std::size_t v : values) write_u64(v);
+}
+
+void BinaryReader::raw(void* dst, std::size_t bytes) {
+  is_->read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+  if (!*is_) throw std::runtime_error("binary read: truncated input");
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t value = 0;
+  raw(&value, sizeof(value));
+  return value;
+}
+
+double BinaryReader::read_double() {
+  double value = 0.0;
+  raw(&value, sizeof(value));
+  return value;
+}
+
+bool BinaryReader::read_bool() { return read_u64() != 0; }
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 30))
+    throw std::runtime_error("binary read: implausible string length");
+  std::string value(size, '\0');
+  if (size > 0) raw(value.data(), size);
+  return value;
+}
+
+std::vector<double> BinaryReader::read_doubles() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 32))
+    throw std::runtime_error("binary read: implausible array length");
+  std::vector<double> values(size);
+  if (size > 0) raw(values.data(), size * sizeof(double));
+  return values;
+}
+
+std::vector<std::size_t> BinaryReader::read_indices() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 32))
+    throw std::runtime_error("binary read: implausible array length");
+  std::vector<std::size_t> values(size);
+  for (auto& v : values) v = static_cast<std::size_t>(read_u64());
+  return values;
+}
+
+void BinaryReader::expect_u64(std::uint64_t expected, const char* what) {
+  const std::uint64_t got = read_u64();
+  if (got != expected)
+    throw std::runtime_error(std::string("binary read: bad section tag for ") +
+                             what);
+}
+
+}  // namespace diagnet::util

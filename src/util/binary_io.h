@@ -1,0 +1,48 @@
+// Minimal little-endian binary (de)serialisation used by the model
+// registry. Writers never fail silently; readers throw std::runtime_error
+// on truncated or corrupt input so callers can surface a clean error for a
+// damaged model file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace diagnet::util {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(&os) {}
+
+  void write_u64(std::uint64_t value);
+  void write_double(double value);
+  void write_bool(bool value);
+  void write_string(const std::string& value);
+  void write_doubles(const std::vector<double>& values);
+  void write_indices(const std::vector<std::size_t>& values);
+
+ private:
+  std::ostream* os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(&is) {}
+
+  std::uint64_t read_u64();
+  double read_double();
+  bool read_bool();
+  std::string read_string();
+  std::vector<double> read_doubles();
+  std::vector<std::size_t> read_indices();
+
+  /// Read a u64 and require it to equal `expected` (section tags).
+  void expect_u64(std::uint64_t expected, const char* what);
+
+ private:
+  void raw(void* dst, std::size_t bytes);
+  std::istream* is_;
+};
+
+}  // namespace diagnet::util

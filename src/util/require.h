@@ -1,0 +1,33 @@
+// Contract checking. DIAGNET_REQUIRE guards programming errors (bad
+// arguments, broken invariants); it throws std::logic_error so unit tests
+// can observe violations, and is kept in release builds because every use
+// sits far from any hot inner loop.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace diagnet::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace diagnet::util
+
+#define DIAGNET_REQUIRE(expr)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::diagnet::util::require_failed(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define DIAGNET_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::diagnet::util::require_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/require.h"
+
+namespace diagnet::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  // Seed the four xoshiro words from splitmix64 as recommended upstream.
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  // Mix (seed, tag) through splitmix64 twice; avoids correlated streams for
+  // adjacent tags.
+  std::uint64_t sm = seed_ ^ (0x94d049bb133111ebULL * (tag + 1));
+  const std::uint64_t derived = splitmix64(sm) ^ splitmix64(sm);
+  return Rng(derived);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  DIAGNET_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  DIAGNET_REQUIRE(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::normal() {
+  // Box–Muller; u clamped away from 0 so log() is finite.
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  const double v = uniform();
+  return std::sqrt(-2.0 * std::log(u)) *
+         std::cos(2.0 * std::numbers::pi * v);
+}
+
+double Rng::normal(double mean, double stddev) {
+  DIAGNET_REQUIRE(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) {
+  DIAGNET_REQUIRE(rate > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::pareto(double xm, double alpha) {
+  DIAGNET_REQUIRE(xm > 0.0 && alpha > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  DIAGNET_REQUIRE(k <= n);
+  // Partial Fisher–Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(uniform_index(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace diagnet::util

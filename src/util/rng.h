@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library takes an explicit 64-bit seed
+// and derives independent sub-streams with Rng::fork(tag). Sub-streams are
+// keyed by (seed, tag) only — never by call order or thread id — so results
+// are bit-identical regardless of how work is scheduled across threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace diagnet::util {
+
+/// splitmix64: used to scramble seeds and derive sub-stream keys.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG (Blackman & Vigna). Small, fast and statistically
+/// strong; a single instance is NOT thread-safe — fork() one per task.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Derive an independent generator keyed by (this seed, tag).
+  [[nodiscard]] Rng fork(std::uint64_t tag) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box–Muller (no cached spare: keeps fork semantics
+  /// trivial).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Exponential with given rate (> 0).
+  double exponential(double rate);
+  /// log-normal with given location/scale of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Pareto (heavy-tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+      std::swap(v[i], v[j]);
+    }
+  }
+
+  /// k distinct indices drawn from [0, n), in random order. k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;  // retained so fork() is independent of stream position
+};
+
+}  // namespace diagnet::util

@@ -1,0 +1,49 @@
+// Small statistics helpers shared across the library: running moments,
+// percentiles, and mean ± standard-error summaries used by the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace diagnet::util {
+
+/// Welford running mean/variance with min/max tracking. Numerically stable
+/// for the long accumulations the simulator performs.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for n < 2.
+  double stderr_mean() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between closest ranks
+/// (the "exclusive" convention used by numpy's default). `sorted` must be
+/// ascending and non-empty; q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Convenience: copies, sorts, then interpolates.
+double percentile(std::vector<double> values, double q);
+
+/// Mean of a vector (0 for empty input).
+double mean(const std::vector<double>& values);
+
+/// Sample variance (n-1); 0 for fewer than two values.
+double variance(const std::vector<double>& values);
+
+}  // namespace diagnet::util

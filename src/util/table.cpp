@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace diagnet::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DIAGNET_REQUIRE(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  DIAGNET_REQUIRE_MSG(row.size() == header_.size(),
+                      "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(fmt(v, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    os << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string bar(double v, int width) {
+  v = std::clamp(v, 0.0, 1.0);
+  const int filled = static_cast<int>(v * width + 0.5);
+  std::string out = fmt(v, 2) + ' ';
+  for (int i = 0; i < width; ++i) out += (i < filled) ? '#' : '.';
+  return out;
+}
+
+std::string banner(const std::string& title) {
+  const std::string rule(std::max<std::size_t>(title.size() + 4, 60), '=');
+  return rule + "\n  " + title + "\n" + rule + "\n";
+}
+
+}  // namespace diagnet::util

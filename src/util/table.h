@@ -1,0 +1,38 @@
+// ASCII table rendering for bench/report output. Every bench binary prints
+// the paper's rows and series through this helper so output stays uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace diagnet::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a pre-formatted row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Render with column alignment and +-----+ rules.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with benches).
+std::string fmt(double v, int precision = 3);
+
+/// Render a [0,1] value as a crude bar chart cell, e.g. "0.74 ███████▌ ".
+std::string bar(double v, int width = 20);
+
+/// Section banner used by bench binaries.
+std::string banner(const std::string& title);
+
+}  // namespace diagnet::util

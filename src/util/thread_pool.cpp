@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace diagnet::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 1) return;  // inline execution, no workers
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = size();
+  if (workers == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // ~4 chunks per worker balances load without excessive queue traffic.
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  // Count chunks up front so `remaining` is final before any task can run.
+  const std::size_t issued = (n + chunk_size - 1) / chunk_size;
+  std::atomic<std::size_t> remaining{issued};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t begin = 0; begin < n; begin += chunk_size) {
+      const std::size_t end = std::min(n, begin + chunk_size);
+      tasks_.emplace([&, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard dl(done_mu);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace diagnet::util

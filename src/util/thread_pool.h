@@ -1,0 +1,52 @@
+// Work-sharing thread pool and a deterministic parallel_for.
+//
+// Determinism contract: parallel_for(n, fn) calls fn(i) exactly once for
+// each i in [0, n); fn must derive any randomness from i (e.g. via
+// Rng::fork(i)), never from thread identity, so results do not depend on
+// the number of workers. On a single-core host the pool degrades to serial
+// execution with no thread creation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace diagnet::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency(); a pool of size 1 runs
+  /// everything inline on the caller thread (no worker is spawned).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Run fn(i) for all i in [0, n); blocks until every call returned.
+  /// Work is split into contiguous chunks to keep cache locality.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace diagnet::util

@@ -1,0 +1,186 @@
+// Tests for the KDE estimator and the extensible Naive-Bayes baseline
+// (§IV-B.b).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/naive_bayes.h"
+#include "tests/test_helpers.h"
+#include "util/rng.h"
+
+namespace diagnet::bayes {
+namespace {
+
+TEST(Kde, DensityPeaksNearData) {
+  Kde kde;
+  kde.fit({0.0, 0.1, -0.1, 0.05, -0.05});
+  EXPECT_GT(kde.density(0.0), kde.density(2.0));
+  EXPECT_GT(kde.density(0.0), 0.1);
+}
+
+TEST(Kde, IntegratesToApproximatelyOne) {
+  util::Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.normal(3.0, 1.5));
+  Kde kde;
+  kde.fit(values);
+  // Trapezoid over a wide window.
+  double integral = 0.0;
+  const double lo = -5.0, hi = 11.0, step = 0.01;
+  for (double x = lo; x < hi; x += step)
+    integral += 0.5 * (kde.density(x) + kde.density(x + step)) * step;
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, GridApproximationTracksExactDensity) {
+  util::Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.normal());
+  Kde kde;
+  kde.fit(values);
+  for (double x = -3.0; x <= 3.0; x += 0.37) {
+    const double exact = kde.density_exact(x);
+    const double grid = kde.density(x);
+    EXPECT_LT(std::abs(exact - grid) / exact, 0.05) << "at x=" << x;
+  }
+}
+
+TEST(Kde, NeverReturnsZero) {
+  Kde kde;
+  kde.fit({1.0, 1.1});
+  EXPECT_GT(kde.density(1e9), 0.0);
+  EXPECT_TRUE(std::isfinite(kde.log_density(1e9)));
+}
+
+TEST(Kde, DegenerateSampleGetsFiniteBandwidth) {
+  Kde kde;
+  kde.fit({5.0, 5.0, 5.0, 5.0});
+  EXPECT_GT(kde.bandwidth(), 0.0);
+  EXPECT_GT(kde.density(5.0), kde.density(6.0));
+}
+
+TEST(Kde, ExplicitBandwidthIsUsed) {
+  Kde kde;
+  kde.fit({0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 2.0);
+  // Density of a single kernel at its centre: 1/(h*sqrt(2pi)).
+  EXPECT_NEAR(kde.density(0.0), 1.0 / (2.0 * std::sqrt(2.0 * M_PI)), 1e-3);
+}
+
+TEST(Kde, LargePoolsAreSubsampledButKeepShape) {
+  util::Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.normal(10.0, 2.0));
+  Kde kde;
+  kde.fit(values);
+  EXPECT_LE(kde.sample_count(), 2048u);
+  // Density near the mean stays close to the true normal density.
+  const double true_peak = 1.0 / (2.0 * std::sqrt(2.0 * M_PI));
+  EXPECT_NEAR(kde.density(10.0), true_peak, 0.03);
+}
+
+TEST(Kde, UnionKdeMergesPools) {
+  const std::vector<double> a{0.0, 0.1, -0.1};
+  const std::vector<double> b{10.0, 10.1, 9.9};
+  const Kde merged = union_kde({&a, &b});
+  EXPECT_EQ(merged.sample_count(), 6u);
+  EXPECT_GT(merged.density(0.0), merged.density(5.0));
+  EXPECT_GT(merged.density(10.0), merged.density(5.0));
+}
+
+TEST(Kde, FitRejectsEmpty) {
+  Kde kde;
+  EXPECT_THROW(kde.fit({}), std::logic_error);
+}
+
+// --------------------------------------------------------------------------
+// ExtensibleNaiveBayes
+//
+// Synthetic cause-space: m = 4 features, families {0, 1, 0, 1}; cause c
+// shifts feature c by +5. Causes 0 and 1 are trained; 2 and 3 are not
+// (feature 2 unavailable during training, like a hidden landmark).
+
+struct NbFixture {
+  Matrix x;
+  std::vector<std::size_t> y;
+  std::vector<std::size_t> families{0, 1, 0, 1};
+  std::vector<bool> available{true, true, false, true};
+  ExtensibleNaiveBayes model;
+
+  explicit NbFixture(std::uint64_t seed) {
+    constexpr std::size_t kN = 900;
+    util::Rng rng(seed);
+    x = Matrix(kN, 4);
+    y.resize(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      for (std::size_t c = 0; c < 4; ++c) x(i, c) = rng.normal();
+      const std::size_t pick = rng.uniform_index(3);
+      if (pick == 0) {
+        y[i] = ExtensibleNaiveBayes::kNominal;
+      } else {
+        y[i] = pick - 1;  // cause 0 or 1
+        x(i, y[i]) += 5.0;
+      }
+    }
+    model.fit(x, y, families, available);
+  }
+};
+
+TEST(NaiveBayes, ScoresSumToOne) {
+  NbFixture fixture(11);
+  const std::vector<double> sample{0.0, 0.0, 0.0, 0.0};
+  const auto scores = fixture.model.score_causes(sample);
+  ASSERT_EQ(scores.size(), 4u);
+  double sum = 0.0;
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NaiveBayes, RecognisesTrainedCauses) {
+  NbFixture fixture(12);
+  std::vector<double> sample{5.0, 0.0, 0.0, 0.0};
+  auto scores = fixture.model.score_causes(sample);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[0], scores[3]);
+
+  sample = {0.0, 5.0, 0.0, 0.0};
+  scores = fixture.model.score_causes(sample);
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST(NaiveBayes, UnseenCauseWinsWhenItsFeatureLooksFaulty) {
+  NbFixture fixture(13);
+  EXPECT_FALSE(fixture.model.cause_is_trained(2));
+  // Feature 2 (hidden during training, family 0) shows the fault
+  // signature; the generic "affected" likelihood of family 0 should let
+  // cause 2 beat the trained causes whose own features look nominal.
+  const std::vector<double> sample{0.0, 0.0, 5.0, 0.0};
+  const auto scores = fixture.model.score_causes(sample);
+  EXPECT_GT(scores[2], scores[0]);
+  EXPECT_GT(scores[2], scores[1]);
+}
+
+TEST(NaiveBayes, TrainedFlagsAreCorrect) {
+  NbFixture fixture(14);
+  EXPECT_TRUE(fixture.model.cause_is_trained(0));
+  EXPECT_TRUE(fixture.model.cause_is_trained(1));
+  EXPECT_FALSE(fixture.model.cause_is_trained(2));
+  EXPECT_FALSE(fixture.model.cause_is_trained(3));
+}
+
+TEST(NaiveBayes, RejectsMismatchedInputs) {
+  ExtensibleNaiveBayes model;
+  Matrix x(5, 3);
+  const std::vector<std::size_t> y(5, ExtensibleNaiveBayes::kNominal);
+  EXPECT_THROW(model.fit(x, y, {0, 1}, {true, true, true}),
+               std::logic_error);
+  EXPECT_THROW(model.score_causes(std::vector<double>{1.0}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace diagnet::bayes

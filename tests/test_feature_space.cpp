@@ -1,0 +1,111 @@
+// Tests for the feature/root-cause indexing (paper §III-A: the cause space
+// IS the feature space).
+
+#include <gtest/gtest.h>
+
+#include "data/feature_space.h"
+
+namespace diagnet::data {
+namespace {
+
+class FeatureSpaceTest : public ::testing::Test {
+ protected:
+  netsim::Topology topology_ = netsim::default_topology();
+  FeatureSpace fs_{topology_};
+};
+
+TEST_F(FeatureSpaceTest, TableIDimensions) {
+  EXPECT_EQ(fs_.landmark_count(), 10u);          // l
+  EXPECT_EQ(fs_.metrics_per_landmark(), 5u);     // k
+  EXPECT_EQ(fs_.local_count(), 5u);
+  EXPECT_EQ(fs_.total(), 55u);                   // m = l*k + local
+}
+
+TEST_F(FeatureSpaceTest, IndexingRoundTrips) {
+  for (std::size_t lam = 0; lam < fs_.landmark_count(); ++lam) {
+    for (std::size_t m = 0; m < fs_.metrics_per_landmark(); ++m) {
+      const auto metric = static_cast<Metric>(m);
+      const std::size_t j = fs_.landmark_feature(lam, metric);
+      EXPECT_TRUE(fs_.is_landmark_feature(j));
+      EXPECT_EQ(fs_.landmark_of(j), lam);
+      EXPECT_EQ(fs_.metric_of(j), metric);
+    }
+  }
+  for (std::size_t t = 0; t < fs_.local_count(); ++t) {
+    const auto local = static_cast<LocalFeature>(t);
+    const std::size_t j = fs_.local_feature(local);
+    EXPECT_FALSE(fs_.is_landmark_feature(j));
+    EXPECT_EQ(fs_.local_of(j), local);
+  }
+}
+
+TEST_F(FeatureSpaceTest, AllFeaturesCoveredExactlyOnce) {
+  std::vector<int> seen(fs_.total(), 0);
+  for (std::size_t lam = 0; lam < fs_.landmark_count(); ++lam)
+    for (std::size_t m = 0; m < fs_.metrics_per_landmark(); ++m)
+      seen[fs_.landmark_feature(lam, static_cast<Metric>(m))]++;
+  for (std::size_t t = 0; t < fs_.local_count(); ++t)
+    seen[fs_.local_feature(static_cast<LocalFeature>(t))]++;
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST_F(FeatureSpaceTest, FamilyAssignments) {
+  using netsim::FaultFamily;
+  EXPECT_EQ(fs_.family_of(fs_.landmark_feature(2, Metric::Latency)),
+            FaultFamily::Latency);
+  EXPECT_EQ(fs_.family_of(fs_.landmark_feature(2, Metric::Jitter)),
+            FaultFamily::Jitter);
+  EXPECT_EQ(fs_.family_of(fs_.landmark_feature(2, Metric::Loss)),
+            FaultFamily::Loss);
+  EXPECT_EQ(fs_.family_of(fs_.landmark_feature(2, Metric::DownBw)),
+            FaultFamily::Bandwidth);
+  EXPECT_EQ(fs_.family_of(fs_.landmark_feature(2, Metric::UpBw)),
+            FaultFamily::Bandwidth);
+  EXPECT_EQ(fs_.family_of(fs_.local_feature(LocalFeature::GatewayRtt)),
+            FaultFamily::Uplink);
+  EXPECT_EQ(fs_.family_of(fs_.local_feature(LocalFeature::CpuLoad)),
+            FaultFamily::Load);
+}
+
+TEST_F(FeatureSpaceTest, FeaturesOfFamilyPartitionTheSpace) {
+  using netsim::FaultFamily;
+  std::size_t covered = 0;
+  for (std::size_t f = 0; f < netsim::kFaultFamilies; ++f)
+    covered +=
+        fs_.features_of_family(static_cast<FaultFamily>(f)).size();
+  EXPECT_EQ(covered, fs_.total());
+  // Nominal owns no features.
+  EXPECT_TRUE(fs_.features_of_family(FaultFamily::Nominal).empty());
+  // 10 landmarks x 2 bandwidth metrics.
+  EXPECT_EQ(fs_.features_of_family(FaultFamily::Bandwidth).size(), 20u);
+}
+
+TEST_F(FeatureSpaceTest, CauseOfFaultMapsToExpectedFeature) {
+  using netsim::FaultFamily;
+  const std::size_t grav = topology_.index_of("GRAV");
+  EXPECT_EQ(fs_.cause_of_fault({FaultFamily::Latency, grav, 50.0}),
+            fs_.landmark_feature(grav, Metric::Latency));
+  EXPECT_EQ(fs_.cause_of_fault({FaultFamily::Bandwidth, grav, 8.0}),
+            fs_.landmark_feature(grav, Metric::DownBw));
+  EXPECT_EQ(fs_.cause_of_fault({FaultFamily::Uplink, grav, 50.0}),
+            fs_.local_feature(LocalFeature::GatewayRtt));
+  EXPECT_EQ(fs_.cause_of_fault({FaultFamily::Load, grav, 0.9}),
+            fs_.local_feature(LocalFeature::CpuLoad));
+}
+
+TEST_F(FeatureSpaceTest, NamesAreHumanReadable) {
+  const std::size_t grav = topology_.index_of("GRAV");
+  EXPECT_EQ(fs_.name(fs_.landmark_feature(grav, Metric::Latency)),
+            "GRAV/latency");
+  EXPECT_EQ(fs_.name(fs_.local_feature(LocalFeature::CpuLoad)),
+            "local/cpu");
+}
+
+TEST_F(FeatureSpaceTest, BoundsChecked) {
+  EXPECT_THROW(fs_.family_of(fs_.total()), std::logic_error);
+  EXPECT_THROW(fs_.landmark_of(fs_.local_feature(LocalFeature::CpuLoad)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace diagnet::data

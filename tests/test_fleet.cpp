@@ -1,0 +1,170 @@
+// Tests for the landmark-fleet availability model and the probe scheduler.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fleet/fleet.h"
+
+namespace diagnet::fleet {
+namespace {
+
+FleetConfig quiet_config() {
+  FleetConfig config;
+  config.failures_per_day = 0.0;
+  config.maintenance_hours = 0.0;
+  return config;
+}
+
+TEST(LandmarkFleet, NoChurnMeansAlwaysAvailable) {
+  const LandmarkFleet fleet(10, quiet_config());
+  for (double t : {0.0, 100.0, 500.0}) {
+    EXPECT_EQ(fleet.available_count(t), 10u);
+  }
+  EXPECT_DOUBLE_EQ(fleet.downtime_hours(3), 0.0);
+}
+
+TEST(LandmarkFleet, MaintenanceWindowsRecur) {
+  FleetConfig config = quiet_config();
+  config.maintenance_hours = 2.0;
+  config.maintenance_period_days = 1.0;  // daily, 2h
+  config.horizon_hours = 24.0 * 10.0;
+  const LandmarkFleet fleet(4, config);
+  for (std::size_t lam = 0; lam < 4; ++lam) {
+    // ~10 windows of 2 h each over 10 days.
+    EXPECT_NEAR(fleet.downtime_hours(lam), 20.0, 4.0);
+  }
+}
+
+TEST(LandmarkFleet, FailuresProduceOutages) {
+  FleetConfig config = quiet_config();
+  config.failures_per_day = 2.0;  // very flaky fleet
+  config.mean_outage_hours = 3.0;
+  config.horizon_hours = 24.0 * 14.0;
+  const LandmarkFleet fleet(6, config);
+  double total_downtime = 0.0;
+  for (std::size_t lam = 0; lam < 6; ++lam)
+    total_downtime += fleet.downtime_hours(lam);
+  EXPECT_GT(total_downtime, 50.0);
+
+  // availability() must agree with available().
+  const auto mask = fleet.availability(100.0);
+  for (std::size_t lam = 0; lam < 6; ++lam)
+    EXPECT_EQ(mask[lam], fleet.available(lam, 100.0));
+}
+
+TEST(LandmarkFleet, DeterministicForSeed) {
+  FleetConfig config;
+  config.seed = 99;
+  const LandmarkFleet a(8, config);
+  const LandmarkFleet b(8, config);
+  for (double t = 0.0; t < 300.0; t += 17.3)
+    EXPECT_EQ(a.availability(t), b.availability(t));
+}
+
+TEST(LandmarkFleet, OutageIntervalSemantics) {
+  FleetConfig config = quiet_config();
+  config.maintenance_hours = 5.0;
+  config.maintenance_period_days = 8.0;  // one window per 192 h
+  config.horizon_hours = 400.0;          // guarantees a full window inside
+  const LandmarkFleet fleet(1, config);
+  // Find the first complete window by scanning.
+  double down_start = -1.0, down_end = -1.0;
+  for (double t = 0.0; t < 400.0 && down_end < 0.0; t += 0.25) {
+    const bool up = fleet.available(0, t);
+    if (!up && down_start < 0.0) down_start = t;
+    if (up && down_start >= 0.0) down_end = t;
+  }
+  ASSERT_GE(down_start, 0.0);
+  ASSERT_GE(down_end, 0.0);
+  EXPECT_NEAR(down_end - down_start, 5.0, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// ProbeScheduler
+
+struct SchedulerFixture {
+  netsim::Topology topology = netsim::default_topology();
+};
+
+TEST(ProbeScheduler, RespectsBudget) {
+  SchedulerFixture f;
+  for (ProbeStrategy strategy : {ProbeStrategy::RandomK,
+                                 ProbeStrategy::NearestK,
+                                 ProbeStrategy::SpreadK}) {
+    ProbeScheduler scheduler(f.topology, {5, strategy}, 3);
+    const std::vector<bool> all(10, true);
+    const auto selected = scheduler.select(2, all, 7, 0);
+    std::size_t count = 0;
+    for (bool s : selected) count += s ? 1 : 0;
+    EXPECT_EQ(count, 5u) << probe_strategy_name(strategy);
+  }
+}
+
+TEST(ProbeScheduler, SelectsOnlyAvailableLandmarks) {
+  SchedulerFixture f;
+  ProbeScheduler scheduler(f.topology, {4, ProbeStrategy::RandomK}, 4);
+  std::vector<bool> available(10, true);
+  available[0] = available[5] = available[9] = false;
+  for (std::uint64_t epoch = 0; epoch < 20; ++epoch) {
+    const auto selected = scheduler.select(1, available, 11, epoch);
+    EXPECT_FALSE(selected[0]);
+    EXPECT_FALSE(selected[5]);
+    EXPECT_FALSE(selected[9]);
+  }
+}
+
+TEST(ProbeScheduler, SmallFleetIsTakenWhole) {
+  SchedulerFixture f;
+  ProbeScheduler scheduler(f.topology, {8, ProbeStrategy::NearestK}, 5);
+  std::vector<bool> available(10, false);
+  available[2] = available[4] = available[7] = true;
+  const auto selected = scheduler.select(0, available, 1, 0);
+  EXPECT_EQ(selected, available);
+}
+
+TEST(ProbeScheduler, NearestKPrefersCloseLandmarks) {
+  SchedulerFixture f;
+  ProbeScheduler scheduler(f.topology, {3, ProbeStrategy::NearestK}, 6);
+  const std::vector<bool> all(10, true);
+  const std::size_t grav = f.topology.index_of("GRAV");
+  const auto selected = scheduler.select(grav, all, 1, 0);
+  // The local landmark is always among the 3 nearest.
+  EXPECT_TRUE(selected[grav]);
+  // Antipodal landmarks are not.
+  EXPECT_FALSE(selected[f.topology.index_of("SYDN")]);
+}
+
+TEST(ProbeScheduler, SpreadKIncludesLocalAndVariesRemote) {
+  SchedulerFixture f;
+  ProbeScheduler scheduler(f.topology, {6, ProbeStrategy::SpreadK}, 8);
+  const std::vector<bool> all(10, true);
+  const std::size_t east = f.topology.index_of("EAST");
+  std::set<std::size_t> far_picks;
+  for (std::uint64_t epoch = 0; epoch < 12; ++epoch) {
+    const auto selected = scheduler.select(east, all, 5, epoch);
+    EXPECT_TRUE(selected[east]);  // nearest half always has the local one
+    for (std::size_t lam = 0; lam < 10; ++lam)
+      if (selected[lam]) far_picks.insert(lam);
+  }
+  // Over several epochs the random half rotates through the far fleet.
+  EXPECT_GT(far_picks.size(), 6u);
+}
+
+TEST(ProbeScheduler, DeterministicPerClientEpoch) {
+  SchedulerFixture f;
+  ProbeScheduler scheduler(f.topology, {5, ProbeStrategy::RandomK}, 10);
+  const std::vector<bool> all(10, true);
+  EXPECT_EQ(scheduler.select(3, all, 42, 9), scheduler.select(3, all, 42, 9));
+  EXPECT_NE(scheduler.select(3, all, 42, 9), scheduler.select(3, all, 42, 10));
+}
+
+TEST(ProbeScheduler, NoAvailableLandmarkThrows) {
+  SchedulerFixture f;
+  ProbeScheduler scheduler(f.topology, {5, ProbeStrategy::RandomK}, 1);
+  const std::vector<bool> none(10, false);
+  EXPECT_THROW(scheduler.select(0, none, 1, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace diagnet::fleet

@@ -1,0 +1,41 @@
+// Shared helpers for the test suite: finite-difference gradient checking
+// and small random fixtures.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace diagnet::test {
+
+inline tensor::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                                    std::uint64_t seed, double scale = 1.0) {
+  util::Rng rng(seed);
+  tensor::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = scale * rng.normal();
+  return m;
+}
+
+/// Central finite difference of a scalar function w.r.t. one entry of a
+/// matrix owned elsewhere (the function must read the matrix each call).
+inline double finite_difference(const std::function<double()>& f, double& x,
+                                double eps = 1e-6) {
+  const double saved = x;
+  x = saved + eps;
+  const double fp = f();
+  x = saved - eps;
+  const double fm = f();
+  x = saved;
+  return (fp - fm) / (2.0 * eps);
+}
+
+/// Relative error tolerant of tiny magnitudes.
+inline double rel_error(double a, double b) {
+  const double denom = std::max({std::abs(a), std::abs(b), 1e-8});
+  return std::abs(a - b) / denom;
+}
+
+}  // namespace diagnet::test

@@ -1,0 +1,98 @@
+// Tests for the evaluation metrics (Recall@k, classification reports).
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace diagnet::eval {
+namespace {
+
+TEST(RecallAtK, BasicHits) {
+  const std::vector<std::vector<std::size_t>> rankings{
+      {3, 1, 2}, {0, 2, 1}, {2, 0, 3}};
+  const std::vector<std::size_t> truths{3, 1, 0};
+  EXPECT_NEAR(recall_at_k(rankings, truths, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall_at_k(rankings, truths, 2), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall_at_k(rankings, truths, 3), 1.0, 1e-12);
+}
+
+TEST(RecallAtK, MonotoneInK) {
+  const std::vector<std::vector<std::size_t>> rankings{
+      {5, 4, 3, 2, 1, 0}, {0, 1, 2, 3, 4, 5}, {2, 5, 0, 1, 4, 3}};
+  const std::vector<std::size_t> truths{1, 5, 4};
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const double r = recall_at_k(rankings, truths, k);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(RecallAtK, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(recall_at_k({}, {}, 3), 0.0);
+}
+
+TEST(RecallAtK, KDeeperThanRankingIsSafe) {
+  EXPECT_DOUBLE_EQ(recall_at_k({{1, 0}}, {0}, 10), 1.0);
+}
+
+TEST(RecallAtK, MismatchedSizesThrow) {
+  EXPECT_THROW(recall_at_k({{0}}, {0, 1}, 1), std::logic_error);
+  EXPECT_THROW(recall_at_k({{0}}, {0}, 0), std::logic_error);
+}
+
+TEST(RecallAtKMulti, CountsEveryTrueCause) {
+  // Sample 1: causes {2, 7}; ranking finds 2 at rank 1, 7 at rank 3.
+  // Sample 2: cause {4}; not in top 3.
+  const std::vector<std::vector<std::size_t>> rankings{{2, 0, 7},
+                                                       {1, 2, 3}};
+  const std::vector<std::vector<std::size_t>> truths{{2, 7}, {4}};
+  EXPECT_NEAR(recall_at_k_multi(rankings, truths, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall_at_k_multi(rankings, truths, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RecallAtKMulti, EmptyTruthsContributeNothing) {
+  EXPECT_DOUBLE_EQ(recall_at_k_multi({{1}, {2}}, {{}, {2}}, 1), 1.0);
+}
+
+TEST(ClassificationReport, HandComputedExample) {
+  //            true:  0 0 0 1 1 2
+  //            pred:  0 0 1 1 0 2
+  const std::vector<std::size_t> y_true{0, 0, 0, 1, 1, 2};
+  const std::vector<std::size_t> y_pred{0, 0, 1, 1, 0, 2};
+  const ClassificationReport report =
+      classification_report(y_true, y_pred, 3);
+
+  EXPECT_NEAR(report.accuracy, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(report.per_class[0].support, 3u);
+  EXPECT_NEAR(report.per_class[0].recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.per_class[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.per_class[0].f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(report.per_class[1].recall, 0.5, 1e-12);
+  EXPECT_NEAR(report.per_class[1].precision, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(report.per_class[2].f1, 1.0);
+  EXPECT_GT(report.accuracy_stderr, 0.0);
+}
+
+TEST(ClassificationReport, AbsentClassScoresZero) {
+  const ClassificationReport report =
+      classification_report({0, 0}, {0, 0}, 3);
+  EXPECT_DOUBLE_EQ(report.per_class[2].f1, 0.0);
+  EXPECT_EQ(report.per_class[2].support, 0u);
+}
+
+TEST(ConfusionMatrix, CountsAllPairs) {
+  const auto cm = confusion_matrix({0, 0, 1, 1, 2}, {0, 1, 1, 1, 0}, 3);
+  EXPECT_EQ(cm[0][0], 1u);
+  EXPECT_EQ(cm[0][1], 1u);
+  EXPECT_EQ(cm[1][1], 2u);
+  EXPECT_EQ(cm[2][0], 1u);
+  std::size_t total = 0;
+  for (const auto& row : cm)
+    for (std::size_t v : row) total += v;
+  EXPECT_EQ(total, 5u);
+}
+
+}  // namespace
+}  // namespace diagnet::eval

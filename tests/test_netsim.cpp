@@ -1,0 +1,266 @@
+// Tests for the WAN simulator substrate: geography, topology, path model,
+// fault application, TCP throughput model and measurement emulation.
+
+#include <gtest/gtest.h>
+
+#include "netsim/measurement.h"
+#include "netsim/path_model.h"
+#include "netsim/topology.h"
+#include "util/rng.h"
+
+namespace diagnet::netsim {
+namespace {
+
+TEST(Geo, KnownDistances) {
+  // Paris <-> New York is ~5840 km.
+  const GeoPoint paris{48.85, 2.35};
+  const GeoPoint nyc{40.71, -74.0};
+  EXPECT_NEAR(great_circle_km(paris, nyc), 5840.0, 100.0);
+  EXPECT_DOUBLE_EQ(great_circle_km(paris, paris), 0.0);
+}
+
+TEST(Geo, DistanceIsSymmetric) {
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b{-35.0, 150.0};
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  EXPECT_DOUBLE_EQ(propagation_delay_ms(0.0), 0.0);
+  EXPECT_NEAR(propagation_delay_ms(200.0), 1.5, 1e-9);  // 1.5x inflation
+  EXPECT_GT(propagation_delay_ms(8000.0), 40.0);
+}
+
+TEST(Topology, DefaultHasTenRegionsFourProviders) {
+  const Topology topology = default_topology();
+  EXPECT_EQ(topology.region_count(), 10u);
+  std::set<Provider> providers;
+  for (const Region& region : topology.regions())
+    providers.insert(region.provider);
+  EXPECT_EQ(providers.size(), 4u);
+}
+
+TEST(Topology, PaperRegionCodesPresent) {
+  const Topology topology = default_topology();
+  for (const char* code : {"EAST", "SEAT", "BEAU", "GRAV", "AMST", "SING"})
+    EXPECT_NO_THROW(topology.index_of(code)) << code;
+  EXPECT_THROW(topology.index_of("MARS"), std::logic_error);
+}
+
+TEST(Topology, PaperRoleAssignments) {
+  const Topology topology = default_topology();
+  const auto hidden = default_hidden_landmarks(topology);
+  EXPECT_EQ(hidden.size(), 3u);  // EAST, GRAV, SEAT
+  EXPECT_EQ(default_service_regions(topology).size(), 3u);
+  EXPECT_EQ(default_fault_regions(topology).size(), 5u);
+}
+
+TEST(Topology, RttIsSymmetricAndDistanceMonotone) {
+  const Topology topology = default_topology();
+  const std::size_t grav = topology.index_of("GRAV");
+  const std::size_t amst = topology.index_of("AMST");
+  const std::size_t sydn = topology.index_of("SYDN");
+  EXPECT_DOUBLE_EQ(topology.base_rtt_ms(grav, amst),
+                   topology.base_rtt_ms(amst, grav));
+  // Gravelines-Amsterdam is much closer than Gravelines-Sydney.
+  EXPECT_LT(topology.base_rtt_ms(grav, amst),
+            topology.base_rtt_ms(grav, sydn));
+  EXPECT_GE(topology.base_rtt_ms(grav, grav), 1.0);
+}
+
+TEST(Topology, SameProviderPeeringIsCheaper) {
+  // EAST (AWS) <-> FRAN (AWS) vs EAST <-> LOND (GCP): Frankfurt is farther
+  // than London from Virginia, yet the peering penalty gap is visible when
+  // comparing equal-distance paths; test the penalty directly instead.
+  const Topology topology = default_topology();
+  const std::size_t east = topology.index_of("EAST");
+  const std::size_t fran = topology.index_of("FRAN");
+  const std::size_t lond = topology.index_of("LOND");
+  const double same = topology.base_rtt_ms(east, fran) -
+                      2.0 * propagation_delay_ms(
+                                topology.distance_km(east, fran));
+  const double cross = topology.base_rtt_ms(east, lond) -
+                       2.0 * propagation_delay_ms(
+                                 topology.distance_km(east, lond));
+  EXPECT_LT(same, cross);
+}
+
+TEST(TcpThroughput, CappedByBottleneck) {
+  EXPECT_DOUBLE_EQ(tcp_throughput_mbps(10.0, 20.0, 1e-5), 10.0);
+}
+
+TEST(TcpThroughput, LossAndRttDegradeIt) {
+  const double clean = tcp_throughput_mbps(1000.0, 50.0, 1e-4);
+  const double lossy = tcp_throughput_mbps(1000.0, 50.0, 0.08);
+  const double slow = tcp_throughput_mbps(1000.0, 200.0, 1e-4);
+  EXPECT_LT(lossy, clean * 0.2);
+  EXPECT_LT(slow, clean);
+}
+
+TEST(Fault, FamilyPredicatesAndDefaults) {
+  EXPECT_TRUE(is_remote_family(FaultFamily::Latency));
+  EXPECT_TRUE(is_remote_family(FaultFamily::Bandwidth));
+  EXPECT_FALSE(is_remote_family(FaultFamily::Uplink));
+  EXPECT_FALSE(is_remote_family(FaultFamily::Load));
+
+  EXPECT_DOUBLE_EQ(default_fault(FaultFamily::Latency, 0).magnitude, 50.0);
+  EXPECT_DOUBLE_EQ(default_fault(FaultFamily::Loss, 0).magnitude, 0.08);
+  EXPECT_DOUBLE_EQ(default_fault(FaultFamily::Bandwidth, 0).magnitude, 8.0);
+  EXPECT_THROW(default_fault(FaultFamily::Nominal, 0), std::logic_error);
+}
+
+class PathModelTest : public ::testing::Test {
+ protected:
+  Topology topology_ = default_topology();
+  PathModel paths_{topology_, 42};
+};
+
+TEST_F(PathModelTest, NominalStateIsSane) {
+  for (std::size_t a = 0; a < topology_.region_count(); ++a) {
+    const PathState s = paths_.nominal_path(a, (a + 3) % 10, 12.0);
+    EXPECT_GT(s.rtt_ms, 0.0);
+    EXPECT_GE(s.jitter_ms, 0.0);
+    EXPECT_GE(s.loss_rate, 0.0);
+    EXPECT_LT(s.loss_rate, 0.02);
+    EXPECT_GT(s.down_mbps, 10.0);
+    EXPECT_GT(s.up_mbps, 5.0);
+  }
+}
+
+TEST_F(PathModelTest, FaultAffectsOnlyTouchingPaths) {
+  const std::size_t grav = topology_.index_of("GRAV");
+  const std::size_t seat = topology_.index_of("SEAT");
+  const std::size_t sing = topology_.index_of("SING");
+  const ActiveFaults faults{default_fault(FaultFamily::Latency, grav)};
+
+  const PathState touched = paths_.path(seat, grav, 6.0, faults);
+  const PathState untouched = paths_.path(seat, sing, 6.0, faults);
+  EXPECT_NEAR(touched.rtt_ms,
+              paths_.nominal_path(seat, grav, 6.0).rtt_ms + 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(untouched.rtt_ms,
+                   paths_.nominal_path(seat, sing, 6.0).rtt_ms);
+}
+
+TEST_F(PathModelTest, EachFamilyPerturbsItsMetric) {
+  const std::size_t amst = topology_.index_of("AMST");
+  const std::size_t east = topology_.index_of("EAST");
+  const PathState nominal = paths_.nominal_path(east, amst, 3.0);
+
+  const PathState jitter = paths_.path(
+      east, amst, 3.0, {default_fault(FaultFamily::Jitter, amst)});
+  EXPECT_NEAR(jitter.jitter_ms, nominal.jitter_ms + 100.0, 1e-9);
+
+  const PathState loss =
+      paths_.path(east, amst, 3.0, {default_fault(FaultFamily::Loss, amst)});
+  EXPECT_NEAR(loss.loss_rate, nominal.loss_rate + 0.08, 1e-9);
+
+  const PathState shaped = paths_.path(
+      east, amst, 3.0, {default_fault(FaultFamily::Bandwidth, amst)});
+  EXPECT_DOUBLE_EQ(shaped.down_mbps, 8.0);
+  EXPECT_DOUBLE_EQ(shaped.up_mbps, nominal.up_mbps);  // download shaping only
+}
+
+TEST_F(PathModelTest, LocalFamiliesDoNotTouchPaths) {
+  const std::size_t grav = topology_.index_of("GRAV");
+  const ActiveFaults faults{default_fault(FaultFamily::Uplink, grav),
+                            default_fault(FaultFamily::Load, grav)};
+  const PathState s = paths_.path(grav, 2, 9.0, faults);
+  const PathState nominal = paths_.nominal_path(grav, 2, 9.0);
+  EXPECT_DOUBLE_EQ(s.rtt_ms, nominal.rtt_ms);
+  EXPECT_DOUBLE_EQ(s.down_mbps, nominal.down_mbps);
+}
+
+TEST_F(PathModelTest, DiurnalCongestionMovesCharacteristics) {
+  bool any_changed = false;
+  for (std::size_t b = 1; b < 4 && !any_changed; ++b) {
+    const PathState morning = paths_.nominal_path(0, b, 4.0);
+    const PathState evening = paths_.nominal_path(0, b, 16.0);
+    any_changed = morning.down_mbps != evening.down_mbps;
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST_F(PathModelTest, DeterministicAcrossInstances) {
+  PathModel again(topology_, 42);
+  const PathState a = paths_.nominal_path(1, 7, 13.7);
+  const PathState b = again.nominal_path(1, 7, 13.7);
+  EXPECT_DOUBLE_EQ(a.rtt_ms, b.rtt_ms);
+  EXPECT_DOUBLE_EQ(a.loss_rate, b.loss_rate);
+}
+
+TEST(ClientProfile, DeterministicAndPlausible) {
+  const ClientProfile a = ClientProfile::make(3, 77, 42);
+  const ClientProfile b = ClientProfile::make(3, 77, 42);
+  EXPECT_DOUBLE_EQ(a.gateway_base_ms, b.gateway_base_ms);
+  EXPECT_GT(a.gateway_base_ms, 0.5);
+  EXPECT_LT(a.gateway_base_ms, 10.0);
+  EXPECT_GT(a.access_down_mbps, a.access_up_mbps);
+  EXPECT_GE(a.cpu_base, 0.0);
+  EXPECT_LE(a.cpu_base, 1.0);
+}
+
+TEST(ClientCondition, ExtractsLocalFaultsForOwnRegionOnly) {
+  const ActiveFaults faults{default_fault(FaultFamily::Uplink, 2),
+                            default_fault(FaultFamily::Load, 2),
+                            default_fault(FaultFamily::Latency, 2)};
+  const ClientCondition in_region = ClientCondition::from_faults(faults, 2);
+  EXPECT_DOUBLE_EQ(in_region.gateway_extra_ms, 50.0);
+  EXPECT_DOUBLE_EQ(in_region.cpu_stress, 0.85);
+
+  const ClientCondition elsewhere = ClientCondition::from_faults(faults, 5);
+  EXPECT_DOUBLE_EQ(elsewhere.gateway_extra_ms, 0.0);
+  EXPECT_DOUBLE_EQ(elsewhere.cpu_stress, 0.0);
+}
+
+TEST(Measurement, LandmarkMetricsInRange) {
+  const Topology topology = default_topology();
+  const PathModel paths(topology, 7);
+  const ClientProfile client = ClientProfile::make(0, 1, 7);
+  util::Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const PathState path = paths.nominal_path(0, 5, 10.0);
+    const LandmarkMeasurement m =
+        measure_landmark(path, client, ClientCondition{}, rng);
+    EXPECT_GT(m.latency_ms, 0.0);
+    EXPECT_GE(m.jitter_ms, 0.0);
+    EXPECT_GE(m.loss_ratio, 0.0);
+    EXPECT_LE(m.loss_ratio, 1.0);
+    EXPECT_GT(m.down_mbps, 0.0);
+    EXPECT_GT(m.up_mbps, 0.0);
+  }
+}
+
+TEST(Measurement, UplinkFaultShiftsEverything) {
+  const Topology topology = default_topology();
+  const PathModel paths(topology, 9);
+  const ClientProfile client = ClientProfile::make(0, 1, 9);
+  ClientCondition faulty;
+  faulty.gateway_extra_ms = 50.0;
+
+  util::Rng rng_a(10);
+  util::Rng rng_b(10);
+  const PathState path = paths.nominal_path(0, 4, 8.0);
+  const LandmarkMeasurement healthy =
+      measure_landmark(path, client, ClientCondition{}, rng_a);
+  const LandmarkMeasurement degraded =
+      measure_landmark(path, client, faulty, rng_b);
+  EXPECT_NEAR(degraded.latency_ms - healthy.latency_ms, 50.0, 1.0);
+
+  util::Rng rng_c(11);
+  const LocalMeasurement local = measure_local(client, faulty, 8.0, rng_c);
+  EXPECT_GT(local.gateway_rtt_ms, 50.0);
+  EXPECT_GT(local.dns_ms, 50.0);
+}
+
+TEST(Measurement, CpuStressRaisesLoadMetrics) {
+  const ClientProfile client = ClientProfile::make(0, 2, 12);
+  ClientCondition stressed;
+  stressed.cpu_stress = 0.85;
+  util::Rng rng(13);
+  const LocalMeasurement m = measure_local(client, stressed, 12.0, rng);
+  EXPECT_GT(m.cpu_load, 0.8);
+  EXPECT_LE(m.cpu_load, 1.0);
+}
+
+}  // namespace
+}  // namespace diagnet::netsim

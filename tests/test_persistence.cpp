@@ -1,0 +1,219 @@
+// Tests for binary IO, forest/normalizer serialisation, the model
+// registry, dataset CSV round-trips, and the occlusion attention variant.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/registry.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "eval/pipeline.h"
+#include "util/binary_io.h"
+
+namespace diagnet {
+namespace {
+
+TEST(BinaryIo, ScalarRoundTrips) {
+  std::stringstream ss;
+  util::BinaryWriter writer(ss);
+  writer.write_u64(0xdeadbeefULL);
+  writer.write_double(-3.25);
+  writer.write_bool(true);
+  writer.write_string("hello");
+  writer.write_doubles({1.0, 2.5});
+  writer.write_indices({7, 0, 42});
+
+  util::BinaryReader reader(ss);
+  EXPECT_EQ(reader.read_u64(), 0xdeadbeefULL);
+  EXPECT_DOUBLE_EQ(reader.read_double(), -3.25);
+  EXPECT_TRUE(reader.read_bool());
+  EXPECT_EQ(reader.read_string(), "hello");
+  EXPECT_EQ(reader.read_doubles(), (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(reader.read_indices(), (std::vector<std::size_t>{7, 0, 42}));
+}
+
+TEST(BinaryIo, TruncatedInputThrows) {
+  std::stringstream ss;
+  util::BinaryWriter writer(ss);
+  writer.write_u64(1);
+  util::BinaryReader reader(ss);
+  reader.read_u64();
+  EXPECT_THROW(reader.read_double(), std::runtime_error);
+}
+
+TEST(BinaryIo, ExpectTagMismatchThrows) {
+  std::stringstream ss;
+  util::BinaryWriter writer(ss);
+  writer.write_u64(1);
+  util::BinaryReader reader(ss);
+  EXPECT_THROW(reader.expect_u64(2, "test"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// The shared small pipeline gives us trained artifacts to serialise.
+
+eval::Pipeline& pipeline() {
+  static auto instance = [] {
+    eval::PipelineConfig config = eval::PipelineConfig::small();
+    config.seed = 777;
+    return std::make_unique<eval::Pipeline>(config);
+  }();
+  return *instance;
+}
+
+TEST(ForestPersistence, RoundTripPreservesScores) {
+  const auto& original = pipeline().rf_baseline();
+  std::stringstream ss;
+  util::BinaryWriter writer(ss);
+  original.save(writer);
+
+  forest::ExtensibleForest restored;
+  util::BinaryReader reader(ss);
+  restored.load(reader);
+
+  EXPECT_EQ(restored.total_causes(), original.total_causes());
+  EXPECT_EQ(restored.trained_causes(), original.trained_causes());
+  const std::vector<double> sample(55, 0.3);
+  EXPECT_EQ(restored.score_causes(sample), original.score_causes(sample));
+}
+
+TEST(ModelRegistry, RoundTripPreservesDiagnoses) {
+  auto& p = pipeline();
+  std::stringstream ss;
+  core::save_model(p.diagnet(), ss);
+  auto restored = core::load_model(ss, p.feature_space());
+
+  ASSERT_TRUE(restored->trained());
+  EXPECT_EQ(restored->unknown_features(), p.diagnet().unknown_features());
+
+  const auto faulty = p.faulty_test_indices();
+  const std::vector<bool> all(p.feature_space().landmark_count(), true);
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, faulty.size());
+       ++i) {
+    const auto& sample = p.split().test.samples[faulty[i]];
+    const auto a = p.diagnet().diagnose(sample.features, sample.service, all);
+    const auto b = restored->diagnose(sample.features, sample.service, all);
+    ASSERT_EQ(a.ranking, b.ranking);
+    for (std::size_t j = 0; j < a.scores.size(); ++j)
+      EXPECT_DOUBLE_EQ(a.scores[j], b.scores[j]);
+  }
+}
+
+TEST(ModelRegistry, SpecialisedHeadsSurvive) {
+  auto& p = pipeline();
+  std::stringstream ss;
+  core::save_model(p.diagnet(), ss);
+  auto restored = core::load_model(ss, p.feature_space());
+  for (const auto& [service, history] : p.specialization_history())
+    EXPECT_TRUE(restored->has_specialized(service));
+}
+
+TEST(ModelRegistry, GarbageInputThrows) {
+  std::stringstream ss("this is not a model file");
+  EXPECT_THROW(core::load_model(ss, pipeline().feature_space()),
+               std::runtime_error);
+}
+
+TEST(ModelRegistry, UntrainedModelCannotBeSaved) {
+  core::DiagNetModel fresh(pipeline().feature_space(),
+                           core::DiagNetConfig::defaults());
+  std::stringstream ss;
+  EXPECT_THROW(core::save_model(fresh, ss), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset CSV
+
+TEST(DatasetCsv, RoundTripPreservesEverything) {
+  const auto& fs = pipeline().feature_space();
+  // A small slice with both faulty and nominal samples.
+  data::Dataset original;
+  original.landmark_available = pipeline().split().train.landmark_available;
+  for (std::size_t i = 0; i < 50 && i < pipeline().split().test.size(); ++i)
+    original.samples.push_back(pipeline().split().test.samples[i]);
+
+  std::stringstream ss;
+  data::write_csv(original, fs, ss);
+  const data::Dataset restored = data::read_csv(ss, fs);
+
+  ASSERT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.landmark_available, original.landmark_available);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const data::Sample& a = original.samples[i];
+    const data::Sample& b = restored.samples[i];
+    EXPECT_EQ(a.features, b.features);
+    EXPECT_EQ(a.client_region, b.client_region);
+    EXPECT_EQ(a.service, b.service);
+    EXPECT_DOUBLE_EQ(a.time_hours, b.time_hours);
+    EXPECT_DOUBLE_EQ(a.page_load_ms, b.page_load_ms);
+    EXPECT_EQ(a.qoe_degraded, b.qoe_degraded);
+    EXPECT_EQ(a.primary_cause, b.primary_cause);
+    EXPECT_EQ(a.coarse_label, b.coarse_label);
+    EXPECT_EQ(a.true_causes, b.true_causes);
+    EXPECT_EQ(a.injected, b.injected);
+  }
+}
+
+TEST(DatasetCsv, RejectsForeignHeader) {
+  const auto& fs = pipeline().feature_space();
+  std::stringstream ss("#landmark_available,1,1,1,1,1,1,1,1,1,1\nwrong\n");
+  EXPECT_THROW(data::read_csv(ss, fs), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Occlusion attention
+
+TEST(OcclusionAttention, ProducesANormalisedDistribution) {
+  auto& p = pipeline();
+  const auto faulty = p.faulty_test_indices();
+  const auto& sample = p.split().test.samples[faulty[0]];
+  const nn::LandBatch batch = data::encode_sample(
+      sample.features, p.feature_space(), p.diagnet().normalizer(),
+      p.split().test.landmark_available);
+  const auto result = core::compute_occlusion_attention(
+      p.diagnet().general_net(), batch, p.feature_space());
+  double sum = 0.0;
+  for (double g : result.gamma) {
+    EXPECT_GE(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(OcclusionAttention, AgreesWithGradientOnCoarsePrediction) {
+  auto& p = pipeline();
+  const auto faulty = p.faulty_test_indices();
+  const auto& sample = p.split().test.samples[faulty[0]];
+  const nn::LandBatch batch = data::encode_sample(
+      sample.features, p.feature_space(), p.diagnet().normalizer(),
+      p.split().test.landmark_available);
+  const auto grad = core::compute_attention(p.diagnet().general_net(), batch,
+                                            p.feature_space());
+  const auto occl = core::compute_occlusion_attention(
+      p.diagnet().general_net(), batch, p.feature_space());
+  EXPECT_EQ(grad.coarse_argmax, occl.coarse_argmax);
+  for (std::size_t c = 0; c < grad.coarse_probs.size(); ++c)
+    EXPECT_NEAR(grad.coarse_probs[c], occl.coarse_probs[c], 1e-9);
+}
+
+TEST(OcclusionAttention, DiagnoseMethodToggleWorks) {
+  auto& p = pipeline();
+  const auto faulty = p.faulty_test_indices();
+  const auto& sample = p.split().test.samples[faulty[0]];
+  const std::vector<bool> all(p.feature_space().landmark_count(), true);
+
+  p.diagnet().set_attention_method(core::AttentionMethod::Occlusion);
+  const auto occl = p.diagnet().diagnose(sample.features, sample.service, all);
+  p.diagnet().set_attention_method(core::AttentionMethod::Gradient);
+  const auto grad = p.diagnet().diagnose(sample.features, sample.service, all);
+
+  double diff = 0.0;
+  for (std::size_t j = 0; j < grad.attention.size(); ++j)
+    diff += std::abs(grad.attention[j] - occl.attention[j]);
+  EXPECT_GT(diff, 1e-9);  // distinct mechanisms, distinct scores
+}
+
+}  // namespace
+}  // namespace diagnet

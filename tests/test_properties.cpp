@@ -1,0 +1,210 @@
+// Cross-module property tests: invariants that must hold over swept inputs
+// rather than single fixtures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/score_weighting.h"
+#include "data/feature_space.h"
+#include "eval/pipeline.h"
+#include "netsim/path_model.h"
+#include "nn/coarse_net.h"
+#include "tests/test_helpers.h"
+
+namespace diagnet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CoarseNet is invariant to landmark permutations end-to-end (the property
+// that makes LandPooling topology-agnostic: the network cannot encode
+// landmark identity, only the distribution of behaviours).
+
+class PermutationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PermutationSweep, CoarseLogitsIgnoreLandmarkOrder) {
+  const std::size_t rotation = GetParam();
+  nn::CoarseNetConfig config;
+  config.features_per_landmark = 5;
+  config.local_features = 5;
+  config.filters = 8;
+  config.pool_ops = nn::default_pool_ops();
+  config.hidden = {16, 8};
+  config.classes = 7;
+  util::Rng rng(21);
+  nn::CoarseNet net(config, rng);
+
+  const std::size_t L = 9;
+  nn::LandBatch batch;
+  batch.land = test::random_matrix(1, L * 5, 22);
+  batch.mask = nn::Matrix(1, L, 1.0);
+  batch.local = test::random_matrix(1, 5, 23);
+  const nn::Matrix base = net.forward(batch);
+
+  nn::LandBatch rotated = batch;
+  for (std::size_t lam = 0; lam < L; ++lam)
+    for (std::size_t f = 0; f < 5; ++f)
+      rotated.land(0, ((lam + rotation) % L) * 5 + f) =
+          batch.land(0, lam * 5 + f);
+  const nn::Matrix out = net.forward(rotated);
+  for (std::size_t c = 0; c < out.cols(); ++c)
+    EXPECT_NEAR(base(0, c), out(0, c), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rotations, PermutationSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 invariants over many random inputs.
+
+class ScoreWeightingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScoreWeightingSweep, NormalisationAndSignPreserved) {
+  const netsim::Topology topology = netsim::default_topology();
+  const data::FeatureSpace fs(topology);
+  util::Rng rng(GetParam());
+
+  // Random normalised attention + random coarse distribution.
+  std::vector<double> gamma(fs.total());
+  double gamma_sum = 0.0;
+  for (auto& g : gamma) {
+    g = rng.uniform();
+    gamma_sum += g;
+  }
+  for (auto& g : gamma) g /= gamma_sum;
+  std::vector<double> coarse(netsim::kFaultFamilies);
+  double coarse_sum = 0.0;
+  for (auto& y : coarse) {
+    y = rng.uniform();
+    coarse_sum += y;
+  }
+  for (auto& y : coarse) y /= coarse_sum;
+  const std::size_t argmax = static_cast<std::size_t>(
+      std::max_element(coarse.begin(), coarse.end()) - coarse.begin());
+
+  const auto tuned = core::weight_scores(gamma, coarse, argmax, fs);
+  // Always a distribution.
+  EXPECT_NEAR(std::accumulate(tuned.begin(), tuned.end(), 0.0), 1.0, 1e-9);
+  for (double t : tuned) EXPECT_GE(t, 0.0);
+  // Ordering preserved within each side of the family split (the bonus and
+  // penalty factors are uniform inside each group).
+  const auto family = static_cast<netsim::FaultFamily>(argmax);
+  for (std::size_t a = 0; a + 1 < fs.total(); ++a) {
+    for (std::size_t b = a + 1; b < std::min(a + 5, fs.total()); ++b) {
+      if ((fs.family_of(a) == family) != (fs.family_of(b) == family))
+        continue;
+      EXPECT_EQ(gamma[a] < gamma[b], tuned[a] < tuned[b]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreWeightingSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---------------------------------------------------------------------------
+// TCP throughput model monotonicity over a sweep of operating points.
+
+class TcpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpSweep, MonotoneInLossRttAndBandwidth) {
+  const double rtt = GetParam();
+  double prev = 1e18;
+  for (double loss : {1e-5, 1e-4, 1e-3, 1e-2, 0.08}) {
+    const double tput = netsim::tcp_throughput_mbps(500.0, rtt, loss);
+    EXPECT_LE(tput, prev);
+    EXPECT_GT(tput, 0.0);
+    prev = tput;
+  }
+  EXPECT_LE(netsim::tcp_throughput_mbps(500.0, rtt * 2.0, 1e-3),
+            netsim::tcp_throughput_mbps(500.0, rtt, 1e-3));
+  EXPECT_LE(netsim::tcp_throughput_mbps(50.0, rtt, 1e-5),
+            netsim::tcp_throughput_mbps(500.0, rtt, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, TcpSweep,
+                         ::testing::Values(10.0, 40.0, 120.0, 300.0));
+
+// ---------------------------------------------------------------------------
+// ranking_from_scores contract.
+
+TEST(RankingFromScores, IsASortedPermutation) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> scores(55);
+    for (auto& s : scores) s = rng.uniform();
+    const auto ranking = eval::ranking_from_scores(scores);
+    std::vector<std::size_t> sorted = ranking;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t j = 0; j < sorted.size(); ++j) EXPECT_EQ(sorted[j], j);
+    for (std::size_t r = 1; r < ranking.size(); ++r)
+      EXPECT_GE(scores[ranking[r - 1]], scores[ranking[r]]);
+  }
+}
+
+TEST(RankingFromScores, DeterministicForIdenticalInput) {
+  const std::vector<double> scores(20, 0.05);  // fully tied
+  EXPECT_EQ(eval::ranking_from_scores(scores),
+            eval::ranking_from_scores(scores));
+}
+
+TEST(RankingFromScores, TiesAreNotIndexOrdered) {
+  // The tie-break permutation must not systematically favour low indices
+  // (that would silently mask the forest baseline's tie pathology).
+  const std::vector<double> scores(55, 1.0 / 55.0);
+  const auto ranking = eval::ranking_from_scores(scores);
+  bool index_ordered = true;
+  for (std::size_t r = 1; r < ranking.size() && index_ordered; ++r)
+    index_ordered = ranking[r] > ranking[r - 1];
+  EXPECT_FALSE(index_ordered);
+}
+
+// ---------------------------------------------------------------------------
+// Path model: fault magnitudes compose additively and never go negative.
+
+TEST(PathModelProperties, TwoFaultsCompose) {
+  const netsim::Topology topology = netsim::default_topology();
+  const netsim::PathModel paths(topology, 5);
+  const std::size_t grav = topology.index_of("GRAV");
+  const std::size_t amst = topology.index_of("AMST");
+
+  const netsim::ActiveFaults both{
+      netsim::default_fault(netsim::FaultFamily::Latency, grav),
+      netsim::default_fault(netsim::FaultFamily::Latency, amst)};
+  // A GRAV<->AMST path touches both regions: +100 ms total.
+  const double nominal = paths.nominal_path(grav, amst, 2.0).rtt_ms;
+  EXPECT_NEAR(paths.path(grav, amst, 2.0, both).rtt_ms, nominal + 100.0,
+              1e-9);
+}
+
+TEST(PathModelProperties, LossNeverExceedsOne) {
+  const netsim::Topology topology = netsim::default_topology();
+  const netsim::PathModel paths(topology, 6);
+  netsim::ActiveFaults heavy;
+  for (int i = 0; i < 20; ++i)
+    heavy.push_back({netsim::FaultFamily::Loss, 0, 0.5});
+  const auto state = paths.path(0, 1, 2.0, heavy);
+  EXPECT_LE(state.loss_rate, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Feature-space <-> campaign consistency under a non-default topology.
+
+TEST(FeatureSpaceProperties, ScalesWithTopologySize) {
+  // A 4-region deployment: the whole pipeline below the models adapts.
+  netsim::Topology small({
+      {"AAAA", netsim::Provider::Aws, {10.0, 10.0}},
+      {"BBBB", netsim::Provider::Gcp, {20.0, -40.0}},
+      {"CCCC", netsim::Provider::Ovh, {45.0, 2.0}},
+      {"DDDD", netsim::Provider::Azure, {-30.0, 150.0}},
+  });
+  const data::FeatureSpace fs(small);
+  EXPECT_EQ(fs.total(), 4u * 5u + 5u);
+  for (std::size_t j = 0; j < fs.total(); ++j) {
+    EXPECT_FALSE(fs.name(j).empty());
+    EXPECT_NE(fs.family_of(j), netsim::FaultFamily::Nominal);
+  }
+}
+
+}  // namespace
+}  // namespace diagnet

@@ -1,0 +1,178 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace diagnet::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfStreamPosition) {
+  Rng a(7);
+  Rng b(7);
+  b.next_u64();  // advance one stream
+  Rng fa = a.fork(3);
+  Rng fb = b.fork(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForkedStreamsAreDistinct) {
+  const Rng root(9);
+  Rng f0 = root.fork(0);
+  Rng f1 = root.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += f0.next_u64() == f1.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 4.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 4.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentred) {
+  Rng rng(8);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(10);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) counts[rng.uniform_index(7)]++;
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(11);
+  EXPECT_THROW(rng.uniform_index(0), std::logic_error);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(12);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(14);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(16);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(18);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(19);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(20);
+  const auto picks = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(21);
+  const auto picks = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(22);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::logic_error);
+}
+
+TEST(Splitmix, KnownNonTrivialOutput) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+}  // namespace
+}  // namespace diagnet::util

@@ -1,0 +1,180 @@
+// Tests for the service/QoE model and the Simulator façade: Table II
+// service construction, page-load sensitivity to each fault family, and
+// QoE calibration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netsim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace diagnet::netsim {
+namespace {
+
+double median_plt(const Simulator& sim, std::size_t service,
+                  const ClientProfile& client, const ActiveFaults& faults,
+                  std::uint64_t seed, std::size_t draws = 31) {
+  util::Rng rng(seed);
+  const ClientCondition condition =
+      ClientCondition::from_faults(faults, client.region);
+  std::vector<double> plts;
+  for (std::size_t d = 0; d < draws; ++d)
+    plts.push_back(sim.visit(service, client, condition, 10.0, faults, rng));
+  return util::percentile(std::move(plts), 0.5);
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static Simulator make() {
+    Simulator sim = Simulator::make_default(42);
+    sim.calibrate_qoe(32);
+    return sim;
+  }
+  Simulator sim_ = make();
+
+  std::size_t service_index(const std::string& name) const {
+    for (std::size_t s = 0; s < sim_.services().size(); ++s)
+      if (sim_.services()[s].name == name) return s;
+    throw std::runtime_error("unknown service " + name);
+  }
+};
+
+TEST_F(SimulatorTest, EightServicesWithTableIINames) {
+  const auto& services = sim_.services();
+  EXPECT_EQ(services.size(), 8u);
+  for (const char* name : {"single", "script.far", "script.cdn",
+                           "image.local", "image.far", "image.cdn"}) {
+    EXPECT_NO_THROW(service_index(name)) << name;
+  }
+}
+
+TEST_F(SimulatorTest, ServicesHostedInPaperRegions) {
+  const auto hosts = default_service_regions(sim_.topology());
+  for (const Service& service : sim_.services())
+    EXPECT_NE(std::find(hosts.begin(), hosts.end(), service.host_region),
+              hosts.end())
+        << service.name;
+}
+
+TEST(NearestRegion, OwnRegionWins) {
+  const Topology topology = default_topology();
+  for (std::size_t r = 0; r < topology.region_count(); ++r)
+    EXPECT_EQ(nearest_region(topology, r), r);
+}
+
+TEST_F(SimulatorTest, ProbesCoverEveryLandmark) {
+  const ClientProfile client = ClientProfile::make(0, 1, sim_.seed());
+  util::Rng rng(1);
+  const auto probes =
+      sim_.probe_landmarks(client, ClientCondition{}, 6.0, {}, rng);
+  EXPECT_EQ(probes.size(), sim_.landmark_count());
+  // Probing the local landmark is much faster than the antipodal one.
+  const std::size_t east = sim_.topology().index_of("EAST");
+  const std::size_t sydn = sim_.topology().index_of("SYDN");
+  const ClientProfile east_client =
+      ClientProfile::make(east, 2, sim_.seed());
+  const auto east_probes =
+      sim_.probe_landmarks(east_client, ClientCondition{}, 6.0, {}, rng);
+  EXPECT_LT(east_probes[east].latency_ms, east_probes[sydn].latency_ms);
+}
+
+TEST_F(SimulatorTest, FarImageSlowerThanSingle) {
+  const std::size_t east = sim_.topology().index_of("EAST");
+  const ClientProfile client = ClientProfile::make(east, 3, sim_.seed());
+  const double single =
+      median_plt(sim_, service_index("single"), client, {}, 2);
+  const double image_far =
+      median_plt(sim_, service_index("image.far"), client, {}, 3);
+  EXPECT_GT(image_far, single);
+}
+
+TEST_F(SimulatorTest, BandwidthShapingHurtsImageNotSingle) {
+  // The paper's own sanity check (§IV-A(e)): "the QoE of a small HTML
+  // website was not affected by shaped bandwidth or CPU stress".
+  const std::size_t east = sim_.topology().index_of("EAST");
+  const std::size_t beau = sim_.topology().index_of("BEAU");
+  const ClientProfile client = ClientProfile::make(east, 4, sim_.seed());
+  const ActiveFaults shaped{default_fault(FaultFamily::Bandwidth, beau)};
+
+  const std::size_t image_far = service_index("image.far");  // 5 MB via BEAU
+  const double image_nominal = median_plt(sim_, image_far, client, {}, 4);
+  const double image_shaped =
+      median_plt(sim_, image_far, client, shaped, 5);
+  EXPECT_GT(image_shaped, image_nominal * 2.0);
+
+  const std::size_t single = service_index("single");  // no BEAU dependency
+  const double single_nominal = median_plt(sim_, single, client, {}, 6);
+  const double single_shaped =
+      median_plt(sim_, single, client, shaped, 7);
+  EXPECT_LT(single_shaped, single_nominal * 1.3);
+}
+
+TEST_F(SimulatorTest, LatencyFaultHurtsDependentService) {
+  const std::size_t east = sim_.topology().index_of("EAST");
+  const std::size_t beau = sim_.topology().index_of("BEAU");
+  const ClientProfile client = ClientProfile::make(east, 5, sim_.seed());
+  const ActiveFaults faults{default_fault(FaultFamily::Latency, beau)};
+  const std::size_t script_far = service_index("script.far");
+  const double nominal = median_plt(sim_, script_far, client, {}, 8);
+  const double faulty = median_plt(sim_, script_far, client, faults, 9);
+  EXPECT_GT(faulty, nominal + 100.0);  // ~3 exchanges x 50 ms
+}
+
+TEST_F(SimulatorTest, CpuStressHurtsScriptServices) {
+  const std::size_t east = sim_.topology().index_of("EAST");
+  const ClientProfile client = ClientProfile::make(east, 6, sim_.seed());
+  const ActiveFaults faults{default_fault(FaultFamily::Load, east)};
+  const std::size_t script = service_index("script.far");
+  const double nominal = median_plt(sim_, script, client, {}, 10);
+  const double stressed = median_plt(sim_, script, client, faults, 11);
+  EXPECT_GT(stressed, nominal + 100.0);
+}
+
+TEST_F(SimulatorTest, UplinkFaultHurtsEverything) {
+  const std::size_t sing = sim_.topology().index_of("SING");
+  const ClientProfile client = ClientProfile::make(sing, 7, sim_.seed());
+  const ActiveFaults faults{default_fault(FaultFamily::Uplink, sing)};
+  for (std::size_t s = 0; s < sim_.services().size(); ++s) {
+    const double nominal = median_plt(sim_, s, client, {}, 12 + s);
+    const double faulty = median_plt(sim_, s, client, faults, 112 + s);
+    EXPECT_GT(faulty, nominal + 50.0) << sim_.services()[s].name;
+  }
+}
+
+TEST_F(SimulatorTest, QoeThresholdsCalibrated) {
+  for (std::size_t s = 0; s < sim_.services().size(); ++s)
+    for (std::size_t r = 0; r < sim_.topology().region_count(); ++r) {
+      const double threshold = sim_.qoe_threshold(s, r);
+      EXPECT_GT(threshold, 100.0);
+      EXPECT_FALSE(sim_.qoe_degraded(s, r, threshold - 1.0));
+      EXPECT_TRUE(sim_.qoe_degraded(s, r, threshold + 1.0));
+    }
+}
+
+TEST_F(SimulatorTest, NominalVisitsRarelyDegraded) {
+  const std::size_t lond = sim_.topology().index_of("LOND");
+  util::Rng rng(20);
+  std::size_t degraded = 0;
+  constexpr std::size_t kVisits = 200;
+  for (std::size_t v = 0; v < kVisits; ++v) {
+    const ClientProfile client =
+        ClientProfile::make(lond, v % 4, sim_.seed());
+    const std::size_t s = v % sim_.services().size();
+    const double plt =
+        sim_.visit(s, client, ClientCondition{}, rng.uniform(0.0, 24.0), {},
+                   rng);
+    degraded += sim_.qoe_degraded(s, lond, plt) ? 1 : 0;
+  }
+  EXPECT_LT(degraded, kVisits / 10);
+}
+
+TEST(Simulator, QoeBeforeCalibrationThrows) {
+  Simulator sim = Simulator::make_default(1);
+  EXPECT_FALSE(sim.qoe_calibrated());
+  EXPECT_THROW(sim.qoe_threshold(0, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace diagnet::netsim

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace diagnet::util {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> values{1.0, 4.0, -2.0, 7.5, 3.25, 0.0};
+  RunningStats stats;
+  for (double v : values) stats.add(v);
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_NEAR(stats.mean(), mean(values), 1e-12);
+  EXPECT_NEAR(stats.variance(), variance(values), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+  Rng rng(33);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), m);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // Sorted: 10, 20, 30, 40. p25 -> position 0.75 -> 10 + 0.75*10 = 17.5.
+  EXPECT_DOUBLE_EQ(percentile({40.0, 10.0, 30.0, 20.0}, 0.25), 17.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.3), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), std::logic_error);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::logic_error);
+}
+
+TEST(MeanVariance, EmptyAndSmall) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1.0, 3.0}), 2.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, MonotoneInQ) {
+  Rng rng(44);
+  std::vector<double> v;
+  for (int i = 0; i < 101; ++i) v.push_back(rng.normal());
+  const double q = GetParam();
+  const double lower = percentile(v, q);
+  const double higher = percentile(v, std::min(1.0, q + 0.1));
+  EXPECT_LE(lower, higher);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace diagnet::util

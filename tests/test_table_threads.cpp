@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/require.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace diagnet::util {
+namespace {
+
+TEST(Require, ThrowsWithLocationAndMessage) {
+  try {
+    DIAGNET_REQUIRE_MSG(false, "the reason");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the reason"), std::string::npos);
+    EXPECT_NE(what.find("test_table_threads"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesSilently) {
+  EXPECT_NO_THROW(DIAGNET_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"model", "r1", "r2"});
+  table.add_row("x", {0.5, 0.25}, 2);
+  EXPECT_NE(table.to_string().find("0.50"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::logic_error);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+TEST(Bar, ClampsAndFills) {
+  EXPECT_NE(bar(1.5, 4).find("####"), std::string::npos);
+  EXPECT_NE(bar(-0.5, 4).find("...."), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialPoolWorks) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ResultIndependentOfWorkerCount) {
+  // fn derives its value from the index only, so sums must agree.
+  const auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(5000);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i % 97);
+    });
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(3));
+  EXPECT_DOUBLE_EQ(run(1), run(8));
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+}  // namespace
+}  // namespace diagnet::util

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tests/test_helpers.h"
+
+namespace diagnet::tensor {
+namespace {
+
+using test::random_matrix;
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j)
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        c(i, j) += a(i, k) * b(k, j);
+  return c;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix t(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) t(c, r) = m(r, c);
+  return t;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, double tol = 1e-10) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      EXPECT_NEAR(a(r, c), b(r, c), tol) << "at (" << r << ", " << c << ")";
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::logic_error);
+}
+
+TEST(Matrix, OutOfBoundsThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::logic_error);
+  EXPECT_THROW(m(0, 2), std::logic_error);
+}
+
+TEST(Matrix, FillValueConstructor) {
+  Matrix m(2, 2, 3.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m(1, 1), 3.5);
+}
+
+TEST(Matrix, RowHelpers) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.row_copy(1), (std::vector<double>{4.0, 5.0, 6.0}));
+  const Matrix r = Matrix::row({7.0, 8.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_DOUBLE_EQ(r(0, 1), 8.0);
+}
+
+TEST(Matrix, ElementwiseArithmetic) {
+  Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 4.0}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::logic_error);
+}
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(m, k, 100 + m);
+  const Matrix b = random_matrix(k, n, 200 + n);
+  Matrix c;
+  gemm(a, b, c);
+  expect_near(c, naive_gemm(a, b));
+}
+
+TEST_P(GemmSweep, TransposedVariantsMatchExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  // gemm_at_b: A stored (k x m), computes A^T B.
+  const Matrix a_t = random_matrix(k, m, 300 + m);
+  const Matrix b = random_matrix(k, n, 400 + n);
+  Matrix c;
+  gemm_at_b(a_t, b, c);
+  expect_near(c, naive_gemm(transpose(a_t), b));
+
+  // gemm_a_bt: B stored (n x k), computes A B^T.
+  const Matrix a = random_matrix(m, k, 500 + m);
+  const Matrix b_t = random_matrix(n, k, 600 + n);
+  Matrix d;
+  gemm_a_bt(a, b_t, d);
+  expect_near(d, naive_gemm(a, transpose(b_t)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSweep,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{2, 3, 4},
+                      GemmShape{5, 1, 7}, GemmShape{8, 317, 12},
+                      GemmShape{64, 50, 24}, GemmShape{3, 128, 7}));
+
+TEST(Ops, GemmReusesOutputBuffer) {
+  const Matrix a = random_matrix(3, 4, 1);
+  const Matrix b = random_matrix(4, 5, 2);
+  Matrix c(3, 5, 99.0);  // stale content must be overwritten
+  gemm(a, b, c);
+  expect_near(c, naive_gemm(a, b));
+}
+
+TEST(Ops, GemmShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(4, 5);
+  Matrix c;
+  EXPECT_THROW(gemm(a, b, c), std::logic_error);
+}
+
+TEST(Ops, Axpy) {
+  const Matrix a{{1.0, 2.0}};
+  Matrix c{{10.0, 20.0}};
+  axpy(0.5, a, c);
+  EXPECT_DOUBLE_EQ(c(0, 0), 10.5);
+  EXPECT_DOUBLE_EQ(c(0, 1), 21.0);
+}
+
+TEST(Ops, AddRowBiasBroadcasts) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix bias{{10.0, 20.0}};
+  add_row_bias(m, bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 24.0);
+}
+
+TEST(Ops, SumRowsReducesToBiasGradient) {
+  const Matrix g{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  Matrix out;
+  sum_rows(g, out);
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 12.0);
+}
+
+TEST(Ops, DotIsFrobeniusInner) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_DOUBLE_EQ(dot(a, b), 5.0 + 12.0 + 21.0 + 32.0);
+}
+
+}  // namespace
+}  // namespace diagnet::tensor

@@ -1,0 +1,203 @@
+// diagnet — command-line front end to the library.
+//
+//   diagnet simulate --samples 15000 --seed 42 --out campaign.csv
+//       Generate a fault-injection measurement campaign against the
+//       default 10-region deployment and store it as CSV.
+//
+//   diagnet train --campaign campaign.csv --out model.bin [--seed 42]
+//       Apply the paper's hidden-landmark split, train the general model,
+//       the per-service specialised heads and the auxiliary forest, and
+//       save the trained bundle.
+//
+//   diagnose --campaign campaign.csv --model model.bin [--sample N]
+//       Load a trained model and print the ranked root causes for the
+//       N-th faulty sample of the campaign.
+//
+//   diagnet evaluate --campaign campaign.csv --model model.bin
+//       Recall@k of the model over every faulty sample in the campaign.
+//
+// The three stages exchange plain files, so a campaign can be generated
+// once and shared — the same hand-off the paper's analysis service does
+// with its clients.
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/registry.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "netsim/simulator.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace diagnet;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0)
+      throw std::runtime_error("expected --flag value, got: " + key);
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  const auto seed = std::stoull(flag_or(flags, "seed", "42"));
+  const auto samples = std::stoull(flag_or(flags, "samples", "15000"));
+  const std::string out = flag_or(flags, "out", "campaign.csv");
+
+  netsim::Simulator sim = netsim::Simulator::make_default(seed);
+  sim.calibrate_qoe();
+  data::FeatureSpace fs(sim.topology());
+
+  data::CampaignConfig campaign;
+  campaign.nominal_samples = samples / 3;
+  campaign.fault_samples = samples - campaign.nominal_samples;
+  campaign.seed = seed ^ 0xca3fULL;
+
+  std::cout << "Simulating " << samples << " samples (seed " << seed
+            << ")...\n";
+  const data::Dataset dataset = data::generate_campaign(sim, fs, campaign);
+  data::write_csv_file(dataset, fs, out);
+  std::cout << "Wrote " << dataset.size() << " samples ("
+            << dataset.count_faulty() << " faulty) to " << out << '\n';
+  return 0;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  const auto seed = std::stoull(flag_or(flags, "seed", "42"));
+  const std::string campaign_path = flag_or(flags, "campaign", "campaign.csv");
+  const std::string out = flag_or(flags, "out", "model.bin");
+
+  const netsim::Topology topology = netsim::default_topology();
+  const data::FeatureSpace fs(topology);
+  std::cout << "Loading " << campaign_path << "...\n";
+  const data::Dataset dataset = data::read_csv_file(campaign_path, fs);
+
+  data::SplitConfig split_config;
+  split_config.seed = seed ^ 0x5b11ULL;
+  const data::DataSplit split = data::make_split(dataset, fs, split_config);
+  std::cout << "Hidden-landmark split: " << split.train.size()
+            << " train / " << split.test.size() << " test samples.\n";
+
+  core::DiagNetConfig config = core::DiagNetConfig::defaults();
+  config.seed = seed;
+  core::DiagNetModel model(fs, config);
+  std::cout << "Training general model...\n";
+  const auto history = model.train_general(split.train);
+  std::cout << "  best validation loss "
+            << util::fmt(history.epochs[history.best_epoch].validation_loss, 4)
+            << " at epoch " << (history.best_epoch + 1) << " ("
+            << util::fmt(history.wall_seconds, 1) << " s)\n";
+
+  netsim::Simulator sim = netsim::Simulator::make_default(seed);
+  for (std::size_t s = 0; s < sim.services().size(); ++s) {
+    std::size_t count = 0;
+    for (const auto& sample : split.train.samples)
+      count += sample.service == s ? 1 : 0;
+    if (count <= 50) continue;
+    const auto special = model.specialize(s, split.train);
+    std::cout << "  specialised '" << sim.services()[s].name << "' in "
+              << (special.best_epoch + 1) << " epoch(s)\n";
+  }
+
+  core::save_model_file(model, out);
+  std::cout << "Saved model bundle to " << out << '\n';
+  return 0;
+}
+
+int cmd_diagnose(const std::map<std::string, std::string>& flags) {
+  const std::string campaign_path = flag_or(flags, "campaign", "campaign.csv");
+  const std::string model_path = flag_or(flags, "model", "model.bin");
+  const auto wanted = std::stoull(flag_or(flags, "sample", "0"));
+
+  const netsim::Topology topology = netsim::default_topology();
+  const data::FeatureSpace fs(topology);
+  const data::Dataset dataset = data::read_csv_file(campaign_path, fs);
+  auto model = core::load_model_file(model_path, fs);
+
+  std::size_t seen = 0;
+  for (const data::Sample& sample : dataset.samples) {
+    if (!sample.is_faulty() || seen++ != wanted) continue;
+    const std::vector<bool> all(fs.landmark_count(), true);
+    auto diagnosis = model->diagnose(sample.features, sample.service, all);
+    std::cout << "Faulty sample #" << wanted << " (client in "
+              << topology.region(sample.client_region).code
+              << "), ground truth: " << fs.name(sample.primary_cause)
+              << "\n\n";
+    util::Table table({"rank", "cause", "score"});
+    for (std::size_t r = 0; r < 5; ++r)
+      table.add_row({std::to_string(r + 1), fs.name(diagnosis.ranking[r]),
+                     util::fmt(diagnosis.scores[diagnosis.ranking[r]], 4)});
+    std::cout << table.to_string();
+    return 0;
+  }
+  std::cerr << "Campaign has only " << seen << " faulty samples.\n";
+  return 1;
+}
+
+int cmd_evaluate(const std::map<std::string, std::string>& flags) {
+  const std::string campaign_path = flag_or(flags, "campaign", "campaign.csv");
+  const std::string model_path = flag_or(flags, "model", "model.bin");
+
+  const netsim::Topology topology = netsim::default_topology();
+  const data::FeatureSpace fs(topology);
+  const data::Dataset dataset = data::read_csv_file(campaign_path, fs);
+  auto model = core::load_model_file(model_path, fs);
+
+  std::vector<std::vector<std::size_t>> rankings;
+  std::vector<std::size_t> truths;
+  const std::vector<bool> all(fs.landmark_count(), true);
+  for (const data::Sample& sample : dataset.samples) {
+    if (!sample.is_faulty()) continue;
+    rankings.push_back(
+        model->diagnose(sample.features, sample.service, all).ranking);
+    truths.push_back(sample.primary_cause);
+  }
+  if (rankings.empty()) {
+    std::cerr << "No faulty samples in the campaign.\n";
+    return 1;
+  }
+  util::Table table({"k", "Recall@k"});
+  for (std::size_t k = 1; k <= 5; ++k)
+    table.add_row({std::to_string(k),
+                   util::fmt(eval::recall_at_k(rankings, truths, k), 3)});
+  std::cout << rankings.size() << " faulty samples\n" << table.to_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: diagnet <simulate|train|diagnose|evaluate> "
+                 "[--flag value ...]\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "train") return cmd_train(flags);
+    if (command == "diagnose") return cmd_diagnose(flags);
+    if (command == "evaluate") return cmd_evaluate(flags);
+    std::cerr << "unknown command: " << command << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
