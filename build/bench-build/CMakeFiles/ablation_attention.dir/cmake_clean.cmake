@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_attention"
+  "../bench/ablation_attention.pdb"
+  "CMakeFiles/ablation_attention.dir/ablation_attention.cpp.o"
+  "CMakeFiles/ablation_attention.dir/ablation_attention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

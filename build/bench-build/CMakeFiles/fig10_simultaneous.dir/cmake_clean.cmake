@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_simultaneous"
+  "../bench/fig10_simultaneous.pdb"
+  "CMakeFiles/fig10_simultaneous.dir/fig10_simultaneous.cpp.o"
+  "CMakeFiles/fig10_simultaneous.dir/fig10_simultaneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_simultaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_recall"
+  "../bench/fig5_recall.pdb"
+  "CMakeFiles/fig5_recall.dir/fig5_recall.cpp.o"
+  "CMakeFiles/fig5_recall.dir/fig5_recall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

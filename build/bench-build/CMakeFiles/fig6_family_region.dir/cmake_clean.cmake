@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_family_region"
+  "../bench/fig6_family_region.pdb"
+  "CMakeFiles/fig6_family_region.dir/fig6_family_region.cpp.o"
+  "CMakeFiles/fig6_family_region.dir/fig6_family_region.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_family_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_diversity"
+  "../bench/fig8_diversity.pdb"
+  "CMakeFiles/fig8_diversity.dir/fig8_diversity.cpp.o"
+  "CMakeFiles/fig8_diversity.dir/fig8_diversity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_training_cost"
+  "../bench/fig9_training_cost.pdb"
+  "CMakeFiles/fig9_training_cost.dir/fig9_training_cost.cpp.o"
+  "CMakeFiles/fig9_training_cost.dir/fig9_training_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_training_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/probe_budget"
+  "../bench/probe_budget.pdb"
+  "CMakeFiles/probe_budget.dir/probe_budget.cpp.o"
+  "CMakeFiles/probe_budget.dir/probe_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_services"
+  "../bench/table2_services.pdb"
+  "CMakeFiles/table2_services.dir/table2_services.cpp.o"
+  "CMakeFiles/table2_services.dir/table2_services.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

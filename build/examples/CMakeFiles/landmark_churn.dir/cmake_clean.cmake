@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landmark_churn.dir/landmark_churn.cpp.o"
+  "CMakeFiles/landmark_churn.dir/landmark_churn.cpp.o.d"
+  "landmark_churn"
+  "landmark_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landmark_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_agent.dir/live_agent.cpp.o"
+  "CMakeFiles/live_agent.dir/live_agent.cpp.o.d"
+  "live_agent"
+  "live_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cloud_rca.dir/multi_cloud_rca.cpp.o"
+  "CMakeFiles/multi_cloud_rca.dir/multi_cloud_rca.cpp.o.d"
+  "multi_cloud_rca"
+  "multi_cloud_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cloud_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

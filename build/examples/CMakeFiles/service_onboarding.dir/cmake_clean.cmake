@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_onboarding.dir/service_onboarding.cpp.o"
+  "CMakeFiles/service_onboarding.dir/service_onboarding.cpp.o.d"
+  "service_onboarding"
+  "service_onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

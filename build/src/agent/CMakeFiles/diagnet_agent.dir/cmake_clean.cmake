@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_agent.dir/agent.cpp.o"
+  "CMakeFiles/diagnet_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/diagnet_agent.dir/window.cpp.o"
+  "CMakeFiles/diagnet_agent.dir/window.cpp.o.d"
+  "libdiagnet_agent.a"
+  "libdiagnet_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

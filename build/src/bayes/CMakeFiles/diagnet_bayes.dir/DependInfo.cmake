@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayes/kde.cpp" "src/bayes/CMakeFiles/diagnet_bayes.dir/kde.cpp.o" "gcc" "src/bayes/CMakeFiles/diagnet_bayes.dir/kde.cpp.o.d"
+  "/root/repo/src/bayes/naive_bayes.cpp" "src/bayes/CMakeFiles/diagnet_bayes.dir/naive_bayes.cpp.o" "gcc" "src/bayes/CMakeFiles/diagnet_bayes.dir/naive_bayes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diagnet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diagnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_bayes.dir/kde.cpp.o"
+  "CMakeFiles/diagnet_bayes.dir/kde.cpp.o.d"
+  "CMakeFiles/diagnet_bayes.dir/naive_bayes.cpp.o"
+  "CMakeFiles/diagnet_bayes.dir/naive_bayes.cpp.o.d"
+  "libdiagnet_bayes.a"
+  "libdiagnet_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

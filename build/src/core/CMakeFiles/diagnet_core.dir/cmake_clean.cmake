@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_core.dir/attention.cpp.o"
+  "CMakeFiles/diagnet_core.dir/attention.cpp.o.d"
+  "CMakeFiles/diagnet_core.dir/diagnet.cpp.o"
+  "CMakeFiles/diagnet_core.dir/diagnet.cpp.o.d"
+  "CMakeFiles/diagnet_core.dir/ensemble.cpp.o"
+  "CMakeFiles/diagnet_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/diagnet_core.dir/registry.cpp.o"
+  "CMakeFiles/diagnet_core.dir/registry.cpp.o.d"
+  "CMakeFiles/diagnet_core.dir/score_weighting.cpp.o"
+  "CMakeFiles/diagnet_core.dir/score_weighting.cpp.o.d"
+  "libdiagnet_core.a"
+  "libdiagnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/diagnet_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/diagnet_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/encoding.cpp" "src/data/CMakeFiles/diagnet_data.dir/encoding.cpp.o" "gcc" "src/data/CMakeFiles/diagnet_data.dir/encoding.cpp.o.d"
+  "/root/repo/src/data/feature_space.cpp" "src/data/CMakeFiles/diagnet_data.dir/feature_space.cpp.o" "gcc" "src/data/CMakeFiles/diagnet_data.dir/feature_space.cpp.o.d"
+  "/root/repo/src/data/generator.cpp" "src/data/CMakeFiles/diagnet_data.dir/generator.cpp.o" "gcc" "src/data/CMakeFiles/diagnet_data.dir/generator.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/diagnet_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/diagnet_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/normalizer.cpp" "src/data/CMakeFiles/diagnet_data.dir/normalizer.cpp.o" "gcc" "src/data/CMakeFiles/diagnet_data.dir/normalizer.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/diagnet_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/diagnet_data.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/diagnet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diagnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diagnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diagnet_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

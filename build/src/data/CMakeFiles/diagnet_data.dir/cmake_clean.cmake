@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_data.dir/dataset.cpp.o"
+  "CMakeFiles/diagnet_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/diagnet_data.dir/encoding.cpp.o"
+  "CMakeFiles/diagnet_data.dir/encoding.cpp.o.d"
+  "CMakeFiles/diagnet_data.dir/feature_space.cpp.o"
+  "CMakeFiles/diagnet_data.dir/feature_space.cpp.o.d"
+  "CMakeFiles/diagnet_data.dir/generator.cpp.o"
+  "CMakeFiles/diagnet_data.dir/generator.cpp.o.d"
+  "CMakeFiles/diagnet_data.dir/io.cpp.o"
+  "CMakeFiles/diagnet_data.dir/io.cpp.o.d"
+  "CMakeFiles/diagnet_data.dir/normalizer.cpp.o"
+  "CMakeFiles/diagnet_data.dir/normalizer.cpp.o.d"
+  "CMakeFiles/diagnet_data.dir/split.cpp.o"
+  "CMakeFiles/diagnet_data.dir/split.cpp.o.d"
+  "libdiagnet_data.a"
+  "libdiagnet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_eval.dir/metrics.cpp.o"
+  "CMakeFiles/diagnet_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/diagnet_eval.dir/pipeline.cpp.o"
+  "CMakeFiles/diagnet_eval.dir/pipeline.cpp.o.d"
+  "libdiagnet_eval.a"
+  "libdiagnet_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

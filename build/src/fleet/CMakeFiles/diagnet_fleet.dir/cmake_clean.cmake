@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_fleet.dir/fleet.cpp.o"
+  "CMakeFiles/diagnet_fleet.dir/fleet.cpp.o.d"
+  "libdiagnet_fleet.a"
+  "libdiagnet_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

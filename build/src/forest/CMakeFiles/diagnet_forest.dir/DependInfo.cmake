@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forest/decision_tree.cpp" "src/forest/CMakeFiles/diagnet_forest.dir/decision_tree.cpp.o" "gcc" "src/forest/CMakeFiles/diagnet_forest.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/forest/extensible_forest.cpp" "src/forest/CMakeFiles/diagnet_forest.dir/extensible_forest.cpp.o" "gcc" "src/forest/CMakeFiles/diagnet_forest.dir/extensible_forest.cpp.o.d"
+  "/root/repo/src/forest/random_forest.cpp" "src/forest/CMakeFiles/diagnet_forest.dir/random_forest.cpp.o" "gcc" "src/forest/CMakeFiles/diagnet_forest.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diagnet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diagnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

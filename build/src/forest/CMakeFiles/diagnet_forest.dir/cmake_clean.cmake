@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_forest.dir/decision_tree.cpp.o"
+  "CMakeFiles/diagnet_forest.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/diagnet_forest.dir/extensible_forest.cpp.o"
+  "CMakeFiles/diagnet_forest.dir/extensible_forest.cpp.o.d"
+  "CMakeFiles/diagnet_forest.dir/random_forest.cpp.o"
+  "CMakeFiles/diagnet_forest.dir/random_forest.cpp.o.d"
+  "libdiagnet_forest.a"
+  "libdiagnet_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

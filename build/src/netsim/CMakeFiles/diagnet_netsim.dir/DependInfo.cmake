@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/fault.cpp" "src/netsim/CMakeFiles/diagnet_netsim.dir/fault.cpp.o" "gcc" "src/netsim/CMakeFiles/diagnet_netsim.dir/fault.cpp.o.d"
+  "/root/repo/src/netsim/geo.cpp" "src/netsim/CMakeFiles/diagnet_netsim.dir/geo.cpp.o" "gcc" "src/netsim/CMakeFiles/diagnet_netsim.dir/geo.cpp.o.d"
+  "/root/repo/src/netsim/measurement.cpp" "src/netsim/CMakeFiles/diagnet_netsim.dir/measurement.cpp.o" "gcc" "src/netsim/CMakeFiles/diagnet_netsim.dir/measurement.cpp.o.d"
+  "/root/repo/src/netsim/path_model.cpp" "src/netsim/CMakeFiles/diagnet_netsim.dir/path_model.cpp.o" "gcc" "src/netsim/CMakeFiles/diagnet_netsim.dir/path_model.cpp.o.d"
+  "/root/repo/src/netsim/service.cpp" "src/netsim/CMakeFiles/diagnet_netsim.dir/service.cpp.o" "gcc" "src/netsim/CMakeFiles/diagnet_netsim.dir/service.cpp.o.d"
+  "/root/repo/src/netsim/simulator.cpp" "src/netsim/CMakeFiles/diagnet_netsim.dir/simulator.cpp.o" "gcc" "src/netsim/CMakeFiles/diagnet_netsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/netsim/CMakeFiles/diagnet_netsim.dir/topology.cpp.o" "gcc" "src/netsim/CMakeFiles/diagnet_netsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/diagnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

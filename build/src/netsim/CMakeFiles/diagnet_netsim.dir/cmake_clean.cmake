@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_netsim.dir/fault.cpp.o"
+  "CMakeFiles/diagnet_netsim.dir/fault.cpp.o.d"
+  "CMakeFiles/diagnet_netsim.dir/geo.cpp.o"
+  "CMakeFiles/diagnet_netsim.dir/geo.cpp.o.d"
+  "CMakeFiles/diagnet_netsim.dir/measurement.cpp.o"
+  "CMakeFiles/diagnet_netsim.dir/measurement.cpp.o.d"
+  "CMakeFiles/diagnet_netsim.dir/path_model.cpp.o"
+  "CMakeFiles/diagnet_netsim.dir/path_model.cpp.o.d"
+  "CMakeFiles/diagnet_netsim.dir/service.cpp.o"
+  "CMakeFiles/diagnet_netsim.dir/service.cpp.o.d"
+  "CMakeFiles/diagnet_netsim.dir/simulator.cpp.o"
+  "CMakeFiles/diagnet_netsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/diagnet_netsim.dir/topology.cpp.o"
+  "CMakeFiles/diagnet_netsim.dir/topology.cpp.o.d"
+  "libdiagnet_netsim.a"
+  "libdiagnet_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/coarse_net.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/coarse_net.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/coarse_net.cpp.o.d"
+  "/root/repo/src/nn/land_pooling.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/land_pooling.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/land_pooling.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/sgd.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/softmax.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/softmax.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/diagnet_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/diagnet_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/diagnet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diagnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

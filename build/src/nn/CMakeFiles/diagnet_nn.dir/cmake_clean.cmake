@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_nn.dir/activations.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/diagnet_nn.dir/coarse_net.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/coarse_net.cpp.o.d"
+  "CMakeFiles/diagnet_nn.dir/land_pooling.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/land_pooling.cpp.o.d"
+  "CMakeFiles/diagnet_nn.dir/linear.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/diagnet_nn.dir/serialize.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/diagnet_nn.dir/sgd.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/sgd.cpp.o.d"
+  "CMakeFiles/diagnet_nn.dir/softmax.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/softmax.cpp.o.d"
+  "CMakeFiles/diagnet_nn.dir/trainer.cpp.o"
+  "CMakeFiles/diagnet_nn.dir/trainer.cpp.o.d"
+  "libdiagnet_nn.a"
+  "libdiagnet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/diagnet_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/diagnet_tensor.dir/ops.cpp.o"
+  "CMakeFiles/diagnet_tensor.dir/ops.cpp.o.d"
+  "libdiagnet_tensor.a"
+  "libdiagnet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

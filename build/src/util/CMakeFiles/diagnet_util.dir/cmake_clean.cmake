@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_util.dir/binary_io.cpp.o"
+  "CMakeFiles/diagnet_util.dir/binary_io.cpp.o.d"
+  "CMakeFiles/diagnet_util.dir/rng.cpp.o"
+  "CMakeFiles/diagnet_util.dir/rng.cpp.o.d"
+  "CMakeFiles/diagnet_util.dir/stats.cpp.o"
+  "CMakeFiles/diagnet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/diagnet_util.dir/table.cpp.o"
+  "CMakeFiles/diagnet_util.dir/table.cpp.o.d"
+  "CMakeFiles/diagnet_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/diagnet_util.dir/thread_pool.cpp.o.d"
+  "libdiagnet_util.a"
+  "libdiagnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

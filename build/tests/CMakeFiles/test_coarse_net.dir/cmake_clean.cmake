@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coarse_net.dir/test_coarse_net.cpp.o"
+  "CMakeFiles/test_coarse_net.dir/test_coarse_net.cpp.o.d"
+  "test_coarse_net"
+  "test_coarse_net.pdb"
+  "test_coarse_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coarse_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_pipeline.dir/test_data_pipeline.cpp.o"
+  "CMakeFiles/test_data_pipeline.dir/test_data_pipeline.cpp.o.d"
+  "test_data_pipeline"
+  "test_data_pipeline.pdb"
+  "test_data_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_space.dir/test_feature_space.cpp.o"
+  "CMakeFiles/test_feature_space.dir/test_feature_space.cpp.o.d"
+  "test_feature_space"
+  "test_feature_space.pdb"
+  "test_feature_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

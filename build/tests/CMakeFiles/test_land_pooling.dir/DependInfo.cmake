@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_land_pooling.cpp" "tests/CMakeFiles/test_land_pooling.dir/test_land_pooling.cpp.o" "gcc" "tests/CMakeFiles/test_land_pooling.dir/test_land_pooling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/diagnet_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/diagnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/diagnet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/diagnet_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/diagnet_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/diagnet_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayes/CMakeFiles/diagnet_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/diagnet_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/diagnet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/diagnet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/diagnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

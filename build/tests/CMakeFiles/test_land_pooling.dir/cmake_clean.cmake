@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_land_pooling.dir/test_land_pooling.cpp.o"
+  "CMakeFiles/test_land_pooling.dir/test_land_pooling.cpp.o.d"
+  "test_land_pooling"
+  "test_land_pooling.pdb"
+  "test_land_pooling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_land_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

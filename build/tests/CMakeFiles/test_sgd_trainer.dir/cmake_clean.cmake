@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgd_trainer.dir/test_sgd_trainer.cpp.o"
+  "CMakeFiles/test_sgd_trainer.dir/test_sgd_trainer.cpp.o.d"
+  "test_sgd_trainer"
+  "test_sgd_trainer.pdb"
+  "test_sgd_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgd_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

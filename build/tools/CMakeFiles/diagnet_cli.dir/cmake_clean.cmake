@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnet_cli.dir/diagnet_cli.cpp.o"
+  "CMakeFiles/diagnet_cli.dir/diagnet_cli.cpp.o.d"
+  "diagnet"
+  "diagnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
