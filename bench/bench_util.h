@@ -1,12 +1,21 @@
-// Shared helpers for the experiment benches: uniform headers and the
-// paper-vs-measured framing every binary prints.
+// Shared helpers for the experiment benches: uniform headers, the
+// paper-vs-measured framing every binary prints, and the perf-trajectory
+// report (BENCH_<slug>.json with wall-clock and peak RSS) written at exit.
+//
+// Every bench honours the telemetry environment (DIAGNET_TRACE=out.json,
+// DIAGNET_METRICS=out.json, DIAGNET_TELEMETRY=1) through print_header().
 #pragma once
 
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "eval/pipeline.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 namespace diagnet::bench {
@@ -30,8 +39,70 @@ inline eval::PipelineConfig scaled_default_config() {
   return config;
 }
 
+namespace detail {
+
+struct BenchReportState {
+  std::string slug;
+  std::chrono::steady_clock::time_point start;
+};
+
+inline BenchReportState& report_state() {
+  static BenchReportState state;
+  return state;
+}
+
+/// "Fig. 5 (Recall@k, new vs known)" -> "fig_5_recall_k_new_vs_known".
+inline std::string slugify(const std::string& name) {
+  std::string slug;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      slug += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    else if (!slug.empty() && slug.back() != '_')
+      slug += '_';
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+/// Writes BENCH_<slug>.json next to the working directory (or under
+/// $DIAGNET_BENCH_OUT) so the perf trajectory of every bench is tracked
+/// from PR 1 onward.
+inline void write_bench_report() {
+  const BenchReportState& state = report_state();
+  if (state.slug.empty()) return;
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    state.start)
+          .count();
+  const char* out_dir = std::getenv("DIAGNET_BENCH_OUT");
+  const std::string path = (out_dir && *out_dir ? std::string(out_dir) + "/"
+                                                : std::string()) +
+                           "BENCH_" + state.slug + ".json";
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "[bench] failed to write " << path << '\n';
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", wall_seconds);
+  file << "{\"bench\":\"" << state.slug << "\",\"wall_seconds\":" << buf
+       << ",\"peak_rss_kib\":" << obs::peak_rss_kib()
+       << ",\"scale\":" << bench_scale() << "}\n";
+  std::cerr << "[bench] report written to " << path << '\n';
+}
+
+}  // namespace detail
+
 inline void print_header(const std::string& experiment,
                          const std::string& paper_claim) {
+  obs::init_from_env();
+  detail::BenchReportState& state = detail::report_state();
+  if (state.slug.empty()) {
+    state.slug = detail::slugify(experiment);
+    state.start = std::chrono::steady_clock::now();
+    std::atexit(detail::write_bench_report);
+  }
   std::cout << util::banner("DiagNet reproduction — " + experiment);
   std::cout << "Paper: Bonniot, Neumann, Taiani — IPDPS 2021\n";
   std::cout << "Claim: " << paper_claim << "\n\n";

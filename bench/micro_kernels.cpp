@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "eval/pipeline.h"
+#include "obs/obs.h"
 #include "nn/coarse_net.h"
 #include "nn/softmax.h"
 #include "tensor/ops.h"
@@ -143,4 +144,15 @@ BENCHMARK(bm_probe_landmarks);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the telemetry environment (DIAGNET_TRACE /
+// DIAGNET_METRICS / DIAGNET_TELEMETRY) is honoured before any benchmark
+// runs. Telemetry stays off unless requested, so the measured kernels are
+// undisturbed by default.
+int main(int argc, char** argv) {
+  diagnet::obs::init_from_env();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "agent/agent.h"
 
+#include "obs/obs.h"
 #include "util/require.h"
 
 namespace diagnet::agent {
@@ -36,11 +37,15 @@ void ClientAgent::probe_epoch(double time_hours,
   // subset enters the window (the rest was never measured).
   const auto probes =
       sim_->probe_landmarks(profile_, condition, time_hours, faults, rng_);
+  std::size_t sent = 0;
   for (std::size_t lam = 0; lam < probes.size(); ++lam) {
     if (!selected[lam]) continue;
     window_.record_probe(lam, probes[lam]);
-    ++probes_sent_;
+    ++sent;
   }
+  probes_sent_ += sent;
+  DIAGNET_COUNT("agent.probe_epochs");
+  DIAGNET_COUNT_N("agent.probes", sent);
   window_.record_local(
       sim_->measure_local(profile_, condition, time_hours, rng_));
 }
@@ -55,9 +60,12 @@ VisitOutcome ClientAgent::visit(std::size_t service, double time_hours,
       sim_->visit(service, profile_, condition, time_hours, faults, rng_);
   outcome.degraded =
       sim_->qoe_degraded(service, config_.region, outcome.page_load_ms);
+  DIAGNET_COUNT("agent.visits");
   if (!outcome.degraded) return outcome;
+  DIAGNET_COUNT("agent.degraded_visits");
 
   // Diagnose from whatever the window currently covers.
+  DIAGNET_SPAN("agent.diagnose");
   const std::vector<bool> coverage = window_.landmark_coverage();
   bool any = false;
   for (bool c : coverage) any |= c;

@@ -1,11 +1,13 @@
 #include "core/diagnet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "core/ensemble.h"
 #include "core/score_weighting.h"
 #include "nn/softmax.h"
+#include "obs/obs.h"
 #include "util/require.h"
 #include "util/rng.h"
 
@@ -43,6 +45,7 @@ DiagNetModel::DiagNetModel(const data::FeatureSpace& fs, DiagNetConfig config)
 }
 
 nn::TrainingHistory DiagNetModel::train_general(const data::Dataset& train) {
+  DIAGNET_SPAN("diagnet.train_general");
   DIAGNET_REQUIRE(!train.samples.empty());
 
   normalizer_.fit(train, *fs_);
@@ -76,6 +79,7 @@ nn::TrainingHistory DiagNetModel::train_general(const data::Dataset& train) {
 
 nn::TrainingHistory DiagNetModel::specialize(std::size_t service,
                                              const data::Dataset& train) {
+  DIAGNET_SPAN("diagnet.specialize");
   DIAGNET_REQUIRE_MSG(trained(), "train_general() first");
 
   data::Dataset subset;
@@ -116,8 +120,16 @@ Diagnosis DiagNetModel::diagnose(const std::vector<double>& raw_features,
                                  std::size_t service,
                                  const std::vector<bool>& landmark_available) {
   DIAGNET_REQUIRE_MSG(trained(), "train_general() first");
-  return diagnose_with(service_net(service), raw_features,
-                       landmark_available);
+  [[maybe_unused]] const auto t0 = std::chrono::steady_clock::now();
+  Diagnosis diagnosis =
+      diagnose_with(service_net(service), raw_features, landmark_available);
+  // The end-to-end per-sample latency the paper quotes as 45 ms (§IV-G).
+  [[maybe_unused]] const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  DIAGNET_OBSERVE("diagnose.latency_ms", latency_ms);
+  return diagnosis;
 }
 
 Diagnosis DiagNetModel::diagnose_general(
@@ -130,13 +142,19 @@ Diagnosis DiagNetModel::diagnose_general(
 Diagnosis DiagNetModel::diagnose_with(
     nn::CoarseNet& net, const std::vector<double>& raw_features,
     const std::vector<bool>& landmark_available) {
+  DIAGNET_SPAN("diagnet.diagnose");
+  DIAGNET_COUNT("diagnet.diagnose.calls");
   // Steps 1-5 of Fig. 2 on the (possibly larger-than-training) fleet.
   const nn::LandBatch batch = data::encode_sample(
       raw_features, *fs_, normalizer_, landmark_available);
-  const AttentionResult attention =
-      config_.attention == AttentionMethod::Gradient
-          ? compute_attention(net, batch, *fs_)
-          : compute_occlusion_attention(net, batch, *fs_);
+  const AttentionResult attention = [&] {
+    // The gradient method is one forward + one input-gradient backward pass
+    // (§III-E) — the latency the paper's 45 ms figure is dominated by.
+    DIAGNET_SPAN("diagnet.attention");
+    return config_.attention == AttentionMethod::Gradient
+               ? compute_attention(net, batch, *fs_)
+               : compute_occlusion_attention(net, batch, *fs_);
+  }();
 
   Diagnosis diagnosis;
   diagnosis.coarse_probs = attention.coarse_probs;
@@ -151,6 +169,7 @@ Diagnosis DiagNetModel::diagnose_with(
 
   // Ensemble averaging with the auxiliary forest.
   if (config_.use_ensemble) {
+    DIAGNET_COUNT("diagnet.ensemble.blends");
     std::vector<bool> feature_avail(fs_->total(), true);
     for (std::size_t j = 0; j < fs_->total(); ++j)
       if (fs_->is_landmark_feature(j))

@@ -5,10 +5,22 @@
 #include <numeric>
 
 #include "data/encoding.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 #include "util/require.h"
 
 namespace diagnet::eval {
+
+namespace {
+
+// Member-initialiser hook: times the simulator construction so the
+// "simulate" stage shows up in traces alongside the body stages.
+netsim::Simulator make_simulator(std::uint64_t seed) {
+  DIAGNET_SPAN("pipeline.simulate");
+  return netsim::Simulator::make_default(seed);
+}
+
+}  // namespace
 
 const char* model_name(ModelKind kind) {
   switch (kind) {
@@ -41,50 +53,66 @@ PipelineConfig PipelineConfig::small() {
 
 Pipeline::Pipeline(const PipelineConfig& config)
     : config_(config),
-      sim_(netsim::Simulator::make_default(config.seed)),
+      sim_(make_simulator(config.seed)),
       fs_(sim_.topology()),
       diagnet_(fs_, config.diagnet) {
-  sim_.calibrate_qoe();
-
-  data::CampaignConfig campaign = config_.campaign;
-  campaign.seed = config_.seed ^ 0xca3fULL;
-  full_ = data::generate_campaign(sim_, fs_, campaign);
-
-  data::SplitConfig split_config = config_.split;
-  split_config.seed = config_.seed ^ 0x5b11ULL;
-  split_ = data::make_split(full_, fs_, split_config);
-
-  // DiagNet: general model, then one specialised model per service.
-  general_history_ = diagnet_.train_general(split_.train);
-  if (config_.train_specialized) {
-    for (std::size_t s = 0; s < sim_.services().size(); ++s) {
-      // Skip services with too few training samples (custom campaigns may
-      // restrict the service set).
-      std::size_t count = 0;
-      for (const auto& sample : split_.train.samples)
-        count += sample.service == s ? 1 : 0;
-      if (count > 50)
-        specialization_history_[s] = diagnet_.specialize(s, split_.train);
-    }
+  DIAGNET_SPAN("pipeline.build");
+  {
+    DIAGNET_SPAN("pipeline.calibrate");
+    sim_.calibrate_qoe();
   }
 
-  // Baselines share one normaliser fitted on the training split.
-  baseline_normalizer_.fit(split_.train, fs_);
-  const tensor::Matrix flat =
-      data::encode_flat(split_.train, fs_, baseline_normalizer_);
+  {
+    DIAGNET_SPAN("pipeline.generate");
+    data::CampaignConfig campaign = config_.campaign;
+    campaign.seed = config_.seed ^ 0xca3fULL;
+    full_ = data::generate_campaign(sim_, fs_, campaign);
+    DIAGNET_GAUGE_SET("pipeline.campaign.samples", full_.size());
+  }
 
-  const std::vector<std::size_t> rf_labels =
-      data::cause_labels(split_.train, forest::ExtensibleForest::kNominal);
-  rf_.fit(flat, rf_labels, fs_.total(), config_.rf_baseline,
-          config_.seed ^ 0x4e57ULL);
+  {
+    DIAGNET_SPAN("pipeline.split");
+    data::SplitConfig split_config = config_.split;
+    split_config.seed = config_.seed ^ 0x5b11ULL;
+    split_ = data::make_split(full_, fs_, split_config);
+  }
 
-  const std::vector<std::size_t> nb_labels = data::cause_labels(
-      split_.train, bayes::ExtensibleNaiveBayes::kNominal);
-  std::vector<std::size_t> families(fs_.total());
-  for (std::size_t j = 0; j < fs_.total(); ++j)
-    families[j] = data::Normalizer::kind_of(fs_, j);
-  nb_.fit(flat, nb_labels, families, split_.train.feature_available(fs_),
-          config_.nb_baseline);
+  {
+    DIAGNET_SPAN("pipeline.train");
+    // DiagNet: general model, then one specialised model per service.
+    general_history_ = diagnet_.train_general(split_.train);
+    DIAGNET_OBSERVE("pipeline.train.wall_ms",
+                    general_history_.wall_seconds * 1000.0);
+    if (config_.train_specialized) {
+      for (std::size_t s = 0; s < sim_.services().size(); ++s) {
+        // Skip services with too few training samples (custom campaigns may
+        // restrict the service set).
+        std::size_t count = 0;
+        for (const auto& sample : split_.train.samples)
+          count += sample.service == s ? 1 : 0;
+        if (count > 50)
+          specialization_history_[s] = diagnet_.specialize(s, split_.train);
+      }
+    }
+
+    // Baselines share one normaliser fitted on the training split.
+    baseline_normalizer_.fit(split_.train, fs_);
+    const tensor::Matrix flat =
+        data::encode_flat(split_.train, fs_, baseline_normalizer_);
+
+    const std::vector<std::size_t> rf_labels =
+        data::cause_labels(split_.train, forest::ExtensibleForest::kNominal);
+    rf_.fit(flat, rf_labels, fs_.total(), config_.rf_baseline,
+            config_.seed ^ 0x4e57ULL);
+
+    const std::vector<std::size_t> nb_labels = data::cause_labels(
+        split_.train, bayes::ExtensibleNaiveBayes::kNominal);
+    std::vector<std::size_t> families(fs_.total());
+    for (std::size_t j = 0; j < fs_.total(); ++j)
+      families[j] = data::Normalizer::kind_of(fs_, j);
+    nb_.fit(flat, nb_labels, families, split_.train.feature_available(fs_),
+            config_.nb_baseline);
+  }
 }
 
 std::vector<std::size_t> Pipeline::faulty_test_indices() const {
@@ -135,6 +163,8 @@ std::vector<std::size_t> ranking_from_scores(
 
 std::vector<std::size_t> Pipeline::rank(ModelKind kind,
                                         std::size_t test_index) {
+  DIAGNET_SPAN("pipeline.rank");
+  DIAGNET_COUNT("pipeline.rank.calls");
   DIAGNET_REQUIRE(test_index < split_.test.samples.size());
   const data::Sample& sample = split_.test.samples[test_index];
   const std::vector<bool>& available = split_.test.landmark_available;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/require.h"
 
 namespace diagnet::forest {
@@ -10,6 +11,7 @@ void ExtensibleForest::fit(const Matrix& x,
                            const std::vector<std::size_t>& y_cause,
                            std::size_t total_causes,
                            const ForestConfig& config, std::uint64_t seed) {
+  DIAGNET_SPAN("forest.fit");
   DIAGNET_REQUIRE(total_causes > 0);
   DIAGNET_REQUIRE(y_cause.size() == x.rows());
   total_causes_ = total_causes;
@@ -44,6 +46,8 @@ void ExtensibleForest::fit(const Matrix& x,
 
 std::vector<double> ExtensibleForest::score_causes(
     const double* sample) const {
+  DIAGNET_SPAN("forest.score");
+  DIAGNET_COUNT("forest.predictions");
   DIAGNET_REQUIRE_MSG(trained(), "score on an unfitted model");
   const std::vector<double> proba = forest_.predict_proba(sample);
   const double unknown_share =

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "nn/softmax.h"
+#include "obs/obs.h"
 #include "util/require.h"
 #include "util/rng.h"
 
@@ -58,6 +59,7 @@ double loss_over_rows(CoarseNet& net, const CoarseDataset& data,
 
 TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
                              const TrainerConfig& config) {
+  DIAGNET_SPAN("trainer.fit");
   DIAGNET_REQUIRE(data.size() > 1);
   DIAGNET_REQUIRE(config.batch_size > 0 && config.max_epochs > 0);
   DIAGNET_REQUIRE(config.validation_fraction >= 0.0 &&
@@ -84,7 +86,10 @@ TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
   std::vector<double> best_params;
   std::size_t stale = 0;
 
+  bool early_stopped = false;
   for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    DIAGNET_SPAN("trainer.epoch");
+    DIAGNET_COUNT("trainer.epochs");
     rng.shuffle(train_rows);
     double train_loss = 0.0;
     for (std::size_t begin = 0; begin < train_rows.size();
@@ -109,6 +114,8 @@ TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
         val_rows.empty() ? train_loss
                          : loss_over_rows(net, data, val_rows, 256);
     history.epochs.push_back({train_loss, val_loss});
+    DIAGNET_OBSERVE("trainer.epoch.train_loss", train_loss);
+    DIAGNET_OBSERVE("trainer.epoch.val_loss", val_loss);
 
     if (val_loss < best_val - config.min_delta) {
       best_val = val_loss;
@@ -116,16 +123,19 @@ TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
       stale = 0;
       if (config.restore_best) best_params = net.save_parameters();
     } else if (++stale > config.patience) {
+      early_stopped = true;
       break;
     }
   }
 
+  if (early_stopped) DIAGNET_COUNT("trainer.early_stops");
   if (config.restore_best && !best_params.empty())
     net.load_parameters(best_params);
 
   history.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  DIAGNET_GAUGE_SET("trainer.last.best_val_loss", best_val);
   return history;
 }
 

@@ -1,0 +1,42 @@
+// Umbrella header + instrumentation macros for the telemetry subsystem.
+//
+// Instrumented code uses ONLY these macros, never the classes directly, so
+// a build with -DDIAGNET_OBS_DISABLE compiles every probe out entirely
+// (macro arguments are not evaluated — keep them side-effect free). In a
+// normal build the probes still cost only one relaxed atomic load while
+// telemetry is off (the default); see telemetry.h for the runtime switch.
+//
+//   DIAGNET_SPAN("pipeline.train");          // RAII scope timer
+//   DIAGNET_COUNT("diagnose.calls");         // counter += 1
+//   DIAGNET_COUNT_N("agent.probes", sent);   // counter += n
+//   DIAGNET_GAUGE_SET("trainer.best_val_loss", loss);
+//   DIAGNET_OBSERVE("diagnose.latency_ms", ms);  // histogram sample
+#pragma once
+
+#include "obs/report.h"
+#include "obs/telemetry.h"
+
+#if defined(DIAGNET_OBS_DISABLE)
+
+#define DIAGNET_SPAN(name) ((void)0)
+#define DIAGNET_COUNT(name) ((void)0)
+#define DIAGNET_COUNT_N(name, n) ((void)0)
+#define DIAGNET_GAUGE_SET(name, value) ((void)0)
+#define DIAGNET_OBSERVE(name, value) ((void)0)
+
+#else
+
+#define DIAGNET_OBS_CONCAT_INNER(a, b) a##b
+#define DIAGNET_OBS_CONCAT(a, b) DIAGNET_OBS_CONCAT_INNER(a, b)
+
+#define DIAGNET_SPAN(name) \
+  ::diagnet::obs::Span DIAGNET_OBS_CONCAT(diagnet_obs_span_, __LINE__)(name)
+#define DIAGNET_COUNT(name) ::diagnet::obs::count(name)
+#define DIAGNET_COUNT_N(name, n) \
+  ::diagnet::obs::count(name, static_cast<std::uint64_t>(n))
+#define DIAGNET_GAUGE_SET(name, value) \
+  ::diagnet::obs::gauge_set(name, static_cast<double>(value))
+#define DIAGNET_OBSERVE(name, value) \
+  ::diagnet::obs::observe(name, static_cast<double>(value))
+
+#endif  // DIAGNET_OBS_DISABLE

@@ -1,0 +1,173 @@
+// Telemetry core: a process-wide registry of named counters, gauges and
+// histograms, plus RAII spans that feed both the histogram registry and a
+// Chrome-trace-compatible event buffer.
+//
+// Design constraints (every later perf PR reports against this layer, so it
+// must not distort what it measures):
+//
+//  * Near-zero cost when disabled. Telemetry is OFF by default; every
+//    recording helper early-outs on one relaxed atomic load. Defining
+//    DIAGNET_OBS_DISABLE (see obs.h) compiles the instrumentation macros
+//    out entirely.
+//  * Thread-safe. Counters/gauges are lock-free atomics; histograms take a
+//    per-histogram mutex; trace events append to per-thread buffers that
+//    only lock their own (uncontended) mutex.
+//  * Deterministic names. Metrics use dotted lower-case paths
+//    ("pipeline.train.wall_ms", "diagnose.latency_ms"); spans contribute a
+//    histogram named "<span>.ms" automatically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace diagnet::obs {
+
+/// Runtime on/off switch (default off). Recording helpers and spans check
+/// this first; toggling mid-run is safe (in-flight spans stay balanced).
+bool enabled();
+void set_enabled(bool on);
+
+/// Sticky kill switch (DIAGNET_OBS=0): while forced off, set_enabled(true)
+/// is a no-op, so a later --trace/--telemetry sink cannot re-enable
+/// recording behind the user's back.
+bool force_disabled();
+void set_force_disabled(bool force);
+
+/// Monotonically increasing event count (lock-free).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution of observed values: exact running moments plus a bounded
+/// sample reservoir for percentile queries.
+class Histogram {
+ public:
+  /// Reservoir size; beyond this, observations replace a pseudo-random
+  /// (deterministically seeded) slot so percentiles stay representative.
+  static constexpr std::size_t kReservoirCap = 4096;
+
+  void observe(double v);
+
+  /// Point-in-time copy safe to read while other threads observe().
+  struct Snapshot {
+    util::RunningStats stats;
+    std::vector<double> samples;  // unsorted reservoir
+
+    double percentile(double q) const;  // NaN when empty
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  util::RunningStats stats_;
+  std::vector<double> samples_;
+  std::uint64_t reservoir_state_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/// One completed span, in the Chrome trace-event "X" (complete) phase.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   // start, monotonic microseconds since process epoch
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;
+};
+
+/// Process-wide registry. Metric objects live for the process lifetime, so
+/// references returned here never dangle (reset_for_test zeroes values, it
+/// does not destroy entries).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Sorted-by-name snapshots for the report sinks.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms() const;
+
+  /// Zero every metric and drop buffered trace events (test isolation).
+  void reset_for_test();
+
+ private:
+  Registry() = default;
+  template <typename T>
+  T& lookup(std::vector<std::pair<std::string, std::unique_ptr<T>>>& entries,
+            const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+/// Convenience recording helpers; all no-ops while disabled.
+void count(const char* name, std::uint64_t delta = 1);
+void gauge_set(const char* name, double value);
+void observe(const char* name, double value);
+
+/// Scoped timer. On destruction (if telemetry was enabled at construction)
+/// it appends a trace event and observes "<name>.ms" in the registry.
+/// Nesting is expressed through event containment per thread, which is how
+/// Perfetto / chrome://tracing reconstruct the stack.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;
+};
+
+/// All trace events recorded so far (flushes every live thread's buffer).
+std::vector<TraceEvent> collect_trace_events();
+
+/// Serialise the buffered events as a Chrome trace-event JSON object
+/// ({"traceEvents": [...]}) loadable by Perfetto / chrome://tracing.
+std::string trace_to_json();
+
+/// trace_to_json() straight to a file; returns false on I/O failure.
+bool write_trace_file(const std::string& path);
+
+/// Append `s` to `out` as the body of a JSON string (escapes quotes,
+/// backslashes and control characters). Shared by every JSON sink so
+/// arbitrary metric/span names stay well-formed.
+void append_json_escaped(std::string& out, const std::string& s);
+
+}  // namespace diagnet::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/require.h"
 
@@ -49,8 +50,12 @@ double RunningStats::stderr_mean() const {
   return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
 }
 
-double RunningStats::min() const { return min_; }
-double RunningStats::max() const { return max_; }
+double RunningStats::min() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+double RunningStats::max() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
 
 double percentile_sorted(const std::vector<double>& sorted, double q) {
   DIAGNET_REQUIRE(!sorted.empty());

@@ -21,6 +21,8 @@ class RunningStats {
   double stddev() const;
   /// Standard error of the mean; 0 for n < 2.
   double stderr_mean() const;
+  /// Smallest / largest value added so far; quiet NaN while empty (n = 0),
+  /// so an empty accumulator can never masquerade as a real extremum.
   double min() const;
   double max() const;
 

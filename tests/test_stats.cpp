@@ -49,9 +49,58 @@ TEST(RunningStats, MergeWithEmpty) {
   a.add(2.0);
   const double m = a.mean();
   a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
   EXPECT_DOUBLE_EQ(a.mean(), m);
+  // Merging an empty side must not perturb the extrema either (the empty
+  // accumulator's internal placeholders must never leak through merge).
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
   empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
   EXPECT_DOUBLE_EQ(empty.mean(), m);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 2.0);
+}
+
+TEST(RunningStats, EmptyMinMaxAreNaN) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_TRUE(std::isnan(stats.min()));
+  EXPECT_TRUE(std::isnan(stats.max()));
+}
+
+TEST(RunningStats, MergeTwoEmptiesStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(std::isnan(a.min()));
+  EXPECT_TRUE(std::isnan(a.max()));
+  // A value added after the no-op merge re-seeds the extrema correctly.
+  a.add(-3.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), -3.0);
+}
+
+TEST(RunningStats, MergeSingleSampleSides) {
+  RunningStats left, right;
+  left.add(4.0);
+  right.add(-6.0);
+  left.merge(right);
+  EXPECT_EQ(left.count(), 2u);
+  EXPECT_DOUBLE_EQ(left.mean(), -1.0);
+  EXPECT_DOUBLE_EQ(left.min(), -6.0);
+  EXPECT_DOUBLE_EQ(left.max(), 4.0);
+  EXPECT_DOUBLE_EQ(left.variance(), 50.0);
+
+  // Single sample merged into empty preserves the degenerate statistics.
+  RunningStats empty, one;
+  one.add(7.0);
+  empty.merge(one);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 7.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 7.0);
 }
 
 TEST(Percentile, MedianOfOddCount) {

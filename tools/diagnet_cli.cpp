@@ -20,9 +20,11 @@
 // once and shared — the same hand-off the paper's analysis service does
 // with its clients.
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/registry.h"
 #include "data/generator.h"
@@ -30,20 +32,53 @@
 #include "data/split.h"
 #include "eval/metrics.h"
 #include "netsim/simulator.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace diagnet;
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
+/// Telemetry flags valid for every command (parsed before the per-command
+/// flags and removed from the argument list):
+///   --trace <file>      write a Perfetto/chrome://tracing JSON trace
+///   --metrics <file>    write the metrics registry as JSON
+///   --telemetry         print the telemetry summary table on exit
+/// DIAGNET_TRACE / DIAGNET_METRICS / DIAGNET_TELEMETRY env vars are
+/// honoured too; explicit flags win.
+std::vector<std::string> setup_telemetry(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string trace_path, metrics_path;
+  bool summary = false, any_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" || arg == "--metrics") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " requires a file argument\n";
+        std::exit(2);
+      }
+      (arg == "--trace" ? trace_path : metrics_path) = argv[++i];
+      any_flag = true;
+    } else if (arg == "--telemetry") {
+      summary = true;
+      any_flag = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  obs::init_from_env();
+  if (any_flag) obs::configure_exit_report(trace_path, metrics_path, summary);
+  return args;
+}
+
+std::map<std::string, std::string> parse_flags(
+    const std::vector<std::string>& args, std::size_t first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
+  for (std::size_t i = first; i + 1 < args.size(); i += 2) {
+    const std::string& key = args[i];
     if (key.rfind("--", 0) != 0)
       throw std::runtime_error("expected --flag value, got: " + key);
-    flags[key.substr(2)] = argv[i + 1];
+    flags[key.substr(2)] = args[i + 1];
   }
   return flags;
 }
@@ -182,14 +217,16 @@ int cmd_evaluate(const std::map<std::string, std::string>& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  const std::vector<std::string> args = setup_telemetry(argc, argv);
+  if (args.empty()) {
     std::cerr << "usage: diagnet <simulate|train|diagnose|evaluate> "
+                 "[--trace file] [--metrics file] [--telemetry] "
                  "[--flag value ...]\n";
     return 2;
   }
-  const std::string command = argv[1];
+  const std::string command = args[0];
   try {
-    const auto flags = parse_flags(argc, argv, 2);
+    const auto flags = parse_flags(args, 1);
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "train") return cmd_train(flags);
     if (command == "diagnose") return cmd_diagnose(flags);
