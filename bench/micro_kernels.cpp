@@ -6,8 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "core/batch_diagnoser.h"
 #include "eval/pipeline.h"
 #include "obs/obs.h"
 #include "nn/coarse_net.h"
@@ -105,6 +112,37 @@ void bm_diagnose_full(benchmark::State& state) {
 }
 BENCHMARK(bm_diagnose_full);  // paper: 45 ms mean inference
 
+/// Cycle through the faulty test samples to build n diagnosis requests.
+std::vector<core::DiagnosisRequest> batch_requests(eval::Pipeline& pipeline,
+                                                   std::size_t n) {
+  const auto faulty = pipeline.faulty_test_indices();
+  const auto& test = pipeline.split().test.samples;
+  std::vector<core::DiagnosisRequest> requests(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& sample = test[faulty[i % faulty.size()]];
+    requests[i] = {&sample.features, sample.service};
+  }
+  return requests;
+}
+
+void bm_diagnose_batch(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<bool> all(pipeline.feature_space().landmark_count(),
+                              true);
+  const auto requests = batch_requests(pipeline, n);
+  core::BatchDiagnoserConfig config;
+  config.batch_size = 256;
+  const core::BatchDiagnoser batcher(pipeline.diagnet(), config);
+  for (auto _ : state) {
+    auto out = batcher.diagnose_all(requests, all);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(bm_diagnose_batch)->Arg(1)->Arg(64)->Arg(256);
+
 void bm_rf_score(benchmark::State& state) {
   auto& pipeline = shared_pipeline();
   const auto faulty = pipeline.faulty_test_indices();
@@ -142,6 +180,69 @@ void bm_probe_landmarks(benchmark::State& state) {
 }
 BENCHMARK(bm_probe_landmarks);
 
+/// Head-to-head throughput check for the PR acceptance gate: diagnose 512
+/// samples with the per-sample loop vs the batched engine at batch 256, and
+/// record both rates (plus the speedup) in BENCH_micro_kernels.json — the
+/// same slot bench_util.h uses for the other benches' perf trajectory.
+void write_speedup_report(std::chrono::steady_clock::time_point start) {
+  auto& pipeline = shared_pipeline();
+  auto& model = pipeline.diagnet();
+  const std::vector<bool> all(pipeline.feature_space().landmark_count(),
+                              true);
+  constexpr std::size_t kSamples = 512;
+  const auto requests = batch_requests(pipeline, kSamples);
+
+  core::BatchDiagnoserConfig config;
+  config.batch_size = 256;
+  const core::BatchDiagnoser batcher(model, config);
+
+  const auto run_seq = [&] {
+    for (const auto& request : requests) {
+      auto d = model.diagnose(*request.features, request.service, all);
+      benchmark::DoNotOptimize(d.scores.data());
+    }
+  };
+  const auto run_batch = [&] {
+    auto out = batcher.diagnose_all(requests, all);
+    benchmark::DoNotOptimize(out.data());
+  };
+
+  using clock = std::chrono::steady_clock;
+  const auto time_of = [&](const auto& fn) {
+    fn();  // warm-up (touches caches, first-use allocations)
+    const auto t0 = clock::now();
+    fn();
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  const double seq_seconds = time_of(run_seq);
+  const double batch_seconds = time_of(run_batch);
+  const double seq_rate = static_cast<double>(kSamples) / seq_seconds;
+  const double batch_rate = static_cast<double>(kSamples) / batch_seconds;
+  const double speedup = seq_seconds / batch_seconds;
+
+  std::printf(
+      "\ndiagnosis throughput (%zu samples): per-sample %.1f /s, "
+      "batch-256 %.1f /s, speedup %.2fx\n",
+      kSamples, seq_rate, batch_rate, speedup);
+
+  const double wall_seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  const char* out_dir = std::getenv("DIAGNET_BENCH_OUT");
+  const std::string path = (out_dir && *out_dir ? std::string(out_dir) + "/"
+                                                : std::string()) +
+                           "BENCH_micro_kernels.json";
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n"
+      << "  \"bench\": \"micro_kernels\",\n"
+      << "  \"wall_seconds\": " << wall_seconds << ",\n"
+      << "  \"peak_rss_kib\": " << obs::peak_rss_kib() << ",\n"
+      << "  \"seq_samples_per_s\": " << seq_rate << ",\n"
+      << "  \"batch256_samples_per_s\": " << batch_rate << ",\n"
+      << "  \"batch_speedup\": " << speedup << "\n"
+      << "}\n";
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN() so the telemetry environment (DIAGNET_TRACE /
@@ -149,10 +250,12 @@ BENCHMARK(bm_probe_landmarks);
 // runs. Telemetry stays off unless requested, so the measured kernels are
 // undisturbed by default.
 int main(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
   diagnet::obs::init_from_env();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  write_speedup_report(start);
   benchmark::Shutdown();
   return 0;
 }

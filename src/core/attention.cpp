@@ -13,23 +13,53 @@ namespace {
 /// Normalise γ to sum 1. When the signal is degenerate (saturated softmax
 /// gives an all-zero gradient; occlusion may find no probability drop),
 /// fall back to a uniform distribution over the *available* features —
-/// masked-out landmarks must stay at exactly 0.
-void normalize_gamma(std::vector<double>& gamma, const nn::LandBatch& sample,
-                     const data::FeatureSpace& fs, double sum) {
+/// masked-out landmarks must stay at exactly 0. `row` selects the sample's
+/// mask row inside a (possibly multi-row) batch.
+void normalize_gamma(std::vector<double>& gamma, const nn::LandBatch& batch,
+                     std::size_t row, const data::FeatureSpace& fs,
+                     double sum) {
   if (sum > 0.0) {
     for (auto& g : gamma) g /= sum;
     return;
   }
   std::size_t usable = fs.local_count();
   for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam)
-    if (sample.mask(0, lam) >= 0.5) usable += fs.metrics_per_landmark();
+    if (batch.mask(row, lam) >= 0.5) usable += fs.metrics_per_landmark();
   const double uniform = 1.0 / static_cast<double>(usable);
   for (std::size_t j = 0; j < gamma.size(); ++j) {
     const bool available =
         !fs.is_landmark_feature(j) ||
-        sample.mask(0, fs.landmark_of(j)) >= 0.5;
+        batch.mask(row, fs.landmark_of(j)) >= 0.5;
     gamma[j] = available ? uniform : 0.0;
   }
+}
+
+/// Shared γ extraction: map row `r` of the (land, local) input gradients
+/// back to the m-dimensional feature space and normalise.
+void gamma_from_grads(AttentionResult& result, const nn::Matrix& grad_land,
+                      const nn::Matrix& grad_local, std::size_t r,
+                      const nn::LandBatch& batch,
+                      const data::FeatureSpace& fs) {
+  const std::size_t k = fs.metrics_per_landmark();
+  result.gamma.assign(fs.total(), 0.0);
+  double sum = 0.0;
+  for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam) {
+    for (std::size_t metric = 0; metric < k; ++metric) {
+      const std::size_t j = fs.landmark_feature(
+          lam, static_cast<data::Metric>(metric));
+      const double g = std::abs(grad_land(r, lam * k + metric));
+      result.gamma[j] = g;
+      sum += g;
+    }
+  }
+  for (std::size_t t = 0; t < fs.local_count(); ++t) {
+    const std::size_t j =
+        fs.local_feature(static_cast<data::LocalFeature>(t));
+    const double g = std::abs(grad_local(r, t));
+    result.gamma[j] = g;
+    sum += g;
+  }
+  normalize_gamma(result.gamma, batch, r, fs, sum);
 }
 
 }  // namespace
@@ -57,28 +87,42 @@ AttentionResult compute_attention(nn::CoarseNet& net,
   net.zero_grad();  // attention must not leak into parameter gradients
 
   // Map (land, local) gradients back to the m-dimensional feature space.
-  const std::size_t k = fs.metrics_per_landmark();
-  result.gamma.assign(fs.total(), 0.0);
-  double sum = 0.0;
-  for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam) {
-    for (std::size_t metric = 0; metric < k; ++metric) {
-      const std::size_t j = fs.landmark_feature(
-          lam, static_cast<data::Metric>(metric));
-      const double g = std::abs(grad_land(0, lam * k + metric));
-      result.gamma[j] = g;
-      sum += g;
-    }
-  }
-  for (std::size_t t = 0; t < fs.local_count(); ++t) {
-    const std::size_t j =
-        fs.local_feature(static_cast<data::LocalFeature>(t));
-    const double g = std::abs(grad_local(0, t));
-    result.gamma[j] = g;
-    sum += g;
+  gamma_from_grads(result, grad_land, grad_local, 0, sample, fs);
+  return result;
+}
+
+std::vector<AttentionResult> compute_attention_batch(
+    nn::CoarseNet& net, const nn::LandBatch& batch,
+    const data::FeatureSpace& fs) {
+  const std::size_t n = batch.size();
+  std::vector<AttentionResult> results(n);
+  if (n == 0) return results;
+
+  // One batched forward pass; softmax/argmax are strictly row-wise, so each
+  // row matches the single-sample path bit for bit.
+  const nn::Matrix logits = net.forward(batch);
+  const nn::Matrix probs = nn::softmax(logits);
+  std::vector<std::size_t> argmaxes(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    results[r].coarse_probs = probs.row_copy(r);
+    results[r].coarse_argmax = static_cast<std::size_t>(
+        std::max_element(results[r].coarse_probs.begin(),
+                         results[r].coarse_probs.end()) -
+        results[r].coarse_probs.begin());
+    argmaxes[r] = results[r].coarse_argmax;
   }
 
-  normalize_gamma(result.gamma, sample, fs, sum);
-  return result;
+  // One batched input-gradient backward pass of the ideal-label loss. The
+  // input-only path accumulates no parameter gradients (nothing to zero)
+  // and every per-row gradient is bit-identical to the single-sample pass.
+  const nn::Matrix grad_logits = nn::ideal_label_grads(logits, argmaxes);
+  nn::Matrix grad_land;
+  nn::Matrix grad_local;
+  net.backward_inputs(grad_logits, &grad_land, &grad_local);
+
+  for (std::size_t r = 0; r < n; ++r)
+    gamma_from_grads(results[r], grad_land, grad_local, r, batch, fs);
+  return results;
 }
 
 AttentionResult compute_occlusion_attention(nn::CoarseNet& net,
@@ -130,7 +174,7 @@ AttentionResult compute_occlusion_attention(nn::CoarseNet& net,
     probe.local(0, t) = saved;
   }
 
-  normalize_gamma(result.gamma, sample, fs, sum);
+  normalize_gamma(result.gamma, sample, 0, fs, sum);
   return result;
 }
 

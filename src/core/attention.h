@@ -29,6 +29,15 @@ AttentionResult compute_attention(nn::CoarseNet& net,
                                   const nn::LandBatch& sample,
                                   const data::FeatureSpace& fs);
 
+/// Gradient attention for a whole batch in one forward + one input-only
+/// backward pass (no parameter gradients are touched). Result r is
+/// bit-identical to compute_attention() on row r alone: every per-row
+/// computation (GEMM accumulation order, pooling, softmax) is independent
+/// of the other rows.
+std::vector<AttentionResult> compute_attention_batch(
+    nn::CoarseNet& net, const nn::LandBatch& batch,
+    const data::FeatureSpace& fs);
+
 /// Black-box alternative (the paper cites LIME-style model-agnostic
 /// explainers as the generic option before choosing gradients, §III-E):
 /// occlude one feature at a time — replace its normalised value with 0,

@@ -1,0 +1,129 @@
+#include "core/batch_diagnoser.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/attention.h"
+#include "data/encoding.h"
+#include "obs/obs.h"
+#include "util/require.h"
+
+namespace diagnet::core {
+
+namespace {
+
+/// A run of request indices served by one network; at most batch_size long.
+struct Chunk {
+  nn::CoarseNet* net = nullptr;
+  std::vector<std::size_t> indices;  // into the request vector
+};
+
+}  // namespace
+
+BatchDiagnoser::BatchDiagnoser(DiagNetModel& model,
+                               BatchDiagnoserConfig config)
+    : model_(&model), config_(config) {
+  DIAGNET_REQUIRE(config_.batch_size > 0);
+}
+
+std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
+    const std::vector<DiagnosisRequest>& requests,
+    const std::vector<bool>& landmark_available) const {
+  DIAGNET_SPAN("diagnose.batch");
+  DIAGNET_REQUIRE_MSG(model_->trained(), "train_general() first");
+  DIAGNET_COUNT_N("diagnose.batch.samples", requests.size());
+
+  std::vector<Diagnosis> results(requests.size());
+  if (requests.empty()) return results;
+
+  // Group requests by serving network (first-appearance order) so each
+  // batch runs through exactly the network diagnose() would have used.
+  std::vector<Chunk> groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    DIAGNET_REQUIRE(requests[i].features != nullptr);
+    nn::CoarseNet* net = config_.use_general
+                             ? &model_->general_net()
+                             : &model_->service_net(requests[i].service);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const Chunk& g) { return g.net == net; });
+    if (it == groups.end()) {
+      groups.push_back({net, {}});
+      it = groups.end() - 1;
+    }
+    it->indices.push_back(i);
+  }
+
+  std::vector<Chunk> chunks;
+  for (const Chunk& g : groups) {
+    for (std::size_t b = 0; b < g.indices.size(); b += config_.batch_size) {
+      const std::size_t e =
+          std::min(g.indices.size(), b + config_.batch_size);
+      chunks.push_back({g.net,
+                        {g.indices.begin() + static_cast<std::ptrdiff_t>(b),
+                         g.indices.begin() + static_cast<std::ptrdiff_t>(e)}});
+    }
+  }
+  DIAGNET_COUNT_N("diagnose.batch.chunks", chunks.size());
+
+  util::ThreadPool& pool =
+      config_.pool ? *config_.pool : util::ThreadPool::global();
+  // Layer forward passes cache activations inside the layer objects, so
+  // concurrent chunks must not share a network. With a serial pool the
+  // chunks run one after another on the caller thread and the model's own
+  // networks can be used directly (no clone cost).
+  const bool concurrent = pool.size() > 1 && chunks.size() > 1;
+
+  const data::FeatureSpace& fs = model_->feature_space();
+  const bool gradient =
+      model_->config().attention == AttentionMethod::Gradient;
+
+  pool.parallel_for(chunks.size(), [&](std::size_t ci) {
+    const Chunk& chunk = chunks[ci];
+    std::unique_ptr<nn::CoarseNet> private_net;
+    nn::CoarseNet* net = chunk.net;
+    if (concurrent) {
+      private_net = chunk.net->clone();
+      net = private_net.get();
+    }
+
+    nn::LandBatch batch;
+    {
+      DIAGNET_SPAN("diagnose.batch.encode");
+      std::vector<const std::vector<double>*> raw(chunk.indices.size());
+      for (std::size_t r = 0; r < chunk.indices.size(); ++r)
+        raw[r] = requests[chunk.indices[r]].features;
+      batch = data::encode_batch(raw, fs, model_->normalizer(),
+                                 landmark_available);
+    }
+
+    std::vector<AttentionResult> attention;
+    {
+      DIAGNET_SPAN("diagnose.batch.attention");
+      if (gradient) {
+        attention = compute_attention_batch(*net, batch, fs);
+      } else {
+        // Occlusion probes one feature at a time (m forward passes per
+        // sample); there is nothing to batch, so run it row by row.
+        attention.reserve(chunk.indices.size());
+        for (std::size_t r = 0; r < chunk.indices.size(); ++r) {
+          const nn::LandBatch row = data::encode_sample(
+              *requests[chunk.indices[r]].features, fs,
+              model_->normalizer(), landmark_available);
+          attention.push_back(compute_occlusion_attention(*net, row, fs));
+        }
+      }
+    }
+
+    {
+      DIAGNET_SPAN("diagnose.batch.score");
+      for (std::size_t r = 0; r < chunk.indices.size(); ++r) {
+        const std::size_t i = chunk.indices[r];
+        results[i] = model_->complete_diagnosis(
+            attention[r], *requests[i].features, landmark_available);
+      }
+    }
+  });
+  return results;
+}
+
+}  // namespace diagnet::core

@@ -1,0 +1,65 @@
+// Batched diagnosis engine: the full ranking pipeline of
+// DiagNetModel::diagnose() — coarse forward, gradient attention,
+// Algorithm 1 score weighting, extensible-forest scoring, ensemble
+// blending — vectorised over N samples.
+//
+// Requests are grouped by the network that serves them (a service's
+// specialised model when one exists, the general model otherwise), each
+// group is cut into batches of `batch_size` rows, and batches are processed
+// in parallel on a thread pool. Inside a batch the coarse network runs ONE
+// forward pass and ONE input-only backward pass for all rows (see
+// CoarseNet::backward_inputs); everything downstream of the attention step
+// is per-row.
+//
+// Exactness contract: diagnose_all()[i] is bit-identical to
+// model.diagnose(*requests[i].features, requests[i].service,
+// landmark_available) — every per-row computation (GEMM accumulation
+// order, land pooling, softmax, the score pipeline) is independent of the
+// other rows of the batch, of batch_size, and of the thread count. The
+// property test in tests/test_batch_diagnoser.cpp pins this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/diagnet.h"
+#include "util/thread_pool.h"
+
+namespace diagnet::core {
+
+/// One sample to diagnose. `features` must outlive the diagnose_all() call.
+struct DiagnosisRequest {
+  const std::vector<double>* features = nullptr;
+  std::size_t service = 0;
+};
+
+struct BatchDiagnoserConfig {
+  /// Rows per coarse-network forward/backward pass.
+  std::size_t batch_size = 64;
+  /// Pool for outer parallelism over batches; nullptr selects the global
+  /// pool. With more than one worker each batch runs on a private clone of
+  /// the serving network (layer forward caches are not thread-safe).
+  util::ThreadPool* pool = nullptr;
+  /// Route every request through the general model, ignoring services.
+  bool use_general = false;
+};
+
+class BatchDiagnoser {
+ public:
+  explicit BatchDiagnoser(DiagNetModel& model,
+                          BatchDiagnoserConfig config = {});
+
+  /// Diagnose all requests; result i corresponds to request i. All requests
+  /// share one inference-time landmark availability mask.
+  std::vector<Diagnosis> diagnose_all(
+      const std::vector<DiagnosisRequest>& requests,
+      const std::vector<bool>& landmark_available) const;
+
+  const BatchDiagnoserConfig& config() const { return config_; }
+
+ private:
+  DiagNetModel* model_;
+  BatchDiagnoserConfig config_;
+};
+
+}  // namespace diagnet::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "core/ensemble.h"
 #include "core/score_weighting.h"
@@ -156,6 +158,13 @@ Diagnosis DiagNetModel::diagnose_with(
                : compute_occlusion_attention(net, batch, *fs_);
   }();
 
+  return complete_diagnosis(attention, raw_features, landmark_available);
+}
+
+Diagnosis DiagNetModel::complete_diagnosis(
+    const AttentionResult& attention,
+    const std::vector<double>& raw_features,
+    const std::vector<bool>& landmark_available) const {
   Diagnosis diagnosis;
   diagnosis.coarse_probs = attention.coarse_probs;
   diagnosis.coarse_argmax = attention.coarse_argmax;
@@ -210,12 +219,19 @@ std::vector<double> DiagNetModel::coarse_predict(
 namespace diagnet::core {
 
 namespace {
-constexpr std::uint64_t kModelTag = 0xd1a60e7'0001ULL;
+// Bumped from ...0001 when the feature-space schema (landmark count, total
+// feature count) was added to the bundle so load() can reject a model
+// trained against a different deployment outright.
+constexpr std::uint64_t kModelTag = 0xd1a60e7'0002ULL;
 }
 
 void DiagNetModel::save(util::BinaryWriter& writer) const {
   DIAGNET_REQUIRE_MSG(trained(), "cannot save an untrained model");
   writer.write_u64(kModelTag);
+
+  // Feature-space schema the model was trained against.
+  writer.write_u64(fs_->landmark_count());
+  writer.write_u64(fs_->total());
 
   // Architecture (enough to rebuild the nets).
   const nn::CoarseNetConfig& coarse = config_.coarse;
@@ -250,6 +266,15 @@ void DiagNetModel::save(util::BinaryWriter& writer) const {
 std::unique_ptr<DiagNetModel> DiagNetModel::load(
     util::BinaryReader& reader, const data::FeatureSpace& fs) {
   reader.expect_u64(kModelTag, "DiagNetModel");
+
+  const auto landmarks = static_cast<std::size_t>(reader.read_u64());
+  const auto total = static_cast<std::size_t>(reader.read_u64());
+  if (landmarks != fs.landmark_count() || total != fs.total())
+    throw std::runtime_error(
+        "model was trained for a different deployment (" +
+        std::to_string(landmarks) + " landmarks / " + std::to_string(total) +
+        " features; this one has " + std::to_string(fs.landmark_count()) +
+        " / " + std::to_string(fs.total()) + ")");
 
   DiagNetConfig config = DiagNetConfig::defaults();
   config.coarse.features_per_landmark =

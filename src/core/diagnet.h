@@ -97,8 +97,18 @@ class DiagNetModel {
                                      std::size_t service,
                                      const std::vector<bool>& landmark_available);
 
+  /// Shared tail of diagnose(): Algorithm 1 score weighting, ensemble
+  /// blending with the auxiliary forest, and ranking, starting from an
+  /// already-computed attention result. Both the single-sample path and the
+  /// batched engine (core/batch_diagnoser.h) finish through this method, so
+  /// their outputs agree bit for bit by construction.
+  Diagnosis complete_diagnosis(const AttentionResult& attention,
+                               const std::vector<double>& raw_features,
+                               const std::vector<bool>& landmark_available) const;
+
   bool trained() const { return general_ != nullptr; }
   bool has_specialized(std::size_t service) const;
+  const data::FeatureSpace& feature_space() const { return *fs_; }
   const data::Normalizer& normalizer() const { return normalizer_; }
   const forest::ExtensibleForest& auxiliary() const { return auxiliary_; }
   nn::CoarseNet& general_net();

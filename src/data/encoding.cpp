@@ -64,6 +64,38 @@ nn::LandBatch encode_sample(const std::vector<double>& raw_features,
   return batch;
 }
 
+nn::LandBatch encode_batch(
+    const std::vector<const std::vector<double>*>& raw_features,
+    const FeatureSpace& fs, const Normalizer& normalizer,
+    const std::vector<bool>& landmark_available) {
+  const std::size_t n = raw_features.size();
+  const std::size_t L = fs.landmark_count();
+  const std::size_t k = fs.metrics_per_landmark();
+  DIAGNET_REQUIRE(landmark_available.size() == L);
+
+  nn::LandBatch batch;
+  batch.land = tensor::Matrix(n, L * k);
+  batch.mask = tensor::Matrix(n, L);
+  batch.local = tensor::Matrix(n, fs.local_count());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    DIAGNET_REQUIRE(raw_features[i] != nullptr);
+    const std::vector<double> z = normalizer.apply(*raw_features[i]);
+    for (std::size_t lam = 0; lam < L; ++lam) {
+      batch.mask(i, lam) = landmark_available[lam] ? 1.0 : 0.0;
+      for (std::size_t metric = 0; metric < k; ++metric) {
+        const std::size_t j =
+            fs.landmark_feature(lam, static_cast<Metric>(metric));
+        batch.land(i, lam * k + metric) =
+            landmark_available[lam] ? z[j] : 0.0;
+      }
+    }
+    for (std::size_t t = 0; t < fs.local_count(); ++t)
+      batch.local(i, t) = z[fs.local_feature(static_cast<LocalFeature>(t))];
+  }
+  return batch;
+}
+
 tensor::Matrix encode_flat(const Dataset& dataset, const FeatureSpace& fs,
                            const Normalizer& normalizer) {
   const std::vector<bool> available = dataset.feature_available(fs);

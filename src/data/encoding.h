@@ -28,6 +28,14 @@ nn::LandBatch encode_sample(const std::vector<double>& raw_features,
                             const Normalizer& normalizer,
                             const std::vector<bool>& landmark_available);
 
+/// N raw feature vectors -> an N-row LandBatch sharing one availability
+/// mask. Row i is encoded exactly as encode_sample(*raw_features[i], ...)
+/// would encode it (the batched diagnosis engine relies on this).
+nn::LandBatch encode_batch(
+    const std::vector<const std::vector<double>*>& raw_features,
+    const FeatureSpace& fs, const Normalizer& normalizer,
+    const std::vector<bool>& landmark_available);
+
 /// Whole dataset -> flat (n x m) design matrix with zero-filled
 /// unavailable features. Values are normalised.
 tensor::Matrix encode_flat(const Dataset& dataset, const FeatureSpace& fs,

@@ -1,5 +1,6 @@
 #include "data/normalizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/require.h"
@@ -55,8 +56,13 @@ void Normalizer::fit(const Dataset& train, const FeatureSpace& fs) {
   stats_.resize(kKinds);
   for (std::size_t kind = 0; kind < kKinds; ++kind) {
     stats_[kind].mean = acc[kind].mean();
+    // A near-constant feature has a stddev that is pure numerical noise;
+    // dividing by it turns tiny fluctuations into astronomical z-scores
+    // that saturate the MLP. Any spread negligible relative to the
+    // feature's own magnitude is treated as constant: no scaling.
+    const double floor = 1e-6 * std::max(1.0, std::abs(acc[kind].mean()));
     const double std = acc[kind].stddev();
-    stats_[kind].std = std > 1e-9 ? std : 1.0;
+    stats_[kind].std = std > floor ? std : 1.0;
   }
 }
 

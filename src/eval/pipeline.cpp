@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "core/batch_diagnoser.h"
 #include "data/encoding.h"
 #include "obs/obs.h"
 #include "util/rng.h"
@@ -189,18 +190,51 @@ std::vector<std::size_t> Pipeline::rank(ModelKind kind,
   DIAGNET_REQUIRE_MSG(false, "unknown model kind");
 }
 
+std::vector<std::vector<std::size_t>> Pipeline::rank_all(
+    ModelKind kind, const std::vector<std::size_t>& test_indices) {
+  DIAGNET_SPAN("pipeline.rank_all");
+  if (kind == ModelKind::DiagNet) {
+    std::vector<core::DiagnosisRequest> requests(test_indices.size());
+    for (std::size_t i = 0; i < test_indices.size(); ++i) {
+      DIAGNET_REQUIRE(test_indices[i] < split_.test.samples.size());
+      const data::Sample& sample = split_.test.samples[test_indices[i]];
+      requests[i] = {&sample.features, sample.service};
+    }
+    const core::BatchDiagnoser batcher(diagnet_);
+    std::vector<core::Diagnosis> diagnoses =
+        batcher.diagnose_all(requests, split_.test.landmark_available);
+    std::vector<std::vector<std::size_t>> rankings(diagnoses.size());
+    for (std::size_t i = 0; i < diagnoses.size(); ++i)
+      rankings[i] = std::move(diagnoses[i].ranking);
+    return rankings;
+  }
+  // The flat-vector baselines are one tree/likelihood evaluation per
+  // sample; the per-sample path is already their natural batch shape.
+  std::vector<std::vector<std::size_t>> rankings;
+  rankings.reserve(test_indices.size());
+  for (std::size_t idx : test_indices) rankings.push_back(rank(kind, idx));
+  return rankings;
+}
+
 double Pipeline::recall(ModelKind kind,
                         const std::vector<std::size_t>& test_indices,
                         std::size_t k) {
-  std::vector<std::vector<std::size_t>> rankings;
+  return recall_curve(kind, test_indices, {k}).front();
+}
+
+std::vector<double> Pipeline::recall_curve(
+    ModelKind kind, const std::vector<std::size_t>& test_indices,
+    const std::vector<std::size_t>& ks) {
+  const std::vector<std::vector<std::size_t>> rankings =
+      rank_all(kind, test_indices);
   std::vector<std::size_t> truths;
-  rankings.reserve(test_indices.size());
   truths.reserve(test_indices.size());
-  for (std::size_t idx : test_indices) {
-    rankings.push_back(rank(kind, idx));
+  for (std::size_t idx : test_indices)
     truths.push_back(split_.test.samples[idx].primary_cause);
-  }
-  return recall_at_k(rankings, truths, k);
+  std::vector<double> out;
+  out.reserve(ks.size());
+  for (std::size_t k : ks) out.push_back(recall_at_k(rankings, truths, k));
+  return out;
 }
 
 std::size_t Pipeline::coarse_prediction(std::size_t test_index) {

@@ -70,9 +70,24 @@ class Pipeline {
   /// uses the sample's specialised service model when available.
   std::vector<std::size_t> rank(ModelKind kind, std::size_t test_index);
 
+  /// Ranked cause lists for many test samples at once; result i corresponds
+  /// to test_indices[i] and is bit-identical to rank(kind, test_indices[i]).
+  /// DiagNet requests go through the batched diagnosis engine
+  /// (core/batch_diagnoser.h) — one network pass per batch instead of one
+  /// per sample — which is what the bench binaries and evaluate should use.
+  std::vector<std::vector<std::size_t>> rank_all(
+      ModelKind kind, const std::vector<std::size_t>& test_indices);
+
   /// Recall@k of a model over the given test samples (primary causes).
   double recall(ModelKind kind, const std::vector<std::size_t>& test_indices,
                 std::size_t k);
+
+  /// Recall@k for several k at once from a single ranking pass (the Fig. 5
+  /// recall curves re-rank nothing this way). Returns one value per entry
+  /// of `ks`.
+  std::vector<double> recall_curve(ModelKind kind,
+                                   const std::vector<std::size_t>& test_indices,
+                                   const std::vector<std::size_t>& ks);
 
   /// Coarse fault-family prediction of DiagNet for a test sample.
   std::size_t coarse_prediction(std::size_t test_index);

@@ -74,6 +74,35 @@ void CoarseNet::backward(const Matrix& grad_logits, Matrix* grad_land,
   if (grad_land) *grad_land = std::move(dland);
 }
 
+void CoarseNet::backward_inputs(const Matrix& grad_logits, Matrix* grad_land,
+                                Matrix* grad_local) {
+  Matrix g = fc_.back().backward_input(grad_logits);
+  for (std::size_t i = relu_.size(); i-- > 0;) {
+    g = relu_[i].backward(g);
+    g = fc_[i].backward_input(g);
+  }
+
+  // Split the concat gradient back into (pooled, local) parts.
+  Matrix grad_pooled(g.rows(), local_offset_);
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const double* row = g.row_ptr(r);
+    double* p = grad_pooled.row_ptr(r);
+    for (std::size_t c = 0; c < local_offset_; ++c) p[c] = row[c];
+  }
+  if (grad_local) {
+    *grad_local = Matrix(g.rows(), config_.local_features);
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      const double* row = g.row_ptr(r);
+      double* l = grad_local->row_ptr(r);
+      for (std::size_t c = 0; c < config_.local_features; ++c)
+        l[c] = row[local_offset_ + c];
+    }
+  }
+
+  Matrix dland = pool_.backward_input(grad_pooled);
+  if (grad_land) *grad_land = std::move(dland);
+}
+
 std::vector<Parameter*> CoarseNet::parameters() {
   std::vector<Parameter*> params = pool_.parameters();
   for (auto& layer : fc_) {

@@ -42,6 +42,15 @@ class CoarseNet {
   void backward(const Matrix& grad_logits, Matrix* grad_land,
                 Matrix* grad_local);
 
+  /// Backprop dLoss/dLogits down to the inputs only: no parameter gradient
+  /// is accumulated (so no zero_grad() is needed afterwards). The input
+  /// gradients are bit-identical to backward()'s — dX never depends on the
+  /// dW/db accumulation — at roughly half the FLOPs and none of the
+  /// parameter-gradient memory traffic. This is the inference path used by
+  /// batched gradient attention.
+  void backward_inputs(const Matrix& grad_logits, Matrix* grad_land,
+                       Matrix* grad_local);
+
   std::vector<Parameter*> parameters();
   void zero_grad();
   std::size_t parameter_count() const;

@@ -160,13 +160,14 @@ Matrix LandPooling::forward(const Matrix& land, const Matrix& mask) {
   return out;
 }
 
-Matrix LandPooling::backward(const Matrix& grad_pooled) {
+std::vector<double> LandPooling::route_pooled_grads(
+    const Matrix& grad_pooled) const {
   DIAGNET_REQUIRE_MSG(grad_pooled.rows() == batch_ &&
                           grad_pooled.cols() == out_features(),
                       "backward shape mismatch (call forward first)");
   const std::size_t L = landmarks_;
 
-  // Stage 1: route pooled gradients into dF (per sample, landmark, filter).
+  // Route pooled gradients into dF (per sample, landmark, filter).
   std::vector<double> dconv(batch_ * L * filters_, 0.0);
   std::vector<double> values;
   std::vector<std::size_t> order;     // sorted positions -> slot
@@ -230,6 +231,12 @@ Matrix LandPooling::backward(const Matrix& grad_pooled) {
       }
     }
   }
+  return dconv;
+}
+
+Matrix LandPooling::backward(const Matrix& grad_pooled) {
+  const std::size_t L = landmarks_;
+  const std::vector<double> dconv = route_pooled_grads(grad_pooled);
 
   // Stage 2: dK += Σ dF[λ] ⊗ x[λ]; db += Σ dF[λ]; dx[λ] = K^T · dF[λ].
   Matrix dland(batch_, L * k_);
@@ -249,6 +256,28 @@ Matrix LandPooling::backward(const Matrix& grad_pooled) {
           dx[t] += dfj * kv[t];
         }
         bias_.grad(0, j) += dfj;
+      }
+    }
+  }
+  return dland;
+}
+
+Matrix LandPooling::backward_input(const Matrix& grad_pooled) const {
+  const std::size_t L = landmarks_;
+  const std::vector<double> dconv = route_pooled_grads(grad_pooled);
+
+  // dx[λ] = K^T · dF[λ] only; kernel/bias gradients are not accumulated.
+  Matrix dland(batch_, L * k_);
+  for (std::size_t i = 0; i < batch_; ++i) {
+    for (std::size_t lam = 0; lam < L; ++lam) {
+      if (mask_(i, lam) < 0.5) continue;
+      const double* df = dconv.data() + (i * L + lam) * filters_;
+      double* dx = dland.row_ptr(i) + lam * k_;
+      for (std::size_t j = 0; j < filters_; ++j) {
+        const double dfj = df[j];
+        if (dfj == 0.0) continue;
+        const double* kv = kernel_.value.row_ptr(j);
+        for (std::size_t t = 0; t < k_; ++t) dx[t] += dfj * kv[t];
       }
     }
   }

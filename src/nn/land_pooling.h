@@ -65,6 +65,12 @@ class LandPooling {
   /// the gradient w.r.t. `land` (zeros at masked-out landmarks).
   Matrix backward(const Matrix& grad_pooled);
 
+  /// Input gradient only: identical routing and dx = K^T · dF as backward(),
+  /// but kernel/bias gradients are left untouched. dx does not depend on the
+  /// accumulation, so the result is bit-identical to backward()'s — this is
+  /// the inference path (gradient attention).
+  Matrix backward_input(const Matrix& grad_pooled) const;
+
   std::vector<Parameter*> parameters() { return {&kernel_, &bias_}; }
 
   std::size_t feature_count() const { return k_; }
@@ -76,6 +82,10 @@ class LandPooling {
   Parameter& bias() { return bias_; }
 
  private:
+  /// Stage 1 of the backward pass, shared by backward()/backward_input():
+  /// route pooled gradients to the per-(sample, landmark, filter) dF.
+  std::vector<double> route_pooled_grads(const Matrix& grad_pooled) const;
+
   std::size_t k_;
   std::size_t filters_;
   std::vector<PoolOp> ops_;

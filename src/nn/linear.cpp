@@ -46,4 +46,12 @@ Matrix Linear::backward(const Matrix& grad_output) {
   return dx;
 }
 
+Matrix Linear::backward_input(const Matrix& grad_output) const {
+  DIAGNET_REQUIRE_MSG(grad_output.cols() == out_features(),
+                      "backward called with mismatched gradient");
+  Matrix dx;
+  tensor::gemm_a_bt(grad_output, weight_.value, dx);
+  return dx;
+}
+
 }  // namespace diagnet::nn

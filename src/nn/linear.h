@@ -14,6 +14,12 @@ class Linear final : public Layer {
 
   Matrix forward(const Matrix& input) override;
   Matrix backward(const Matrix& grad_output) override;
+  /// Input gradient only: dX = dY · W^T, without touching weight_.grad /
+  /// bias_.grad. dX is independent of the parameter-gradient accumulation,
+  /// so the result is bit-identical to what backward() returns — this is
+  /// the inference-time path (attention needs input gradients, never
+  /// parameter gradients) and skips ~2/3 of backward's memory traffic.
+  Matrix backward_input(const Matrix& grad_output) const;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
 

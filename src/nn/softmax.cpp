@@ -50,4 +50,15 @@ Matrix ideal_label_grad(const Matrix& logits_row, std::size_t target) {
   return g;
 }
 
+Matrix ideal_label_grads(const Matrix& logits,
+                         const std::vector<std::size_t>& targets) {
+  DIAGNET_REQUIRE(targets.size() == logits.rows());
+  Matrix g = softmax(logits);
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    DIAGNET_REQUIRE(targets[r] < g.cols());
+    g(r, targets[r]) -= 1.0;
+  }
+  return g;
+}
+
 }  // namespace diagnet::nn

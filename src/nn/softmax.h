@@ -25,4 +25,11 @@ double softmax_cross_entropy(const Matrix& logits,
 /// (paper §III-E, L* with y* = onehot(argmax y)).
 Matrix ideal_label_grad(const Matrix& logits_row, std::size_t target);
 
+/// Batched ideal-label gradient: row r gets the gradient of
+/// -log softmax(logits_r)[targets[r]]. Each row is computed exactly as
+/// ideal_label_grad() would — softmax is row-wise, so the result is
+/// bit-identical per row regardless of batch size.
+Matrix ideal_label_grads(const Matrix& logits,
+                         const std::vector<std::size_t>& targets);
+
 }  // namespace diagnet::nn

@@ -82,9 +82,8 @@ TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
   SgdOptimizer optimizer(net.parameters(), config.sgd);
 
   TrainingHistory history;
-  double best_val = std::numeric_limits<double>::infinity();
+  EarlyStopper stopper(config.min_delta, config.patience);
   std::vector<double> best_params;
-  std::size_t stale = 0;
 
   bool early_stopped = false;
   for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
@@ -117,12 +116,12 @@ TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
     DIAGNET_OBSERVE("trainer.epoch.train_loss", train_loss);
     DIAGNET_OBSERVE("trainer.epoch.val_loss", val_loss);
 
-    if (val_loss < best_val - config.min_delta) {
-      best_val = val_loss;
+    const bool stop = stopper.update(val_loss);
+    if (stopper.improved()) {
       history.best_epoch = epoch;
-      stale = 0;
       if (config.restore_best) best_params = net.save_parameters();
-    } else if (++stale > config.patience) {
+    }
+    if (stop) {
       early_stopped = true;
       break;
     }
@@ -135,7 +134,7 @@ TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
   history.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  DIAGNET_GAUGE_SET("trainer.last.best_val_loss", best_val);
+  DIAGNET_GAUGE_SET("trainer.last.best_val_loss", stopper.best());
   return history;
 }
 

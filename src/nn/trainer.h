@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "nn/batch.h"
@@ -31,7 +32,8 @@ struct CoarseDataset {
 struct TrainerConfig {
   std::size_t batch_size = 64;
   std::size_t max_epochs = 60;
-  /// Stop after this many epochs without a new best validation loss.
+  /// Stop after this many consecutive epochs without a new best validation
+  /// loss (see EarlyStopper for the exact plateau semantics).
   std::size_t patience = 5;
   /// An epoch only counts as an improvement when it beats the best
   /// validation loss by more than this margin ("the training is done when
@@ -43,6 +45,45 @@ struct TrainerConfig {
   std::uint64_t seed = 1;
   /// Restore the parameters of the best validation epoch on completion.
   bool restore_best = true;
+};
+
+/// Early-stopping state machine ("the training is done when the validation
+/// loss is no longer decreasing", §IV-F). An epoch is an improvement only
+/// when it beats the best validation loss seen so far by more than
+/// min_delta; every other epoch — including one whose loss exactly equals
+/// the best when min_delta is 0 — is stale. A run of `patience` consecutive
+/// stale epochs triggers the stop. (The previous inline logic required
+/// patience + 1 stale epochs, so a perfectly flat plateau overran the
+/// configured patience by one epoch.)
+class EarlyStopper {
+ public:
+  EarlyStopper(double min_delta, std::size_t patience)
+      : min_delta_(min_delta), patience_(patience) {}
+
+  /// Record one epoch's validation loss. Returns true when training should
+  /// stop after this epoch.
+  bool update(double val_loss) {
+    if (val_loss < best_ - min_delta_) {
+      best_ = val_loss;
+      stale_ = 0;
+      improved_ = true;
+      return false;
+    }
+    improved_ = false;
+    return ++stale_ >= patience_;
+  }
+
+  /// Whether the most recent update() was a new best.
+  bool improved() const { return improved_; }
+  double best() const { return best_; }
+  std::size_t stale() const { return stale_; }
+
+ private:
+  double min_delta_;
+  std::size_t patience_;
+  double best_ = std::numeric_limits<double>::infinity();
+  std::size_t stale_ = 0;
+  bool improved_ = false;
 };
 
 struct EpochStats {

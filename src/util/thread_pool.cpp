@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace diagnet::util {
 
@@ -50,29 +51,63 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t chunks = std::min(n, workers * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
+  // Completion state is shared-owned by every chunk task: the last finisher
+  // may still be notifying after the caller has observed remaining == 0 and
+  // returned, so it must not live on the caller's stack.
+  struct Sync {
+    std::atomic<std::size_t> remaining;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
   // Count chunks up front so `remaining` is final before any task can run.
   const std::size_t issued = (n + chunk_size - 1) / chunk_size;
-  std::atomic<std::size_t> remaining{issued};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  auto sync = std::make_shared<Sync>();
+  sync->remaining.store(issued, std::memory_order_relaxed);
 
   {
     std::lock_guard lock(mu_);
     for (std::size_t begin = 0; begin < n; begin += chunk_size) {
       const std::size_t end = std::min(n, begin + chunk_size);
-      tasks_.emplace([&, begin, end] {
+      // fn is captured by reference: it outlives the task because this call
+      // only returns once every chunk has finished running it.
+      tasks_.emplace([sync, &fn, begin, end] {
         for (std::size_t i = begin; i < end; ++i) fn(i);
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard dl(done_mu);
-          done_cv.notify_one();
+        if (sync->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard dl(sync->mu);
+          sync->cv.notify_all();
         }
       });
     }
   }
   cv_.notify_all();
 
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  // Re-entrancy contract: the calling thread HELPS drain the queue instead
+  // of blocking outright. A nested parallel_for issued from a worker thread
+  // used to enqueue its chunks and then sleep in done_cv.wait — with every
+  // worker doing the same, nobody was left to run the queued chunks and the
+  // pool deadlocked. Helping guarantees global progress: any thread that
+  // still waits on its own chunks either executes a queued task (possibly
+  // another call's — that is fine, tasks never block on locks the caller
+  // holds) or sleeps only once the queue is empty, i.e. once every
+  // outstanding chunk of this call is already running on some other thread.
+  while (sync->remaining.load(std::memory_order_acquire) != 0) {
+    std::function<void()> task;
+    {
+      std::lock_guard lock(mu_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock lock(sync->mu);
+    sync->cv.wait(lock, [&] {
+      return sync->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
 }
 
 ThreadPool& ThreadPool::global() {

@@ -5,6 +5,13 @@
 // Rng::fork(i)), never from thread identity, so results do not depend on
 // the number of workers. On a single-core host the pool degrades to serial
 // execution with no thread creation.
+//
+// Re-entrancy contract: parallel_for may be called from inside a task that
+// is itself running on this pool (nested data parallelism, e.g. a batched
+// diagnosis that fans out over batches whose work items parallelise again).
+// The calling thread never parks while queued work exists — it helps drain
+// the task queue until its own chunks have completed — so nested calls
+// execute instead of deadlocking the pool, at any nesting depth.
 #pragma once
 
 #include <condition_variable>
@@ -29,8 +36,10 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
 
-  /// Run fn(i) for all i in [0, n); blocks until every call returned.
-  /// Work is split into contiguous chunks to keep cache locality.
+  /// Run fn(i) for all i in [0, n); returns once every call has returned.
+  /// Work is split into contiguous chunks to keep cache locality. Safe to
+  /// call from inside a task running on this pool (see re-entrancy contract
+  /// above); the caller participates in draining the queue.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide pool (lazily constructed, sized to the machine).

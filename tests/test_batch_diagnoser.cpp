@@ -1,0 +1,137 @@
+// Parity property test for the batched diagnosis engine: every field of
+// every Diagnosis produced by BatchDiagnoser::diagnose_all must be
+// BIT-IDENTICAL to the per-sample DiagNetModel::diagnose result, for every
+// batch size and thread count. This is the contract that lets the bench
+// binaries and `diagnet evaluate` switch to the batch engine without
+// changing any reported number.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/batch_diagnoser.h"
+#include "core/diagnet.h"
+#include "eval/pipeline.h"
+#include "util/thread_pool.h"
+
+namespace diagnet {
+namespace {
+
+/// Shared trained pipeline (built once for the whole binary). Reduced from
+/// PipelineConfig::small() so the parity sweep stays fast.
+eval::Pipeline& pipeline() {
+  static auto instance = [] {
+    eval::PipelineConfig config = eval::PipelineConfig::small();
+    config.campaign.nominal_samples = 300;
+    config.campaign.fault_samples = 700;
+    config.diagnet.trainer.max_epochs = 4;
+    config.diagnet.specialization.max_epochs = 3;
+    config.seed = 4242;
+    return std::make_unique<eval::Pipeline>(config);
+  }();
+  return *instance;
+}
+
+/// Per-sample reference diagnoses through the unbatched path.
+std::vector<core::Diagnosis> sequential_reference(
+    const std::vector<std::size_t>& indices) {
+  auto& p = pipeline();
+  std::vector<core::Diagnosis> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    const data::Sample& sample = p.split().test.samples[idx];
+    out.push_back(p.diagnet().diagnose(sample.features, sample.service,
+                                       p.split().test.landmark_available));
+  }
+  return out;
+}
+
+void expect_bit_identical(const core::Diagnosis& got,
+                          const core::Diagnosis& want) {
+  // EXPECT_EQ on double vectors is exact (operator== on every element):
+  // any rounding difference introduced by batching fails the test.
+  EXPECT_EQ(got.scores, want.scores);
+  EXPECT_EQ(got.ranking, want.ranking);
+  EXPECT_EQ(got.coarse_probs, want.coarse_probs);
+  EXPECT_EQ(got.coarse_argmax, want.coarse_argmax);
+  EXPECT_EQ(got.attention, want.attention);
+  EXPECT_EQ(got.w_unknown, want.w_unknown);
+}
+
+TEST(BatchDiagnoser, BitExactAcrossBatchSizesAndThreadCounts) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+  // Enough samples that batch_size 7 yields several chunks per service
+  // group and 256 exercises the larger-than-data case.
+  ASSERT_GE(indices.size(), 32u);
+
+  std::vector<core::DiagnosisRequest> requests(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const data::Sample& sample = p.split().test.samples[indices[i]];
+    requests[i] = {&sample.features, sample.service};
+  }
+  const std::vector<core::Diagnosis> reference = sequential_reference(indices);
+
+  for (std::size_t threads : {1u, 4u}) {
+    util::ThreadPool pool(threads);
+    for (std::size_t batch_size : {1u, 7u, 64u, 256u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch_size=" + std::to_string(batch_size));
+      core::BatchDiagnoserConfig config;
+      config.batch_size = batch_size;
+      config.pool = &pool;
+      const core::BatchDiagnoser batcher(p.diagnet(), config);
+      const std::vector<core::Diagnosis> got =
+          batcher.diagnose_all(requests, p.split().test.landmark_available);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        SCOPED_TRACE("sample " + std::to_string(i));
+        expect_bit_identical(got[i], reference[i]);
+      }
+    }
+  }
+}
+
+TEST(BatchDiagnoser, GeneralModelPathMatchesSequential) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+  const std::size_t n = std::min<std::size_t>(indices.size(), 32);
+
+  std::vector<core::DiagnosisRequest> requests(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Sample& sample = p.split().test.samples[indices[i]];
+    requests[i] = {&sample.features, sample.service};
+  }
+  core::BatchDiagnoserConfig config;
+  config.batch_size = 8;
+  config.use_general = true;
+  const core::BatchDiagnoser batcher(p.diagnet(), config);
+  const auto got =
+      batcher.diagnose_all(requests, p.split().test.landmark_available);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Sample& sample = p.split().test.samples[indices[i]];
+    const core::Diagnosis want = p.diagnet().diagnose_general(
+        sample.features, p.split().test.landmark_available);
+    SCOPED_TRACE("sample " + std::to_string(i));
+    expect_bit_identical(got[i], want);
+  }
+}
+
+TEST(BatchDiagnoser, EmptyRequestListReturnsEmpty) {
+  auto& p = pipeline();
+  const core::BatchDiagnoser batcher(p.diagnet());
+  EXPECT_TRUE(
+      batcher.diagnose_all({}, p.split().test.landmark_available).empty());
+}
+
+TEST(BatchDiagnoser, ZeroBatchSizeThrows) {
+  auto& p = pipeline();
+  core::BatchDiagnoserConfig config;
+  config.batch_size = 0;
+  EXPECT_THROW(core::BatchDiagnoser(p.diagnet(), config), std::exception);
+}
+
+}  // namespace
+}  // namespace diagnet

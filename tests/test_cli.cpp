@@ -1,0 +1,112 @@
+// CLI-level tests: run the installed `diagnet` binary (path injected at
+// compile time via DIAGNET_CLI_PATH) against hostile inputs and assert the
+// contract of the front end — a one-line "error: ..." on stderr and a
+// non-zero exit code, never a crash or a silent success.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Run the CLI with the given argument string, capturing combined output.
+CliResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string(DIAGNET_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  if (!pipe) return {};
+  CliResult result;
+  char buffer[256];
+  while (std::fgets(buffer, sizeof buffer, pipe)) result.output += buffer;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_file(const std::string& name, const std::string& contents) {
+  const char* dir = std::getenv("TMPDIR");
+  const std::string path =
+      (dir && *dir ? std::string(dir) : std::string("/tmp")) + "/" + name;
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << contents;
+  return path;
+}
+
+TEST(Cli, NoArgumentsPrintsUsageAndExits2) {
+  const CliResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandExits2) {
+  const CliResult r = run_cli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, TrailingFlagWithoutValueFailsLoudly) {
+  // Regression: parse_flags used to drop a trailing flag silently, so
+  // `train --campaign` would quietly train on the default campaign.csv.
+  const CliResult r = run_cli("train --campaign");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error: missing value for --campaign"),
+            std::string::npos);
+}
+
+TEST(Cli, MissingCampaignFileExitsNonZeroWithError) {
+  const CliResult r =
+      run_cli("evaluate --campaign /nonexistent/campaign.csv");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, EmptyCampaignCsvExitsNonZeroWithError) {
+  const std::string path = temp_file("diagnet_cli_empty.csv", "");
+  const CliResult r = run_cli("evaluate --campaign " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("empty"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MalformedCampaignCsvExitsNonZeroWithError) {
+  const std::string path = temp_file("diagnet_cli_malformed.csv",
+                                     "this,is,not\na,campaign,file\n");
+  const CliResult r = run_cli("diagnose --campaign " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, CorruptModelBundleExitsNonZeroWithError) {
+  // A syntactically valid (header-only) campaign would be needed to get as
+  // far as model loading; instead corrupt the model and use a campaign that
+  // parses. Simplest: generate a tiny campaign through the CLI itself.
+  const char* dir = std::getenv("TMPDIR");
+  const std::string base =
+      (dir && *dir ? std::string(dir) : std::string("/tmp"));
+  const std::string campaign = base + "/diagnet_cli_tiny.csv";
+  const CliResult sim =
+      run_cli("simulate --samples 60 --seed 7 --out " + campaign);
+  ASSERT_EQ(sim.exit_code, 0) << sim.output;
+
+  const std::string model =
+      temp_file("diagnet_cli_corrupt.bin", "not a model bundle");
+  const CliResult r =
+      run_cli("diagnose --campaign " + campaign + " --model " + model);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  std::remove(campaign.c_str());
+  std::remove(model.c_str());
+}
+
+}  // namespace

@@ -226,6 +226,35 @@ TEST(Normalizer, SharedKindStatsExtendToHiddenLandmarks) {
   }
 }
 
+TEST(Normalizer, NearConstantFeatureDoesNotExplodeZScores) {
+  // Regression: a feature whose training variance is ~1e-17 has a stddev of
+  // ~3e-9 — just above the old hard 1e-9 cutoff — so inference-time values
+  // in the feature's ordinary range used to be divided by that noise floor,
+  // producing z-scores around 1e8 that saturated the MLP. Spread that is
+  // negligible relative to the feature magnitude must be treated as
+  // constant (no scaling).
+  const auto& fs = fixture().fs;
+  Dataset d;
+  d.landmark_available.assign(10, true);
+  // CpuLoad is a load fraction: identity transform, so fitted stats see the
+  // raw values directly.
+  const std::size_t feature = fs.local_feature(LocalFeature::CpuLoad);
+  for (std::size_t i = 0; i < 64; ++i) {
+    Sample s;
+    s.features.assign(fs.total(), 1.0);
+    s.features[feature] =
+        0.5 + (i % 2 == 0 ? 1.0 : -1.0) * std::sqrt(1e-17);
+    d.samples.push_back(std::move(s));
+  }
+  Normalizer norm;
+  norm.fit(d, fs);
+  // A perfectly ordinary load value near the training range must normalise
+  // to something bounded, not an astronomical z-score.
+  const double z = norm.apply_one(feature, 0.6);
+  EXPECT_TRUE(std::isfinite(z));
+  EXPECT_LT(std::abs(z), 100.0);
+}
+
 TEST(Normalizer, UnfittedThrows) {
   Normalizer norm;
   EXPECT_THROW(norm.apply(std::vector<double>(55, 0.0)), std::logic_error);

@@ -173,6 +173,65 @@ TEST(Trainer, EarlyStoppingRespectsPatience) {
   EXPECT_LE(history.best_epoch + config.patience + 1, history.epochs_run());
 }
 
+TEST(EarlyStopper, FlatPlateauWithZeroMinDeltaTriggersPatience) {
+  // Regression: a run of exactly-equal validation losses must count as
+  // stale — with min_delta = 0 an equal epoch is NOT an improvement — and
+  // must stop after exactly `patience` stale epochs, not patience + 1.
+  EarlyStopper stopper(0.0, 3);
+  EXPECT_FALSE(stopper.update(0.5));  // first epoch: improvement from inf
+  EXPECT_TRUE(stopper.improved());
+  EXPECT_FALSE(stopper.update(0.5));  // stale 1
+  EXPECT_FALSE(stopper.improved());
+  EXPECT_FALSE(stopper.update(0.5));  // stale 2
+  EXPECT_TRUE(stopper.update(0.5));   // stale 3 == patience -> stop
+  EXPECT_EQ(stopper.stale(), 3u);
+}
+
+TEST(EarlyStopper, StaleResetsOnImprovement) {
+  EarlyStopper stopper(0.0, 2);
+  EXPECT_FALSE(stopper.update(1.0));
+  EXPECT_FALSE(stopper.update(1.0));  // stale 1
+  EXPECT_EQ(stopper.stale(), 1u);
+  EXPECT_FALSE(stopper.update(0.9));  // new best resets the counter
+  EXPECT_TRUE(stopper.improved());
+  EXPECT_EQ(stopper.stale(), 0u);
+  EXPECT_DOUBLE_EQ(stopper.best(), 0.9);
+  EXPECT_FALSE(stopper.update(0.9));  // stale 1
+  EXPECT_TRUE(stopper.update(0.95));  // stale 2 -> stop
+}
+
+TEST(EarlyStopper, MinDeltaIgnoresMarginalImprovements) {
+  EarlyStopper stopper(0.01, 2);
+  EXPECT_FALSE(stopper.update(1.0));
+  EXPECT_FALSE(stopper.update(0.995));  // within min_delta: stale, not best
+  EXPECT_FALSE(stopper.improved());
+  EXPECT_DOUBLE_EQ(stopper.best(), 1.0);
+  EXPECT_TRUE(stopper.update(0.992));  // still within min_delta -> stop
+}
+
+TEST(Trainer, PlateauOfEqualLossesStopsAfterPatienceEpochs) {
+  // A fully frozen network never changes, so every epoch reproduces exactly
+  // the same validation loss — the pure plateau case. Training must run the
+  // first (improving) epoch plus exactly `patience` stale epochs.
+  const CoarseDataset data = synthetic_dataset(200, 81);
+  util::Rng rng(82);
+  CoarseNet net(synthetic_net_config(), rng);
+  for (Parameter* p : net.parameters()) p->frozen = true;
+
+  TrainerConfig config;
+  config.max_epochs = 50;
+  config.patience = 3;
+  config.min_delta = 0.0;
+  config.seed = 83;
+  const TrainingHistory history = train_coarse(net, data, config);
+
+  ASSERT_EQ(history.epochs_run(), 1u + config.patience);
+  for (std::size_t e = 1; e < history.epochs.size(); ++e)
+    EXPECT_DOUBLE_EQ(history.epochs[e].validation_loss,
+                     history.epochs[0].validation_loss);
+  EXPECT_EQ(history.best_epoch, 0u);
+}
+
 TEST(Trainer, RestoreBestRestoresBestValidationLoss) {
   const CoarseDataset data = synthetic_dataset(300, 51);
   util::Rng rng(52);

@@ -99,5 +99,61 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   }
 }
 
+// Regression: parallel_for used to park the calling thread in a condition
+// wait without ever draining the queue. A nested call issued from a worker
+// thread therefore enqueued its chunks and slept — and once every worker
+// slept the same way, nothing was left to run the queued chunks and the
+// whole pool deadlocked (this test hung forever on the old implementation).
+TEST(ThreadPool, NestedParallelForFromAllWorkersCompletes) {
+  ThreadPool pool(4);
+  // More outer iterations than workers, so every worker is guaranteed to be
+  // inside a nested call at the same time; two nested levels below that.
+  std::atomic<int> leaves{0};
+  pool.parallel_for(16, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(2, [&](std::size_t) { leaves++; });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 16 * 4 * 2);
+}
+
+TEST(ThreadPool, NestedParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kOuter = 12;
+  constexpr std::size_t kInner = 7;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](std::size_t i) {
+    pool.parallel_for(kInner, [&](std::size_t j) { hits[i * kInner + j]++; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedGlobalParallelForCompletes) {
+  // The convenience wrapper shares one process-wide pool; nested use of it
+  // is exactly the batched-diagnosis pattern (outer batches, inner work).
+  std::atomic<int> count{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { count++; });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ConcurrentIndependentParallelForCalls) {
+  // Several external threads driving the same pool at once: each call must
+  // see exactly its own iteration space complete.
+  ThreadPool pool(4);
+  constexpr std::size_t kThreads = 6;
+  std::vector<std::atomic<int>> counts(kThreads);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      pool.parallel_for(100, [&, t](std::size_t) { counts[t]++; });
+    });
+  }
+  for (auto& d : drivers) d.join();
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 100);
+}
+
 }  // namespace
 }  // namespace diagnet::util

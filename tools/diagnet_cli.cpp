@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_diagnoser.h"
 #include "core/registry.h"
 #include "data/generator.h"
 #include "data/io.h"
@@ -74,10 +75,12 @@ std::vector<std::string> setup_telemetry(int argc, char** argv) {
 std::map<std::string, std::string> parse_flags(
     const std::vector<std::string>& args, std::size_t first) {
   std::map<std::string, std::string> flags;
-  for (std::size_t i = first; i + 1 < args.size(); i += 2) {
+  for (std::size_t i = first; i < args.size(); i += 2) {
     const std::string& key = args[i];
     if (key.rfind("--", 0) != 0)
       throw std::runtime_error("expected --flag value, got: " + key);
+    if (i + 1 >= args.size())
+      throw std::runtime_error("missing value for " + key);
     flags[key.substr(2)] = args[i + 1];
   }
   return flags;
@@ -180,7 +183,8 @@ int cmd_diagnose(const std::map<std::string, std::string>& flags) {
     std::cout << table.to_string();
     return 0;
   }
-  std::cerr << "Campaign has only " << seen << " faulty samples.\n";
+  std::cerr << "error: campaign has only " << seen
+            << " faulty samples (wanted #" << wanted << ")\n";
   return 1;
 }
 
@@ -193,19 +197,25 @@ int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   const data::Dataset dataset = data::read_csv_file(campaign_path, fs);
   auto model = core::load_model_file(model_path, fs);
 
-  std::vector<std::vector<std::size_t>> rankings;
+  // All faulty samples go through the batched diagnosis engine: one
+  // network pass per batch instead of one forward+backward per sample.
+  std::vector<core::DiagnosisRequest> requests;
   std::vector<std::size_t> truths;
-  const std::vector<bool> all(fs.landmark_count(), true);
   for (const data::Sample& sample : dataset.samples) {
     if (!sample.is_faulty()) continue;
-    rankings.push_back(
-        model->diagnose(sample.features, sample.service, all).ranking);
+    requests.push_back({&sample.features, sample.service});
     truths.push_back(sample.primary_cause);
   }
-  if (rankings.empty()) {
-    std::cerr << "No faulty samples in the campaign.\n";
+  if (requests.empty()) {
+    std::cerr << "error: no faulty samples in " << campaign_path << '\n';
     return 1;
   }
+  const std::vector<bool> all(fs.landmark_count(), true);
+  const core::BatchDiagnoser batcher(*model);
+  std::vector<core::Diagnosis> diagnoses = batcher.diagnose_all(requests, all);
+  std::vector<std::vector<std::size_t>> rankings(diagnoses.size());
+  for (std::size_t i = 0; i < diagnoses.size(); ++i)
+    rankings[i] = std::move(diagnoses[i].ranking);
   util::Table table({"k", "Recall@k"});
   for (std::size_t k = 1; k <= 5; ++k)
     table.add_row({std::to_string(k),
