@@ -14,11 +14,14 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "core/batch_diagnoser.h"
 #include "eval/pipeline.h"
 #include "obs/obs.h"
 #include "nn/coarse_net.h"
 #include "nn/softmax.h"
+#include "nn/trainer.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -48,6 +51,73 @@ void bm_gemm(benchmark::State& state) {
                           static_cast<std::int64_t>(n) * 512);
 }
 BENCHMARK(bm_gemm)->Arg(128)->Arg(317)->Arg(512);
+
+// The scalar small-shape path (below the tiling threshold): a single
+// attention-style row against a hidden layer.
+void bm_gemm_small(benchmark::State& state) {
+  const tensor::Matrix a = random_matrix(1, 128, 8);
+  const tensor::Matrix b = random_matrix(128, 64, 9);
+  tensor::Matrix c;
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128 *
+                          64);
+}
+BENCHMARK(bm_gemm_small);
+
+// The tiled + thread-pool path (above the parallel-dispatch threshold):
+// a validation-sized batch against the widest coarse layer.
+void bm_gemm_large(benchmark::State& state) {
+  const tensor::Matrix a = random_matrix(256, 512, 10);
+  const tensor::Matrix b = random_matrix(512, 512, 11);
+  tensor::Matrix c;
+  for (auto _ : state) {
+    tensor::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 256 *
+                          512 * 512);
+}
+BENCHMARK(bm_gemm_large);
+
+/// Synthetic training set at the coarse model's default shapes (10
+/// landmarks x 5 features, 13 pool ops x 24 filters -> 317-wide concat).
+nn::CoarseDataset training_dataset(std::size_t n) {
+  constexpr std::size_t kL = 10;
+  constexpr std::size_t kK = 5;
+  util::Rng rng(12);
+  nn::CoarseDataset data;
+  data.land = random_matrix(n, kL * kK, 13);
+  data.mask = tensor::Matrix(n, kL, 1.0);
+  data.local = random_matrix(n, 5, 14);
+  data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) data.labels[i] = rng.uniform_index(7);
+  return data;
+}
+
+/// One full training epoch (8 minibatches of 64) through the sharded
+/// data-parallel engine, at 1 worker vs N workers. Training is
+/// bit-identical across thread counts, so the arg only changes wall time.
+void bm_train_epoch(benchmark::State& state) {
+  const nn::CoarseDataset data = training_dataset(512);
+  util::Rng rng(15);
+  nn::CoarseNet net(nn::CoarseNetConfig{}, rng);
+  nn::TrainerConfig config;
+  config.max_epochs = 1;
+  config.validation_fraction = 0.0;
+  config.restore_best = false;
+  config.sgd.learning_rate = 0.01;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto history = nn::train_coarse(net, data, config);
+    benchmark::DoNotOptimize(history.epochs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(bm_train_epoch)->Arg(1)->Arg(4);
 
 void bm_land_pooling_forward(benchmark::State& state) {
   util::Rng rng(3);
@@ -225,6 +295,35 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
       "batch-256 %.1f /s, speedup %.2fx\n",
       kSamples, seq_rate, batch_rate, speedup);
 
+  // Sharded-trainer scaling: one epoch over 512 samples at 1 worker vs 4.
+  // The partition and reduction order are thread-count invariant, so both
+  // runs compute the same bits; only wall time may differ. The measured
+  // ratio is only meaningful relative to hardware_threads below — on a
+  // single-core host the 4-thread run cannot be faster.
+  const auto time_epoch = [&](std::size_t threads) {
+    const nn::CoarseDataset data = training_dataset(512);
+    util::Rng rng(16);
+    nn::CoarseNet net(nn::CoarseNetConfig{}, rng);
+    nn::TrainerConfig config;
+    config.max_epochs = 1;
+    config.validation_fraction = 0.0;
+    config.restore_best = false;
+    config.sgd.learning_rate = 0.01;
+    config.threads = threads;
+    train_coarse(net, data, config);  // warm-up (pools, first allocations)
+    const auto t0 = clock::now();
+    train_coarse(net, data, config);
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+  const double epoch_1t = time_epoch(1);
+  const double epoch_4t = time_epoch(4);
+  const double train_speedup = epoch_1t / epoch_4t;
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  std::printf(
+      "train epoch (512 samples): 1 thread %.3f s, 4 threads %.3f s, "
+      "speedup %.2fx (%u hardware threads)\n",
+      epoch_1t, epoch_4t, train_speedup, hardware_threads);
+
   const double wall_seconds =
       std::chrono::duration<double>(clock::now() - start).count();
   const char* out_dir = std::getenv("DIAGNET_BENCH_OUT");
@@ -239,7 +338,11 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
       << "  \"peak_rss_kib\": " << obs::peak_rss_kib() << ",\n"
       << "  \"seq_samples_per_s\": " << seq_rate << ",\n"
       << "  \"batch256_samples_per_s\": " << batch_rate << ",\n"
-      << "  \"batch_speedup\": " << speedup << "\n"
+      << "  \"batch_speedup\": " << speedup << ",\n"
+      << "  \"train_epoch_1t_seconds\": " << epoch_1t << ",\n"
+      << "  \"train_epoch_4t_seconds\": " << epoch_4t << ",\n"
+      << "  \"train_speedup_4t\": " << train_speedup << ",\n"
+      << "  \"hardware_threads\": " << hardware_threads << "\n"
       << "}\n";
 }
 

@@ -1,8 +1,34 @@
 #include "nn/coarse_net.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/require.h"
 
 namespace diagnet::nn {
+
+namespace {
+
+/// In-place ReLU. Gating backward on the post-activation (x > 0) is exactly
+/// equivalent to gating on the pre-activation, so no pre-ReLU copy is kept.
+void relu_inplace(Matrix& m) {
+  double* p = m.data();
+  const std::size_t n = m.size();
+  for (std::size_t i = 0; i < n; ++i)
+    if (p[i] < 0.0) p[i] = 0.0;
+}
+
+/// Zero grad entries whose post-activation is <= 0 (the ReLU gate).
+void relu_gate_inplace(const Matrix& post, Matrix& grad) {
+  DIAGNET_REQUIRE(post.same_shape(grad));
+  const double* a = post.data();
+  double* g = grad.data();
+  const std::size_t n = grad.size();
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] <= 0.0) g[i] = 0.0;
+}
+
+}  // namespace
 
 CoarseNet::CoarseNet(const CoarseNetConfig& config, util::Rng& rng)
     : config_(config),
@@ -29,11 +55,10 @@ Matrix CoarseNet::forward(const LandBatch& batch) {
   Matrix x(batch.size(), pooled.cols() + batch.local.cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     double* row = x.row_ptr(r);
-    const double* p = pooled.row_ptr(r);
-    for (std::size_t c = 0; c < pooled.cols(); ++c) row[c] = p[c];
-    const double* l = batch.local.row_ptr(r);
-    for (std::size_t c = 0; c < batch.local.cols(); ++c)
-      row[local_offset_ + c] = l[c];
+    std::copy(pooled.row_ptr(r), pooled.row_ptr(r) + pooled.cols(), row);
+    std::copy(batch.local.row_ptr(r),
+              batch.local.row_ptr(r) + batch.local.cols(),
+              row + local_offset_);
   }
 
   for (std::size_t i = 0; i < relu_.size(); ++i) {
@@ -41,6 +66,75 @@ Matrix CoarseNet::forward(const LandBatch& batch) {
     x = relu_[i].forward(x);
   }
   return fc_.back().forward(x);
+}
+
+void CoarseNet::init_workspace(CoarseWorkspace& ws) const {
+  const auto params = const_cast<CoarseNet*>(this)->parameters();
+  ws.param_grads.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    ws.param_grads[i].resize_zero(params[i]->value.rows(),
+                                  params[i]->value.cols());
+  ws.act.resize(relu_.size());
+}
+
+const Matrix& CoarseNet::forward(const LandBatch& batch,
+                                 CoarseWorkspace& ws) const {
+  DIAGNET_REQUIRE(batch.local.cols() == config_.local_features);
+  DIAGNET_REQUIRE(batch.local.rows() == batch.land.rows());
+  ws.act.resize(relu_.size());  // no-op once sized
+
+  pool_.forward(batch.land, batch.mask, ws.pool, ws.pooled);
+
+  ws.concat.resize(batch.size(), local_offset_ + config_.local_features);
+  for (std::size_t r = 0; r < ws.concat.rows(); ++r) {
+    double* row = ws.concat.row_ptr(r);
+    std::copy(ws.pooled.row_ptr(r), ws.pooled.row_ptr(r) + ws.pooled.cols(),
+              row);
+    std::copy(batch.local.row_ptr(r),
+              batch.local.row_ptr(r) + batch.local.cols(),
+              row + local_offset_);
+  }
+
+  const Matrix* x = &ws.concat;
+  for (std::size_t i = 0; i < relu_.size(); ++i) {
+    fc_[i].forward_into(*x, ws.act[i]);
+    relu_inplace(ws.act[i]);
+    x = &ws.act[i];
+  }
+  fc_.back().forward_into(*x, ws.logits);
+  return ws.logits;
+}
+
+void CoarseNet::backward(const Matrix& grad_logits,
+                         CoarseWorkspace& ws) const {
+  // ws.param_grads order matches parameters(): pooling kernel and bias
+  // first, then (weight, bias) per fully-connected layer.
+  const auto fc_grad = [&](std::size_t layer) -> std::pair<Matrix&, Matrix&> {
+    return {ws.param_grads[2 + 2 * layer], ws.param_grads[3 + 2 * layer]};
+  };
+
+  const std::size_t last = fc_.size() - 1;
+  const Matrix& last_in = relu_.empty() ? ws.concat : ws.act.back();
+  auto [lw, lb] = fc_grad(last);
+  fc_[last].backward_into(last_in, grad_logits, lw, lb, &ws.grad_a);
+
+  for (std::size_t i = relu_.size(); i-- > 0;) {
+    relu_gate_inplace(ws.act[i], ws.grad_a);
+    const Matrix& in = i == 0 ? ws.concat : ws.act[i - 1];
+    auto [w, b] = fc_grad(i);
+    fc_[i].backward_into(in, ws.grad_a, w, b, &ws.grad_b);
+    std::swap(ws.grad_a, ws.grad_b);
+  }
+
+  // Split the concat gradient: only the pooled part is needed — the local
+  // features are network inputs whose gradient training never uses.
+  ws.grad_pooled.resize(ws.grad_a.rows(), local_offset_);
+  for (std::size_t r = 0; r < ws.grad_a.rows(); ++r) {
+    const double* row = ws.grad_a.row_ptr(r);
+    std::copy(row, row + local_offset_, ws.grad_pooled.row_ptr(r));
+  }
+  pool_.backward_params(ws.grad_pooled, ws.pool, ws.param_grads[0],
+                        ws.param_grads[1]);
 }
 
 void CoarseNet::backward(const Matrix& grad_logits, Matrix* grad_land,
@@ -55,16 +149,13 @@ void CoarseNet::backward(const Matrix& grad_logits, Matrix* grad_land,
   Matrix grad_pooled(g.rows(), local_offset_);
   for (std::size_t r = 0; r < g.rows(); ++r) {
     const double* row = g.row_ptr(r);
-    double* p = grad_pooled.row_ptr(r);
-    for (std::size_t c = 0; c < local_offset_; ++c) p[c] = row[c];
+    std::copy(row, row + local_offset_, grad_pooled.row_ptr(r));
   }
   if (grad_local) {
     *grad_local = Matrix(g.rows(), config_.local_features);
     for (std::size_t r = 0; r < g.rows(); ++r) {
-      const double* row = g.row_ptr(r);
-      double* l = grad_local->row_ptr(r);
-      for (std::size_t c = 0; c < config_.local_features; ++c)
-        l[c] = row[local_offset_ + c];
+      const double* row = g.row_ptr(r) + local_offset_;
+      std::copy(row, row + config_.local_features, grad_local->row_ptr(r));
     }
   }
 
@@ -86,16 +177,13 @@ void CoarseNet::backward_inputs(const Matrix& grad_logits, Matrix* grad_land,
   Matrix grad_pooled(g.rows(), local_offset_);
   for (std::size_t r = 0; r < g.rows(); ++r) {
     const double* row = g.row_ptr(r);
-    double* p = grad_pooled.row_ptr(r);
-    for (std::size_t c = 0; c < local_offset_; ++c) p[c] = row[c];
+    std::copy(row, row + local_offset_, grad_pooled.row_ptr(r));
   }
   if (grad_local) {
     *grad_local = Matrix(g.rows(), config_.local_features);
     for (std::size_t r = 0; r < g.rows(); ++r) {
-      const double* row = g.row_ptr(r);
-      double* l = grad_local->row_ptr(r);
-      for (std::size_t c = 0; c < config_.local_features; ++c)
-        l[c] = row[local_offset_ + c];
+      const double* row = g.row_ptr(r) + local_offset_;
+      std::copy(row, row + config_.local_features, grad_local->row_ptr(r));
     }
   }
 

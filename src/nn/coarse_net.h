@@ -30,12 +30,51 @@ struct CoarseNetConfig {
   std::size_t classes = 7;                 // c
 };
 
+/// Per-thread forward/backward state for the data-parallel training path:
+/// activations, gradient scratch, and a full set of parameter-gradient
+/// accumulators (same order as CoarseNet::parameters()). One workspace per
+/// training shard lets any number of shards run forward+backward
+/// concurrently against one shared network; every buffer is reused with
+/// capacity-aware resizes, so steady-state steps allocate nothing.
+struct CoarseWorkspace {
+  LandPooling::PoolContext pool;
+  Matrix pooled;             // (B, ops·f)
+  Matrix concat;             // (B, ops·f + local): input to the first FC
+  std::vector<Matrix> act;   // act[i]: post-ReLU output of hidden layer i
+  Matrix logits;             // (B, c)
+  Matrix grad_logits;        // dLoss/dLogits, filled by the loss
+  Matrix grad_a, grad_b;     // ping-pong input-gradient buffers
+  Matrix grad_pooled;        // concat gradient split, pooled part
+  std::vector<Matrix> param_grads;  // ordered like parameters()
+
+  /// Zero the parameter-gradient accumulators (start of every step).
+  void zero_param_grads() {
+    for (Matrix& g : param_grads) g.fill(0.0);
+  }
+};
+
 class CoarseNet {
  public:
   CoarseNet(const CoarseNetConfig& config, util::Rng& rng);
 
   /// Logits over the c coarse fault families, (B x c).
   Matrix forward(const LandBatch& batch);
+
+  /// Size a workspace's parameter-gradient accumulators (zeroed) for this
+  /// network. Call once per workspace; forward/backward below size the
+  /// remaining buffers on the fly.
+  void init_workspace(CoarseWorkspace& ws) const;
+
+  /// Workspace forward: same math as forward(), but every intermediate goes
+  /// into `ws` and nothing is cached on the layers — const, so training
+  /// shards share one network. Returns ws.logits.
+  const Matrix& forward(const LandBatch& batch, CoarseWorkspace& ws) const;
+
+  /// Workspace backward, parameter gradients only: accumulates into
+  /// ws.param_grads (zero_param_grads() first). Input gradients are not
+  /// produced — the training loop discards them, and skipping the
+  /// LandPooling dx pass saves a full K^T·dF sweep per step.
+  void backward(const Matrix& grad_logits, CoarseWorkspace& ws) const;
 
   /// Backprop dLoss/dLogits. Accumulates parameter gradients; when
   /// grad_land/grad_local are non-null they receive the input gradients.

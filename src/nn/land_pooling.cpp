@@ -74,45 +74,45 @@ LandPooling::LandPooling(std::size_t k, std::size_t filters,
       kernel_.value(r, c) = rng.uniform(-limit, limit);
 }
 
-Matrix LandPooling::forward(const Matrix& land, const Matrix& mask) {
-  DIAGNET_REQUIRE_MSG(land.cols() % k_ == 0, "land width must be L*k");
+void LandPooling::compute_conv(const Matrix& land, const Matrix& mask,
+                               std::vector<double>& conv) const {
   const std::size_t L = land.cols() / k_;
-  DIAGNET_REQUIRE(mask.rows() == land.rows() && mask.cols() == L);
-
-  land_ = land;
-  mask_ = mask;
-  batch_ = land.rows();
-  landmarks_ = L;
-  conv_.assign(batch_ * L * filters_, 0.0);
-
-  Matrix out(batch_, out_features());
-
-  std::vector<double> values;   // per (sample, filter): available conv values
-  std::vector<std::size_t> order;
-  for (std::size_t i = 0; i < batch_; ++i) {
-    // Convolution per available landmark: F[λ] = K · x[λ] + b.
+  conv.assign(land.rows() * L * filters_, 0.0);
+  for (std::size_t i = 0; i < land.rows(); ++i) {
     std::size_t avail = 0;
     for (std::size_t lam = 0; lam < L; ++lam) {
       if (mask(i, lam) < 0.5) continue;
       ++avail;
       const double* x = land.row_ptr(i) + lam * k_;
-      double* f = conv_.data() + (i * L + lam) * filters_;
+      double* f = conv.data() + (i * L + lam) * filters_;
       for (std::size_t j = 0; j < filters_; ++j) {
         const double* kj = kernel_.value.row_ptr(j);
+        // No simd-reduction pragma here: the var pool-op's bias gradient is
+        // analytically zero, and its finite-difference test only holds when
+        // forward rounding matches the strictly sequential sum.
         double s = bias_.value(0, j);
         for (std::size_t t = 0; t < k_; ++t) s += kj[t] * x[t];
         f[j] = s;
       }
     }
     DIAGNET_REQUIRE_MSG(avail > 0, "sample with no available landmark");
+  }
+}
 
+void LandPooling::pool_from_conv(const Matrix& mask,
+                                 const std::vector<double>& conv, Matrix& out,
+                                 std::vector<double>& values,
+                                 std::vector<std::size_t>& order) const {
+  const std::size_t L = mask.cols();
+  out.resize(mask.rows(), out_features());
+  for (std::size_t i = 0; i < mask.rows(); ++i) {
     // Pooling across available landmarks, per filter.
     for (std::size_t j = 0; j < filters_; ++j) {
       values.clear();
       order.clear();
       for (std::size_t lam = 0; lam < L; ++lam) {
         if (mask(i, lam) < 0.5) continue;
-        values.push_back(conv_[(i * L + lam) * filters_ + j]);
+        values.push_back(conv[(i * L + lam) * filters_ + j]);
         order.push_back(values.size() - 1);
       }
       const std::size_t n = values.size();
@@ -157,29 +157,60 @@ Matrix LandPooling::forward(const Matrix& land, const Matrix& mask) {
       }
     }
   }
+}
+
+Matrix LandPooling::forward(const Matrix& land, const Matrix& mask) {
+  DIAGNET_REQUIRE_MSG(land.cols() % k_ == 0, "land width must be L*k");
+  const std::size_t L = land.cols() / k_;
+  DIAGNET_REQUIRE(mask.rows() == land.rows() && mask.cols() == L);
+
+  land_ = land;
+  mask_ = mask;
+  batch_ = land.rows();
+  landmarks_ = L;
+  compute_conv(land, mask, conv_);
+
+  Matrix out;
+  std::vector<double> values;  // per (sample, filter): available conv values
+  std::vector<std::size_t> order;
+  pool_from_conv(mask, conv_, out, values, order);
   return out;
 }
 
-std::vector<double> LandPooling::route_pooled_grads(
-    const Matrix& grad_pooled) const {
-  DIAGNET_REQUIRE_MSG(grad_pooled.rows() == batch_ &&
-                          grad_pooled.cols() == out_features(),
-                      "backward shape mismatch (call forward first)");
-  const std::size_t L = landmarks_;
+void LandPooling::forward(const Matrix& land, const Matrix& mask,
+                          PoolContext& ctx, Matrix& out) const {
+  DIAGNET_REQUIRE_MSG(land.cols() % k_ == 0, "land width must be L*k");
+  const std::size_t L = land.cols() / k_;
+  DIAGNET_REQUIRE(mask.rows() == land.rows() && mask.cols() == L);
+
+  ctx.land = &land;
+  ctx.mask = &mask;
+  ctx.batch = land.rows();
+  ctx.landmarks = L;
+  compute_conv(land, mask, ctx.conv);
+  pool_from_conv(mask, ctx.conv, out, ctx.values, ctx.order);
+}
+
+void LandPooling::route_grads(const Matrix& mask,
+                              const std::vector<double>& conv,
+                              const Matrix& grad_pooled,
+                              std::vector<double>& dconv,
+                              std::vector<double>& values,
+                              std::vector<std::size_t>& order,
+                              std::vector<std::size_t>& slot_lam) const {
+  const std::size_t L = mask.cols();
+  const std::size_t batch = mask.rows();
 
   // Route pooled gradients into dF (per sample, landmark, filter).
-  std::vector<double> dconv(batch_ * L * filters_, 0.0);
-  std::vector<double> values;
-  std::vector<std::size_t> order;     // sorted positions -> slot
-  std::vector<std::size_t> slot_lam;  // slot -> landmark index
-  for (std::size_t i = 0; i < batch_; ++i) {
+  dconv.assign(batch * L * filters_, 0.0);
+  for (std::size_t i = 0; i < batch; ++i) {
     for (std::size_t j = 0; j < filters_; ++j) {
       values.clear();
-      order.clear();
-      slot_lam.clear();
+      order.clear();     // sorted positions -> slot
+      slot_lam.clear();  // slot -> landmark index
       for (std::size_t lam = 0; lam < L; ++lam) {
-        if (mask_(i, lam) < 0.5) continue;
-        values.push_back(conv_[(i * L + lam) * filters_ + j]);
+        if (mask(i, lam) < 0.5) continue;
+        values.push_back(conv[(i * L + lam) * filters_ + j]);
         order.push_back(values.size() - 1);
         slot_lam.push_back(lam);
       }
@@ -231,7 +262,52 @@ std::vector<double> LandPooling::route_pooled_grads(
       }
     }
   }
+}
+
+std::vector<double> LandPooling::route_pooled_grads(
+    const Matrix& grad_pooled) const {
+  DIAGNET_REQUIRE_MSG(grad_pooled.rows() == batch_ &&
+                          grad_pooled.cols() == out_features(),
+                      "backward shape mismatch (call forward first)");
+  std::vector<double> dconv;
+  std::vector<double> values;
+  std::vector<std::size_t> order, slot_lam;
+  route_grads(mask_, conv_, grad_pooled, dconv, values, order, slot_lam);
   return dconv;
+}
+
+void LandPooling::backward_params(const Matrix& grad_pooled, PoolContext& ctx,
+                                  Matrix& kernel_grad,
+                                  Matrix& bias_grad) const {
+  DIAGNET_REQUIRE_MSG(ctx.land != nullptr && ctx.mask != nullptr &&
+                          grad_pooled.rows() == ctx.batch &&
+                          grad_pooled.cols() == out_features(),
+                      "backward shape mismatch (call ctx forward first)");
+  DIAGNET_REQUIRE(kernel_grad.same_shape(kernel_.value) &&
+                  bias_grad.same_shape(bias_.value));
+  const Matrix& land = *ctx.land;
+  const Matrix& mask = *ctx.mask;
+  const std::size_t L = ctx.landmarks;
+  route_grads(mask, ctx.conv, grad_pooled, ctx.dconv, ctx.values, ctx.order,
+              ctx.slot_lam);
+
+  // Stage 2, parameters only: dK += Σ dF[λ] ⊗ x[λ]; db += Σ dF[λ]. The
+  // dx = K^T·dF pass of backward() is skipped — the trainer discards it.
+  for (std::size_t i = 0; i < ctx.batch; ++i) {
+    for (std::size_t lam = 0; lam < L; ++lam) {
+      if (mask(i, lam) < 0.5) continue;
+      const double* x = land.row_ptr(i) + lam * k_;
+      const double* df = ctx.dconv.data() + (i * L + lam) * filters_;
+      for (std::size_t j = 0; j < filters_; ++j) {
+        const double dfj = df[j];
+        if (dfj == 0.0) continue;
+        double* kg = kernel_grad.row_ptr(j);
+#pragma omp simd
+        for (std::size_t t = 0; t < k_; ++t) kg[t] += dfj * x[t];
+        bias_grad(0, j) += dfj;
+      }
+    }
+  }
 }
 
 Matrix LandPooling::backward(const Matrix& grad_pooled) {

@@ -49,6 +49,25 @@ const char* pool_op_name(PoolOp op);
 
 class LandPooling {
  public:
+  /// Per-thread forward/backward state for the workspace training path:
+  /// everything the member-cache path stores on the layer lives here
+  /// instead, so any number of shards can run forward/backward_params
+  /// concurrently against one shared (const) LandPooling. Holds pointers
+  /// to the caller's land/mask batch, which must outlive the matching
+  /// backward_params() call. All buffers are reused capacity-aware.
+  struct PoolContext {
+    const Matrix* land = nullptr;
+    const Matrix* mask = nullptr;
+    std::size_t batch = 0;
+    std::size_t landmarks = 0;
+    std::vector<double> conv;   // (B, L, f) F[λ] values, 0 where unavailable
+    std::vector<double> dconv;  // routed pooled gradients, same layout
+    // sort/routing scratch
+    std::vector<double> values;
+    std::vector<std::size_t> order;
+    std::vector<std::size_t> slot_lam;
+  };
+
   /// k features per landmark, `filters` convolution filters, and the pooling
   /// operator bank. Kernel gets He-uniform init; bias starts at zero.
   LandPooling(std::size_t k, std::size_t filters, std::vector<PoolOp> ops,
@@ -71,6 +90,19 @@ class LandPooling {
   /// the inference path (gradient attention).
   Matrix backward_input(const Matrix& grad_pooled) const;
 
+  /// Workspace forward: same math as forward(), but all state goes into
+  /// `ctx` and the pooled output into `out` (capacity-aware resize). Const,
+  /// so training shards can share one layer.
+  void forward(const Matrix& land, const Matrix& mask, PoolContext& ctx,
+               Matrix& out) const;
+
+  /// Workspace backward, parameter gradients only: dK += Σ dF[λ] ⊗ x[λ] and
+  /// db += Σ dF[λ] accumulated into the given (pre-zeroed) buffers. The
+  /// input gradient is skipped entirely — training discards it, which saves
+  /// the K^T·dF pass the member-path backward() always pays.
+  void backward_params(const Matrix& grad_pooled, PoolContext& ctx,
+                       Matrix& kernel_grad, Matrix& bias_grad) const;
+
   std::vector<Parameter*> parameters() { return {&kernel_, &bias_}; }
 
   std::size_t feature_count() const { return k_; }
@@ -82,8 +114,21 @@ class LandPooling {
   Parameter& bias() { return bias_; }
 
  private:
-  /// Stage 1 of the backward pass, shared by backward()/backward_input():
-  /// route pooled gradients to the per-(sample, landmark, filter) dF.
+  /// Convolution stage shared by both forward paths: F[λ] = K·x[λ] + b for
+  /// every available landmark, into `conv` (resized/zeroed here).
+  void compute_conv(const Matrix& land, const Matrix& mask,
+                    std::vector<double>& conv) const;
+  /// Pooling stage shared by both forward paths.
+  void pool_from_conv(const Matrix& mask, const std::vector<double>& conv,
+                      Matrix& out, std::vector<double>& values,
+                      std::vector<std::size_t>& order) const;
+  /// Stage 1 of every backward pass: route pooled gradients to the
+  /// per-(sample, landmark, filter) dF, into `dconv` (resized/zeroed here).
+  void route_grads(const Matrix& mask, const std::vector<double>& conv,
+                   const Matrix& grad_pooled, std::vector<double>& dconv,
+                   std::vector<double>& values, std::vector<std::size_t>& order,
+                   std::vector<std::size_t>& slot_lam) const;
+  /// Member-cache wrapper over route_grads (legacy backward paths).
   std::vector<double> route_pooled_grads(const Matrix& grad_pooled) const;
 
   std::size_t k_;

@@ -46,6 +46,23 @@ Matrix Linear::backward(const Matrix& grad_output) {
   return dx;
 }
 
+void Linear::forward_into(const Matrix& input, Matrix& out) const {
+  DIAGNET_REQUIRE_MSG(input.cols() == in_features(), "input width mismatch");
+  tensor::gemm(input, weight_.value, out);
+  tensor::add_row_bias(out, bias_.value);
+}
+
+void Linear::backward_into(const Matrix& input, const Matrix& grad_output,
+                           Matrix& grad_weight, Matrix& grad_bias,
+                           Matrix* grad_input) const {
+  DIAGNET_REQUIRE_MSG(grad_output.rows() == input.rows() &&
+                          grad_output.cols() == out_features(),
+                      "backward called with mismatched gradient");
+  tensor::gemm_at_b_acc(input, grad_output, grad_weight);
+  tensor::sum_rows_acc(grad_output, grad_bias);
+  if (grad_input) tensor::gemm_a_bt(grad_output, weight_.value, *grad_input);
+}
+
 Matrix Linear::backward_input(const Matrix& grad_output) const {
   DIAGNET_REQUIRE_MSG(grad_output.cols() == out_features(),
                       "backward called with mismatched gradient");

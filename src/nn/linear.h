@@ -20,6 +20,19 @@ class Linear final : public Layer {
   /// the inference-time path (attention needs input gradients, never
   /// parameter gradients) and skips ~2/3 of backward's memory traffic.
   Matrix backward_input(const Matrix& grad_output) const;
+
+  /// Workspace forward: out = input·W + b, capacity-aware resize of `out`,
+  /// no activation caching — const and safe to call concurrently from
+  /// several training shards against the same layer.
+  void forward_into(const Matrix& input, Matrix& out) const;
+  /// Workspace backward: accumulates dW into grad_weight (+=) and db into
+  /// grad_bias (+=) — both must be pre-sized and zeroed per step — and
+  /// writes dX into grad_input when non-null. `input` is the activation
+  /// that was fed to forward_into (the caller's workspace keeps it).
+  void backward_into(const Matrix& input, const Matrix& grad_output,
+                     Matrix& grad_weight, Matrix& grad_bias,
+                     Matrix* grad_input) const;
+
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
 

@@ -43,6 +43,44 @@ double softmax_cross_entropy(const Matrix& logits,
   return loss * inv_b;
 }
 
+double softmax_cross_entropy_sum(const Matrix& logits,
+                                 const std::size_t* labels, std::size_t n,
+                                 Matrix* grad, double grad_scale) {
+  DIAGNET_REQUIRE(n == logits.rows());
+  if (grad) grad->resize(logits.rows(), logits.cols());
+  const std::size_t c = logits.cols();
+  double loss = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    DIAGNET_REQUIRE(labels[r] < c);
+    const double* in = logits.row_ptr(r);
+    const double mx = *std::max_element(in, in + c);
+    // One pass computes the exponentials (into the grad row when wanted)
+    // and their sum; no per-row heap temporary.
+    double sum = 0.0;
+    if (grad) {
+      double* out = grad->row_ptr(r);
+      for (std::size_t j = 0; j < c; ++j) {
+        out[j] = std::exp(in[j] - mx);
+        sum += out[j];
+      }
+      const double inv = 1.0 / sum;
+      loss -= std::log(std::max(out[labels[r]] * inv, 1e-300));
+      for (std::size_t j = 0; j < c; ++j) out[j] *= inv;
+      out[labels[r]] -= 1.0;
+      for (std::size_t j = 0; j < c; ++j) out[j] *= grad_scale;
+    } else {
+      double p_label = 0.0;
+      for (std::size_t j = 0; j < c; ++j) {
+        const double e = std::exp(in[j] - mx);
+        sum += e;
+        if (j == labels[r]) p_label = e;
+      }
+      loss -= std::log(std::max(p_label / sum, 1e-300));
+    }
+  }
+  return loss;
+}
+
 Matrix ideal_label_grad(const Matrix& logits_row, std::size_t target) {
   DIAGNET_REQUIRE(logits_row.rows() == 1 && target < logits_row.cols());
   Matrix g = softmax(logits_row);

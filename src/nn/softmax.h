@@ -20,6 +20,16 @@ double softmax_cross_entropy(const Matrix& logits,
                              const std::vector<std::size_t>& labels,
                              Matrix* grad);
 
+/// Allocation-free shard variant of softmax_cross_entropy: returns the SUM
+/// (not mean) of the per-row cross-entropies over the `n` labels, and when
+/// grad != nullptr writes dLoss/dLogits * grad_scale into it with a
+/// capacity-aware resize. Sharded training passes grad_scale = 1/B of the
+/// *full* minibatch so per-shard gradients add up to exactly the minibatch
+/// mean, and reduces the returned per-shard sums in fixed shard order.
+double softmax_cross_entropy_sum(const Matrix& logits,
+                                 const std::size_t* labels, std::size_t n,
+                                 Matrix* grad, double grad_scale);
+
 /// Gradient of -log softmax(logits)[target] w.r.t. the logits of a single
 /// row — the "ideal label" loss the attention mechanism backpropagates
 /// (paper §III-E, L* with y* = onehot(argmax y)).

@@ -27,6 +27,11 @@ struct CoarseDataset {
   LandBatch gather(const std::vector<std::size_t>& rows) const;
   std::vector<std::size_t> gather_labels(
       const std::vector<std::size_t>& rows) const;
+  /// Allocation-free variants: gather `n` rows into reused buffers
+  /// (capacity-aware resize) — the steady-state training path.
+  void gather(const std::size_t* rows, std::size_t n, LandBatch& out) const;
+  void gather_labels(const std::size_t* rows, std::size_t n,
+                     std::vector<std::size_t>& out) const;
 };
 
 struct TrainerConfig {
@@ -45,6 +50,14 @@ struct TrainerConfig {
   std::uint64_t seed = 1;
   /// Restore the parameters of the best validation epoch on completion.
   bool restore_best = true;
+  /// Worker threads for minibatch sharding: 0 = the process-wide pool
+  /// (sized to the machine), 1 = serial on the caller, N = a dedicated
+  /// N-thread pool. The training trajectory is BIT-IDENTICAL for every
+  /// value: each minibatch is cut into fixed 16-row shards (a partition
+  /// that depends only on the batch, never on the worker count), each
+  /// shard's gradients go to its own accumulator, and shard results are
+  /// reduced in ascending shard order.
+  std::size_t threads = 0;
 };
 
 /// Early-stopping state machine ("the training is done when the validation

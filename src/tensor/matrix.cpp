@@ -40,6 +40,25 @@ double Matrix::operator()(std::size_t r, std::size_t c) const {
   return data_[r * cols_ + c];
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  // vector::resize never releases capacity, so repeated reshapes between
+  // the same steady-state shapes allocate only on first growth.
+  data_.resize(rows * cols);
+}
+
+void Matrix::resize_zero(std::size_t rows, std::size_t cols) {
+  resize(rows, cols);
+  fill(0.0);
+}
+
+void Matrix::assign(const Matrix& other) {
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_.assign(other.data_.begin(), other.data_.end());
+}
+
 void Matrix::fill(double value) {
   for (auto& x : data_) x = value;
 }

@@ -37,6 +37,18 @@ class Matrix {
   double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
   const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
 
+  /// Reshape to rows x cols, reusing the existing heap block whenever its
+  /// capacity suffices (the steady-state case for training workspaces).
+  /// Element contents are unspecified afterwards — callers that need zeros
+  /// must fill(0.0) or use resize_zero(). Never shrinks capacity.
+  void resize(std::size_t rows, std::size_t cols);
+  /// resize() + fill(0.0): a zeroed rows x cols matrix without reallocating
+  /// when capacity allows.
+  void resize_zero(std::size_t rows, std::size_t cols);
+  /// Capacity-aware copy: same result as operator=, but reuses this
+  /// matrix's storage instead of allocating when it is already big enough.
+  void assign(const Matrix& other);
+
   /// Set every element to `value`.
   void fill(double value);
   /// Element-wise in-place operations.

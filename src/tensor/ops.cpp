@@ -1,41 +1,106 @@
 #include "tensor/ops.h"
 
+#include <algorithm>
+
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace diagnet::tensor {
 
-void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
-  DIAGNET_REQUIRE(a.cols() == b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
-  else c.fill(0.0);
-  // i-k-j loop order: the inner j loop streams both B's row k and C's row i,
-  // which vectorises well and stays cache-friendly for our tall-skinny shapes.
-  for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c.row_ptr(i);
-    const double* ai = a.row_ptr(i);
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = ai[kk];
-      if (aik == 0.0) continue;
-      const double* bk = b.row_ptr(kk);
+namespace {
+
+// Below this many multiply-adds a GEMM runs the plain scalar loop: tiling
+// and pool dispatch cost more than they save on the small attention-path
+// shapes (single rows, 7-wide logits).
+constexpr std::size_t kSmallMacs = 1u << 15;
+// Above this many multiply-adds the row loop fans out over the thread
+// pool. Chosen so one task is still a few hundred microseconds of work —
+// and high enough that the 16-row shard GEMMs of the data-parallel trainer
+// stay serial inside their shard worker instead of re-fanning out.
+constexpr std::size_t kParallelMacs = 1u << 22;
+// Rows of C per parallel task. Fixed (never derived from the worker
+// count), so the task decomposition — and therefore every floating-point
+// reduction order — is identical for any pool size.
+constexpr std::size_t kRowBlock = 32;
+// k-tile: a kKBlock x N panel of B (64 x 512 doubles = 256 KiB at the
+// coarse model's widest layer) is streamed against a block of C rows
+// before moving on, instead of re-streaming all of B for every row.
+constexpr std::size_t kKBlock = 64;
+
+/// Run fn(block) over ceil(n / kRowBlock) fixed-size row blocks, in
+/// parallel when the kernel is large enough. The block partition is a pure
+/// function of n, so numeric results cannot depend on the worker count.
+template <typename Fn>
+void for_row_blocks(std::size_t n, std::size_t macs, const Fn& fn) {
+  const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
+  if (macs < kParallelMacs || blocks < 2) {
+    for (std::size_t b = 0; b < blocks; ++b) fn(b);
+    return;
+  }
+  util::parallel_for(blocks, fn);
+}
+
+/// Tiled C(i, :) += A(i, :) · B for rows [r0, r1). The reduction order over
+/// kk for every output element is: k-tiles ascending, groups of four inside
+/// a tile, remainder one at a time — fixed by constants, not by threading.
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+               std::size_t r1) {
+  const std::size_t k = a.cols(), n = b.cols();
+  for (std::size_t kk0 = 0; kk0 < k; kk0 += kKBlock) {
+    const std::size_t kk1 = std::min(k, kk0 + kKBlock);
+    for (std::size_t i = r0; i < r1; ++i) {
+      double* ci = c.row_ptr(i);
+      const double* ai = a.row_ptr(i);
+      std::size_t kk = kk0;
+      for (; kk + 4 <= kk1; kk += 4) {
+        const double a0 = ai[kk], a1 = ai[kk + 1];
+        const double a2 = ai[kk + 2], a3 = ai[kk + 3];
+        const double* b0 = b.row_ptr(kk);
+        const double* b1 = b.row_ptr(kk + 1);
+        const double* b2 = b.row_ptr(kk + 2);
+        const double* b3 = b.row_ptr(kk + 3);
 #pragma omp simd
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        for (std::size_t j = 0; j < n; ++j)
+          ci[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+      for (; kk < kk1; ++kk) {
+        const double aik = ai[kk];
+        const double* bk = b.row_ptr(kk);
+#pragma omp simd
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      }
     }
   }
 }
 
-void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
-  DIAGNET_REQUIRE(a.rows() == b.rows());
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
-  else c.fill(0.0);
-  // C(i, j) = sum_kk A(kk, i) * B(kk, j): stream rows of A and B together.
-  for (std::size_t kk = 0; kk < k; ++kk) {
+/// C(i, :) += Σ_kk A(kk, i) · B(kk, :) for output rows [r0, r1). Four B
+/// rows are fused per pass so each C row is loaded/stored k/4 times.
+void gemm_at_b_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                    std::size_t r0, std::size_t r1) {
+  const std::size_t k = a.rows(), n = b.cols();
+  std::size_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    const double* a0 = a.row_ptr(kk);
+    const double* a1 = a.row_ptr(kk + 1);
+    const double* a2 = a.row_ptr(kk + 2);
+    const double* a3 = a.row_ptr(kk + 3);
+    const double* b0 = b.row_ptr(kk);
+    const double* b1 = b.row_ptr(kk + 1);
+    const double* b2 = b.row_ptr(kk + 2);
+    const double* b3 = b.row_ptr(kk + 3);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double x0 = a0[i], x1 = a1[i], x2 = a2[i], x3 = a3[i];
+      double* ci = c.row_ptr(i);
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j)
+        ci[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+    }
+  }
+  for (; kk < k; ++kk) {
     const double* ak = a.row_ptr(kk);
     const double* bk = b.row_ptr(kk);
-    for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t i = r0; i < r1; ++i) {
       const double aki = ak[i];
-      if (aki == 0.0) continue;
       double* ci = c.row_ptr(i);
 #pragma omp simd
       for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
@@ -43,12 +108,10 @@ void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
-void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
-  DIAGNET_REQUIRE(a.cols() == b.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (c.rows() != m || c.cols() != n) c = Matrix(m, n);
-  // C(i, j) = dot(A row i, B row j): both operands stream contiguously.
-  for (std::size_t i = 0; i < m; ++i) {
+void gemm_a_bt_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                    std::size_t r0, std::size_t r1) {
+  const std::size_t k = a.cols(), n = b.rows();
+  for (std::size_t i = r0; i < r1; ++i) {
     const double* ai = a.row_ptr(i);
     double* ci = c.row_ptr(i);
     for (std::size_t j = 0; j < n; ++j) {
@@ -59,6 +122,84 @@ void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
       ci[j] = s;
     }
   }
+}
+
+}  // namespace
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c.resize_zero(m, n);
+  const std::size_t macs = m * k * n;
+  if (macs < kSmallMacs) {
+    // Scalar i-k-j loop: the inner j loop streams both B's row k and C's
+    // row i, which vectorises well and is overhead-free for small shapes.
+    for (std::size_t i = 0; i < m; ++i) {
+      double* ci = c.row_ptr(i);
+      const double* ai = a.row_ptr(i);
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double aik = ai[kk];
+        const double* bk = b.row_ptr(kk);
+#pragma omp simd
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      }
+    }
+    return;
+  }
+  for_row_blocks(m, macs, [&](std::size_t blk) {
+    const std::size_t r0 = blk * kRowBlock;
+    gemm_rows(a, b, c, r0, std::min(m, r0 + kRowBlock));
+  });
+}
+
+namespace {
+
+void gemm_at_b_impl(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  const std::size_t macs = m * k * n;
+  if (macs < kSmallMacs) {
+    // C(i, j) = sum_kk A(kk, i) * B(kk, j): stream rows of A and B together.
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double* ak = a.row_ptr(kk);
+      const double* bk = b.row_ptr(kk);
+      for (std::size_t i = 0; i < m; ++i) {
+        const double aki = ak[i];
+        double* ci = c.row_ptr(i);
+#pragma omp simd
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
+      }
+    }
+    return;
+  }
+  for_row_blocks(m, macs, [&](std::size_t blk) {
+    const std::size_t r0 = blk * kRowBlock;
+    gemm_at_b_rows(a, b, c, r0, std::min(m, r0 + kRowBlock));
+  });
+}
+
+}  // namespace
+
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.rows() == b.rows());
+  c.resize_zero(a.cols(), b.cols());
+  gemm_at_b_impl(a, b, c);
+}
+
+void gemm_at_b_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.rows() == b.rows());
+  DIAGNET_REQUIRE(c.rows() == a.cols() && c.cols() == b.cols());
+  gemm_at_b_impl(a, b, c);
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c.resize(m, n);  // every element is overwritten; no zero-fill needed
+  // C(i, j) = dot(A row i, B row j): both operands stream contiguously.
+  for_row_blocks(m, m * k * n, [&](std::size_t blk) {
+    const std::size_t r0 = blk * kRowBlock;
+    gemm_a_bt_rows(a, b, c, r0, std::min(m, r0 + kRowBlock));
+  });
 }
 
 void axpy(double alpha, const Matrix& a, Matrix& c) {
@@ -80,9 +221,9 @@ void add_row_bias(Matrix& m, const Matrix& bias) {
   }
 }
 
-void sum_rows(const Matrix& grad, Matrix& out) {
-  if (out.rows() != 1 || out.cols() != grad.cols()) out = Matrix(1, grad.cols());
-  else out.fill(0.0);
+namespace {
+
+void sum_rows_impl(const Matrix& grad, Matrix& out) {
   double* o = out.data();
   for (std::size_t r = 0; r < grad.rows(); ++r) {
     const double* row = grad.row_ptr(r);
@@ -91,12 +232,26 @@ void sum_rows(const Matrix& grad, Matrix& out) {
   }
 }
 
+}  // namespace
+
+void sum_rows(const Matrix& grad, Matrix& out) {
+  out.resize_zero(1, grad.cols());
+  sum_rows_impl(grad, out);
+}
+
+void sum_rows_acc(const Matrix& grad, Matrix& out) {
+  DIAGNET_REQUIRE(out.rows() == 1 && out.cols() == grad.cols());
+  sum_rows_impl(grad, out);
+}
+
 double dot(const Matrix& a, const Matrix& b) {
   DIAGNET_REQUIRE(a.same_shape(b));
   double s = 0.0;
   const double* pa = a.data();
   const double* pb = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  const std::size_t n = a.size();
+#pragma omp simd reduction(+ : s)
+  for (std::size_t i = 0; i < n; ++i) s += pa[i] * pb[i];
   return s;
 }
 

@@ -1,6 +1,13 @@
 // GEMM variants and elementwise kernels. The three GEMM forms below cover
 // everything a fully-connected layer's forward and backward passes need
 // without ever materialising a transpose.
+//
+// Above a flop threshold every GEMM switches from the plain scalar loop to
+// a cache-tiled kernel whose outer row loop fans out over the global
+// thread pool (util::parallel_for). Results are bit-identical regardless
+// of the worker count: each output row is produced entirely by one task,
+// and the per-row reduction order over k is fixed by the (constant) tile
+// and unroll geometry, never by the thread that happens to run it.
 #pragma once
 
 #include "tensor/matrix.h"
@@ -13,6 +20,11 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c);
 /// C = A^T (K x M -> M x K view) · B. A is (K x M) in memory.
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c);
 
+/// C += A^T · B without zeroing C first (C must already be M x N). The
+/// backward pass accumulates dW straight into a pre-zeroed gradient buffer
+/// instead of materialising a temporary.
+void gemm_at_b_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
 /// C = A · B^T. B is (N x K) in memory.
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c);
 
@@ -24,6 +36,9 @@ void add_row_bias(Matrix& m, const Matrix& bias);
 
 /// bias_grad(0, c) = sum_r grad(r, c): reduce rows (the bias backward).
 void sum_rows(const Matrix& grad, Matrix& out);
+
+/// out(0, c) += sum_r grad(r, c): accumulating variant (out must be 1 x N).
+void sum_rows_acc(const Matrix& grad, Matrix& out);
 
 /// Frobenius dot product.
 double dot(const Matrix& a, const Matrix& b);

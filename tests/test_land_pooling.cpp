@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "nn/land_pooling.h"
 
 #include "util/stats.h"
@@ -173,7 +175,14 @@ TEST_P(PoolOpGradient, MatchesFiniteDifferences) {
     }
   for (std::size_t c = 0; c < kFilters; ++c) {
     const double fd = finite_difference(loss, pool.bias().value(0, c), 1e-5);
-    EXPECT_LT(rel_error(fd, pool.bias().grad(0, c)), 2e-4)
+    const double grad = pool.bias().grad(0, c);
+    // The var op's bias gradient is analytically zero (variance is
+    // shift-invariant), where the central difference only yields
+    // cancellation noise of order eps·|loss|/h ≈ 1e-9; accept agreement at
+    // that absolute scale instead of amplifying the noise through
+    // rel_error's 1e-8 denominator floor.
+    if (std::abs(fd) < 1e-7 && std::abs(grad) < 1e-7) continue;
+    EXPECT_LT(rel_error(fd, grad), 2e-4)
         << pool_op_name(GetParam()) << " bias(" << c << ")";
   }
   for (std::size_t r = 0; r < land.rows(); ++r)

@@ -126,6 +126,67 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmShape{5, 1, 7}, GemmShape{8, 317, 12},
                       GemmShape{64, 50, 24}, GemmShape{3, 128, 7}));
 
+// Edge shapes: degenerate rows/columns, empty operands, row/column vectors,
+// remainders around the 32-row / 64-k tile sizes, and one shape big enough
+// to cross the parallel-dispatch threshold. All paths must agree with the
+// naive reference.
+INSTANTIATE_TEST_SUITE_P(
+    EdgeShapes, GemmSweep,
+    ::testing::Values(GemmShape{0, 3, 4}, GemmShape{4, 0, 3},
+                      GemmShape{3, 4, 0}, GemmShape{1, 1, 5},
+                      GemmShape{1, 7, 1}, GemmShape{5, 7, 1},
+                      GemmShape{1, 513, 300}, GemmShape{33, 70, 9},
+                      GemmShape{34, 65, 31}, GemmShape{96, 512, 96}));
+
+TEST(Ops, GemmAtBAccAccumulatesIntoExistingOutput) {
+  const Matrix a_t = random_matrix(6, 4, 21);  // stored (k x m)
+  const Matrix b = random_matrix(6, 5, 22);
+  Matrix c(4, 5, 1.5);
+  gemm_at_b_acc(a_t, b, c);
+  Matrix expected = naive_gemm(transpose(a_t), b);
+  for (std::size_t r = 0; r < expected.rows(); ++r)
+    for (std::size_t col = 0; col < expected.cols(); ++col)
+      expected(r, col) += 1.5;
+  expect_near(c, expected);
+}
+
+TEST(Ops, GemmAtBAccRejectsWrongShape) {
+  const Matrix a_t(6, 4);
+  const Matrix b(6, 5);
+  Matrix c(3, 5);  // wrong rows: acc variant must not silently resize
+  EXPECT_THROW(gemm_at_b_acc(a_t, b, c), std::logic_error);
+}
+
+TEST(Ops, SumRowsAccAccumulates) {
+  const Matrix g{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix out(1, 2, 10.0);
+  sum_rows_acc(g, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 16.0);
+}
+
+TEST(Matrix, ResizeReusesCapacityAndReshapes) {
+  Matrix m(8, 16, 3.0);
+  const double* before = m.data();
+  m.resize(4, 8);  // shrinking reshape must not reallocate
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 8u);
+  EXPECT_EQ(m.data(), before);
+  m.resize_zero(8, 16);  // back within original capacity
+  EXPECT_EQ(m.data(), before);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, AssignCopiesShapeAndValues) {
+  const Matrix src{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix dst(7, 7, 9.0);
+  dst.assign(src);
+  ASSERT_TRUE(dst.same_shape(src));
+  expect_near(dst, src);
+}
+
 TEST(Ops, GemmReusesOutputBuffer) {
   const Matrix a = random_matrix(3, 4, 1);
   const Matrix b = random_matrix(4, 5, 2);

@@ -119,6 +119,9 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   const auto seed = std::stoull(flag_or(flags, "seed", "42"));
   const std::string campaign_path = flag_or(flags, "campaign", "campaign.csv");
   const std::string out = flag_or(flags, "out", "model.bin");
+  // Worker threads for minibatch sharding (0 = all hardware threads,
+  // 1 = serial). The result is bit-identical for every value.
+  const auto threads = std::stoull(flag_or(flags, "threads", "0"));
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
@@ -133,6 +136,8 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
 
   core::DiagNetConfig config = core::DiagNetConfig::defaults();
   config.seed = seed;
+  config.trainer.threads = threads;
+  config.specialization.threads = threads;
   core::DiagNetModel model(fs, config);
   std::cout << "Training general model...\n";
   const auto history = model.train_general(split.train);
@@ -231,7 +236,7 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::cerr << "usage: diagnet <simulate|train|diagnose|evaluate> "
                  "[--trace file] [--metrics file] [--telemetry] "
-                 "[--flag value ...]\n";
+                 "[--threads n] [--flag value ...]\n";
     return 2;
   }
   const std::string command = args[0];
