@@ -23,19 +23,19 @@
 #include "nn/softmax.h"
 #include "nn/trainer.h"
 #include "tensor/ops.h"
+#include "testkit/gen.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace diagnet;
 
+// Benchmark inputs come from the same generator the property suites use,
+// so a kernel benched here sees the distribution the oracles verify.
 tensor::Matrix random_matrix(std::size_t rows, std::size_t cols,
                              std::uint64_t seed) {
   util::Rng rng(seed);
-  tensor::Matrix m(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r)
-    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
-  return m;
+  return testkit::gen::matrix(rng, rows, cols);
 }
 
 void bm_gemm(benchmark::State& state) {

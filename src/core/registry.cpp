@@ -1,6 +1,7 @@
 #include "core/registry.h"
 
 #include <fstream>
+#include <sstream>
 
 #include "util/binary_io.h"
 #include "util/require.h"
@@ -9,14 +10,26 @@ namespace diagnet::core {
 
 namespace {
 constexpr std::uint64_t kFileMagic = 0x44474e4554'4d4f44ULL;  // "DGNET MOD"
-constexpr std::uint64_t kFileVersion = 1;
+// v2: the model payload is wrapped in {checksum, length, bytes} so any
+// truncation or in-place corruption — including flipped bits inside weight
+// doubles, which no structural check can see — is rejected cleanly instead
+// of silently loading a garbage model.
+constexpr std::uint64_t kFileVersion = 2;
 }  // namespace
 
 void save_model(const DiagNetModel& model, std::ostream& os) {
+  std::ostringstream payload_os(std::ios::binary);
+  {
+    util::BinaryWriter payload_writer(payload_os);
+    model.save(payload_writer);
+  }
+  const std::string payload = payload_os.str();
+
   util::BinaryWriter writer(os);
   writer.write_u64(kFileMagic);
   writer.write_u64(kFileVersion);
-  model.save(writer);
+  writer.write_u64(util::fnv1a64(payload.data(), payload.size()));
+  writer.write_string(payload);
 }
 
 void save_model_file(const DiagNetModel& model, const std::string& path) {
@@ -33,7 +46,15 @@ std::unique_ptr<DiagNetModel> load_model(std::istream& is,
   const std::uint64_t version = reader.read_u64();
   if (version != kFileVersion)
     throw std::runtime_error("model registry: unsupported version");
-  return DiagNetModel::load(reader, fs);
+  const std::uint64_t checksum = reader.read_u64();
+  const std::string payload = reader.read_string();
+  if (util::fnv1a64(payload.data(), payload.size()) != checksum)
+    throw std::runtime_error(
+        "model registry: checksum mismatch (corrupt model bundle)");
+
+  std::istringstream payload_is(payload, std::ios::binary);
+  util::BinaryReader payload_reader(payload_is);
+  return DiagNetModel::load(payload_reader, fs);
 }
 
 std::unique_ptr<DiagNetModel> load_model_file(const std::string& path,

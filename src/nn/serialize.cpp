@@ -27,6 +27,8 @@ std::vector<double> read_parameter_blob(std::istream& is) {
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!is || magic != kMagic)
     throw std::runtime_error("parameter blob: bad header");
+  if (count > (1ULL << 28))
+    throw std::runtime_error("parameter blob: implausible parameter count");
   std::vector<double> flat(count);
   is.read(reinterpret_cast<char*>(flat.data()),
           static_cast<std::streamsize>(count * sizeof(double)));

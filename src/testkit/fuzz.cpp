@@ -1,0 +1,276 @@
+#include "testkit/fuzz.h"
+
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/diagnet.h"
+#include "core/registry.h"
+#include "data/io.h"
+#include "testkit/gen.h"
+#include "util/binary_io.h"
+#include "util/require.h"
+
+namespace diagnet::testkit::fuzz {
+
+namespace {
+
+/// The cached tiny deployment: a simulated world, a model trained on its
+/// campaign for a couple of epochs, the serialised bundle, and the CSV
+/// export. Built on first use; every fuzz case reuses the same bytes.
+struct FuzzFixture {
+  gen::TinyWorld world;
+  std::string bundle;
+  std::string csv;
+
+  FuzzFixture() : world(/*seed=*/4242, /*nominal=*/40, /*fault=*/60) {
+    core::DiagNetConfig config;
+    config.coarse.filters = 4;
+    config.coarse.hidden = {16, 8};
+    config.trainer.max_epochs = 2;
+    config.trainer.batch_size = 32;
+    config.trainer.patience = 2;
+    config.specialization.max_epochs = 1;
+    config.auxiliary.n_estimators = 3;
+    config.auxiliary.tree.max_depth = 4;
+    config.seed = 4242;
+
+    core::DiagNetModel model(world.fs, config);
+    model.train_general(world.dataset);
+
+    std::ostringstream bundle_os(std::ios::binary);
+    core::save_model(model, bundle_os);
+    bundle = bundle_os.str();
+
+    std::ostringstream csv_os;
+    data::write_csv(world.dataset, world.fs, csv_os);
+    csv = csv_os.str();
+  }
+};
+
+FuzzFixture& fixture() {
+  static FuzzFixture fx;
+  return fx;
+}
+
+}  // namespace
+
+std::string corrupt(util::Rng& rng, const std::string& bytes,
+                    std::string* descr) {
+  DIAGNET_REQUIRE(!bytes.empty());
+  std::string out = bytes;
+  std::string what;
+  switch (rng.uniform_index(4)) {
+    case 0: {  // truncation, biased toward cutting inside the payload
+      const std::size_t keep =
+          static_cast<std::size_t>(rng.uniform_index(bytes.size()));
+      out.resize(keep);
+      what = "truncate to " + std::to_string(keep) + " bytes";
+      break;
+    }
+    case 1: {  // 1..8 independent bit flips
+      const std::size_t flips = 1 + rng.uniform_index(8);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t at =
+            static_cast<std::size_t>(rng.uniform_index(out.size()));
+        out[at] = static_cast<char>(
+            out[at] ^ static_cast<char>(1u << rng.uniform_index(8)));
+      }
+      what = "flip " + std::to_string(flips) + " bits";
+      break;
+    }
+    case 2: {  // scribble a short byte range
+      const std::size_t at =
+          static_cast<std::size_t>(rng.uniform_index(out.size()));
+      const std::size_t len =
+          std::min(out.size() - at,
+                   static_cast<std::size_t>(1 + rng.uniform_index(16)));
+      for (std::size_t i = 0; i < len; ++i)
+        out[at + i] = static_cast<char>(rng.uniform_index(256));
+      what = "scribble " + std::to_string(len) + " bytes at " +
+             std::to_string(at);
+      break;
+    }
+    default: {  // u64-aligned overwrite: aims at length/count fields
+      const std::size_t slots = out.size() / sizeof(std::uint64_t);
+      if (slots == 0) {
+        out.resize(out.size() - 1);
+        what = "truncate tail byte";
+        break;
+      }
+      const std::size_t at =
+          static_cast<std::size_t>(rng.uniform_index(slots)) *
+          sizeof(std::uint64_t);
+      // Half the time a dedicated allocation bomb, else a random value.
+      const std::uint64_t value =
+          rng.bernoulli(0.5) ? ~std::uint64_t{0} >> rng.uniform_index(16)
+                             : rng.next_u64();
+      std::memcpy(out.data() + at, &value, sizeof(value));
+      what = "overwrite u64 at " + std::to_string(at);
+      break;
+    }
+  }
+  if (out == bytes) {  // a no-op scribble/overwrite: force a visible change
+    out.back() = static_cast<char>(out.back() ^ 0x01);
+    what += " (+tail flip)";
+  }
+  if (descr != nullptr) *descr = what;
+  return out;
+}
+
+const std::string& tiny_model_bundle() { return fixture().bundle; }
+
+const data::FeatureSpace& tiny_world_space() { return fixture().world.fs; }
+
+const std::string& tiny_campaign_csv() { return fixture().csv; }
+
+void check_bundle_fuzz(CaseContext& ctx) {
+  const std::string& bundle = tiny_model_bundle();
+  const data::FeatureSpace& fs = tiny_world_space();
+
+  // Sanity: the pristine bundle must load (otherwise every rejection below
+  // would pass vacuously).
+  ctx.begin_case();
+  {
+    std::istringstream is(bundle, std::ios::binary);
+    try {
+      const auto model = core::load_model(is, fs);
+      ctx.check(model != nullptr && model->trained(),
+                "pristine bundle must load as a trained model");
+    } catch (const std::exception& e) {
+      ctx.fail(std::string("pristine bundle failed to load: ") + e.what());
+    }
+  }
+
+  // Every corruption of the logical stream must be rejected cleanly. The
+  // v2 checksum makes this airtight: any surviving bit difference either
+  // breaks the header, the length, or the payload digest.
+  for (std::size_t c = 0; c < 4; ++c) {
+    ctx.begin_case();
+    std::string what;
+    const std::string bad = corrupt(ctx.rng, bundle, &what);
+    std::istringstream is(bad, std::ios::binary);
+    try {
+      const auto model = core::load_model(is, fs);
+      (void)model;
+      ctx.fail("corrupt bundle loaded without an error (" + what + ")");
+    } catch (const std::exception&) {
+      ctx.check(true, "clean rejection");
+    }
+  }
+}
+
+void check_campaign_fuzz(CaseContext& ctx) {
+  const std::string& csv = tiny_campaign_csv();
+  const data::FeatureSpace& fs = tiny_world_space();
+
+  ctx.begin_case();
+  {
+    std::istringstream is(csv);
+    try {
+      const data::Dataset ds = data::read_csv(is, fs);
+      ctx.check_eq(ds.size(), fixture().world.dataset.size(),
+                   "pristine CSV roundtrip sample count");
+    } catch (const std::exception& e) {
+      ctx.fail(std::string("pristine CSV failed to parse: ") + e.what());
+    }
+  }
+
+  // Text corruption cannot always be *detected* (a flipped digit is still
+  // a number), so the contract is weaker than for binary bundles: the
+  // reader either throws or returns a structurally consistent dataset.
+  for (std::size_t c = 0; c < 4; ++c) {
+    ctx.begin_case();
+    std::string what;
+    const std::string bad = corrupt(ctx.rng, csv, &what);
+    std::istringstream is(bad);
+    try {
+      const data::Dataset ds = data::read_csv(is, fs);
+      ctx.check_eq(ds.landmark_available.size(), fs.landmark_count(),
+                   "parsed landmark mask width (" + what + ")");
+      for (const data::Sample& s : ds.samples)
+        ctx.check_eq(s.features.size(), fs.total(),
+                     "parsed sample width (" + what + ")");
+    } catch (const std::exception&) {
+      ctx.check(true, "clean rejection");
+    }
+  }
+}
+
+void check_binary_io_fuzz(CaseContext& ctx) {
+  util::Rng& rng = ctx.rng;
+
+  // Case 1: clean roundtrip is exact.
+  ctx.begin_case();
+  const std::uint64_t u = rng.next_u64();
+  std::vector<double> doubles(gen::dim(rng, 0, 12));
+  for (double& d : doubles) d = rng.normal();
+  std::vector<std::size_t> indices(gen::dim(rng, 0, 12));
+  for (std::size_t& i : indices)
+    i = static_cast<std::size_t>(rng.uniform_index(1 << 20));
+  std::string text(gen::dim(rng, 0, 24), '\0');
+  for (char& chr : text) chr = static_cast<char>(rng.uniform_index(256));
+
+  std::ostringstream os(std::ios::binary);
+  {
+    util::BinaryWriter writer(os);
+    writer.write_u64(u);
+    writer.write_doubles(doubles);
+    writer.write_string(text);
+    writer.write_indices(indices);
+    writer.write_bool(true);
+  }
+  const std::string clean = os.str();
+  {
+    std::istringstream is(clean, std::ios::binary);
+    util::BinaryReader reader(is);
+    ctx.check(reader.read_u64() == u, "u64 roundtrip");
+    ctx.check(reader.read_doubles() == doubles, "doubles roundtrip");
+    ctx.check(reader.read_string() == text, "string roundtrip");
+    ctx.check(reader.read_indices() == indices, "indices roundtrip");
+    ctx.check(reader.read_bool(), "bool roundtrip");
+    ctx.check(reader.remaining() == 0, "stream fully consumed");
+  }
+
+  // Case 2: a deterministic allocation bomb — a length field claiming more
+  // elements than the whole stream holds must throw before allocating.
+  ctx.begin_case();
+  {
+    std::ostringstream bomb_os(std::ios::binary);
+    util::BinaryWriter writer(bomb_os);
+    writer.write_u64((1ULL << 24) + rng.uniform_index(1ULL << 24));
+    writer.write_u64(rng.next_u64());  // a few real bytes, nowhere near enough
+    std::istringstream is(bomb_os.str(), std::ios::binary);
+    util::BinaryReader reader(is);
+    try {
+      const auto bombed = reader.read_doubles();
+      ctx.fail("length bomb returned " + std::to_string(bombed.size()) +
+               " doubles instead of throwing");
+    } catch (const std::exception&) {
+      ctx.check(true, "length bomb rejected");
+    }
+  }
+
+  // Case 3: corrupted streams never crash the primitive readers; they
+  // either produce values or throw std::runtime_error.
+  ctx.begin_case();
+  {
+    const std::string bad = corrupt(rng, clean);
+    std::istringstream is(bad, std::ios::binary);
+    util::BinaryReader reader(is);
+    try {
+      (void)reader.read_u64();
+      (void)reader.read_doubles();
+      (void)reader.read_string();
+      (void)reader.read_indices();
+      (void)reader.read_bool();
+    } catch (const std::exception&) {
+      // Clean rejection is one of the two allowed outcomes.
+    }
+    ctx.check(true, "corrupt primitive stream handled without a crash");
+  }
+}
+
+}  // namespace diagnet::testkit::fuzz

@@ -1,0 +1,131 @@
+#include "testkit/gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "nn/land_pooling.h"
+#include "util/require.h"
+
+namespace diagnet::testkit::gen {
+
+std::size_t dim(util::Rng& rng, std::size_t lo, std::size_t hi) {
+  DIAGNET_REQUIRE(lo <= hi);
+  return lo + static_cast<std::size_t>(rng.uniform_index(hi - lo + 1));
+}
+
+tensor::Matrix matrix(util::Rng& rng, std::size_t rows, std::size_t cols,
+                      double scale) {
+  tensor::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = scale * rng.normal();
+  return m;
+}
+
+std::vector<double> distribution(util::Rng& rng, std::size_t n) {
+  DIAGNET_REQUIRE(n > 0);
+  std::vector<double> p(n);
+  double sum = 0.0;
+  for (double& x : p) {
+    x = rng.uniform() + 1e-12;  // keep every mass strictly positive
+    sum += x;
+  }
+  for (double& x : p) x /= sum;
+  return p;
+}
+
+std::vector<std::size_t> permutation(util::Rng& rng, std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  rng.shuffle(p);
+  return p;
+}
+
+std::vector<std::size_t> labels(util::Rng& rng, std::size_t n,
+                                std::size_t classes) {
+  std::vector<std::size_t> out(n);
+  for (auto& l : out)
+    l = static_cast<std::size_t>(rng.uniform_index(classes));
+  return out;
+}
+
+nn::LandBatch land_batch(util::Rng& rng, std::size_t batch,
+                         std::size_t landmarks, std::size_t k,
+                         std::size_t local, double density) {
+  nn::LandBatch out;
+  out.land = matrix(rng, batch, landmarks * k);
+  out.local = matrix(rng, batch, local);
+  out.mask = tensor::Matrix(batch, landmarks);
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::size_t avail = 0;
+    for (std::size_t lam = 0; lam < landmarks; ++lam) {
+      const bool on = rng.bernoulli(density);
+      out.mask(i, lam) = on ? 1.0 : 0.0;
+      avail += on ? 1 : 0;
+    }
+    if (avail == 0)
+      out.mask(i, static_cast<std::size_t>(rng.uniform_index(landmarks))) =
+          1.0;
+  }
+  return out;
+}
+
+nn::CoarseNetConfig small_coarse_config(util::Rng& rng) {
+  nn::CoarseNetConfig config;
+  config.features_per_landmark = netsim::kMetricsPerLandmark;
+  config.local_features = netsim::kLocalFeatures;
+  config.filters = dim(rng, 2, 6);
+  config.classes = netsim::kFaultFamilies;
+
+  // A random non-empty subset of the Table I pooling bank, in bank order.
+  const std::vector<nn::PoolOp> bank = nn::default_pool_ops();
+  config.pool_ops.clear();
+  for (nn::PoolOp op : bank)
+    if (rng.bernoulli(0.5)) config.pool_ops.push_back(op);
+  if (config.pool_ops.empty())
+    config.pool_ops.push_back(
+        bank[static_cast<std::size_t>(rng.uniform_index(bank.size()))]);
+
+  config.hidden.clear();
+  const std::size_t layers = dim(rng, 1, 2);
+  for (std::size_t l = 0; l < layers; ++l)
+    config.hidden.push_back(dim(rng, 6, 20));
+  return config;
+}
+
+netsim::Topology topology(util::Rng& rng, std::size_t regions) {
+  DIAGNET_REQUIRE(regions > 0);
+  std::vector<netsim::Region> specs;
+  specs.reserve(regions);
+  for (std::size_t i = 0; i < regions; ++i) {
+    netsim::Region r;
+    r.code = "T" + std::to_string(100 + i);
+    r.provider = static_cast<netsim::Provider>(rng.uniform_index(4));
+    r.location = {rng.uniform(-60.0, 60.0), rng.uniform(-180.0, 180.0)};
+    specs.push_back(std::move(r));
+  }
+  return netsim::Topology(std::move(specs));
+}
+
+data::CampaignConfig small_campaign(util::Rng& rng, std::size_t nominal,
+                                    std::size_t fault) {
+  data::CampaignConfig config;
+  config.nominal_samples = nominal;
+  config.fault_samples = fault;
+  config.multi_fault_prob = rng.uniform(0.0, 0.3);
+  config.client_in_fault_region_prob = rng.uniform(0.2, 0.8);
+  config.clients_per_region = 1;
+  config.duration_hours = 48.0;
+  config.counterfactual_draws = 2;
+  config.seed = rng.next_u64();
+  return config;
+}
+
+TinyWorld::TinyWorld(std::uint64_t seed, std::size_t nominal,
+                     std::size_t fault)
+    : sim(netsim::Simulator::make_default(seed)), fs(sim.topology()) {
+  sim.calibrate_qoe(16);
+  util::Rng rng(seed ^ 0x7e57a1dULL);
+  dataset = data::generate_campaign(sim, fs, small_campaign(rng, nominal, fault));
+}
+
+}  // namespace diagnet::testkit::gen

@@ -1,0 +1,71 @@
+// Random-input generators for the property suites. Everything draws from
+// an explicit util::Rng so a case is fully determined by its fork key; no
+// generator touches global state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/feature_space.h"
+#include "data/generator.h"
+#include "netsim/simulator.h"
+#include "nn/batch.h"
+#include "nn/coarse_net.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace diagnet::testkit::gen {
+
+/// Uniform dimension in [lo, hi].
+std::size_t dim(util::Rng& rng, std::size_t lo, std::size_t hi);
+
+/// rows x cols of N(0, scale²) entries.
+tensor::Matrix matrix(util::Rng& rng, std::size_t rows, std::size_t cols,
+                      double scale = 1.0);
+
+/// Non-negative vector summing to exactly 1 (renormalised uniforms).
+std::vector<double> distribution(util::Rng& rng, std::size_t n);
+
+/// Uniform random permutation of [0, n).
+std::vector<std::size_t> permutation(util::Rng& rng, std::size_t n);
+
+/// n labels uniform in [0, classes).
+std::vector<std::size_t> labels(util::Rng& rng, std::size_t n,
+                                std::size_t classes);
+
+/// Random LandBatch: (batch, landmarks·k) features, availability mask with
+/// Bernoulli(density) per landmark but always ≥1 available per row, and
+/// (batch, local) local features. Masked-out landmark columns hold garbage
+/// on purpose — consumers must ignore them.
+nn::LandBatch land_batch(util::Rng& rng, std::size_t batch,
+                         std::size_t landmarks, std::size_t k,
+                         std::size_t local, double density = 0.8);
+
+/// Small random CoarseNet architecture compatible with the netsim feature
+/// space (k = 5 landmark metrics, 5 local features, 7 classes): random
+/// filter count, a random non-empty subset of the Table I pooling ops, and
+/// one or two narrow hidden layers.
+nn::CoarseNetConfig small_coarse_config(util::Rng& rng);
+
+/// Random topology of `regions` plausible multi-cloud sites ("T000"...).
+netsim::Topology topology(util::Rng& rng, std::size_t regions);
+
+/// A self-contained simulated deployment + labelled campaign, kept alive
+/// together because FeatureSpace borrows the simulator's topology. Sized
+/// for property tests: tens of samples, not the paper's two weeks.
+struct TinyWorld {
+  netsim::Simulator sim;
+  data::FeatureSpace fs;
+  data::Dataset dataset;
+
+  TinyWorld(std::uint64_t seed, std::size_t nominal, std::size_t fault);
+};
+
+/// Campaign-config generator for scenario-level suites: small sample
+/// counts, random multi-fault probability and client placement.
+data::CampaignConfig small_campaign(util::Rng& rng, std::size_t nominal,
+                                    std::size_t fault);
+
+}  // namespace diagnet::testkit::gen

@@ -1,0 +1,147 @@
+// Property-testing harness: seeded, deterministic, dependency-free.
+//
+// A *suite* is a named property function run for K iterations. Iteration i
+// of suite S under root seed N draws every random choice from
+// Rng(N).fork(fnv1a64(S)).fork(i) — keyed by (seed, suite, iteration) only,
+// never by call order across iterations — so any failure reproduces with
+// the same --seed and an --iters of at least i+1, regardless of which other
+// suites ran or in which order.
+//
+// The same suites back three front ends:
+//   * `diagnet selfcheck --seed N --iters K` (tools/diagnet_cli.cpp),
+//   * the tests/test_proptest_* gtest binaries (ctest label `property`),
+//   * ad-hoc developer runs via run_selfcheck().
+// Every failure message embeds `seed=N iter=i`, the one-command repro.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace diagnet::testkit {
+
+/// FNV-1a 64-bit hash — stable across platforms, used to key suite
+/// sub-streams (and by util::binary_io for bundle checksums).
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+std::uint64_t fnv1a64(const std::string& s);
+
+/// State handed to a property function for one iteration. A property
+/// "case" is one randomized scenario; most suites run several cases per
+/// iteration (begin_case() delimits them), so 50 iterations comfortably
+/// clear 100+ randomized cases.
+struct CaseContext {
+  util::Rng rng;            // forked per (seed, suite, iteration)
+  std::uint64_t seed = 0;   // root seed, for reproduction messages
+  std::uint64_t iter = 0;   // iteration index within the suite
+  std::size_t cases = 0;    // randomized cases exercised so far
+  std::size_t checks = 0;   // individual assertions evaluated
+  std::vector<std::string> errors;
+
+  /// Mark the start of one randomized case.
+  void begin_case() { ++cases; }
+
+  void fail(const std::string& what);
+  /// Record one assertion; on failure the message carries seed/iter.
+  bool check(bool cond, const std::string& what);
+  /// |got - want| <= tol * max(|got|, |want|, 1).
+  bool check_near(double got, double want, double tol,
+                  const std::string& what);
+  /// Exact comparison for counts/dimensions.
+  bool check_eq(std::size_t got, std::size_t want, const std::string& what);
+
+  bool ok() const { return errors.empty(); }
+};
+
+using PropertyFn = std::function<void(CaseContext&)>;
+
+struct Suite {
+  std::string name;  // e.g. "oracle.gemm", "invariant.permutation"
+  PropertyFn fn;
+};
+
+/// The registered suites, in execution order.
+const std::vector<Suite>& all_suites();
+/// Lookup by exact name; nullptr when unknown.
+const Suite* find_suite(const std::string& name);
+
+struct SuiteResult {
+  std::string name;
+  std::size_t iterations = 0;
+  std::size_t cases = 0;
+  std::size_t checks = 0;
+  std::size_t failed_iterations = 0;
+  /// First few failure messages, each with its reproducing seed/iter.
+  std::vector<std::string> messages;
+
+  bool ok() const { return failed_iterations == 0; }
+};
+
+/// Runs property functions for a fixed (seed, iters) budget.
+class PropertyRunner {
+ public:
+  PropertyRunner(std::uint64_t seed, std::size_t iters);
+
+  /// Run `fn` for the configured number of iterations; `extra_iters` are
+  /// corpus-replay iteration indices executed first (the ReplayTestGenerator
+  /// idiom: known-bad cases run before fresh random ones).
+  SuiteResult run(const std::string& suite, const PropertyFn& fn,
+                  const std::vector<std::uint64_t>& replay_iters = {}) const;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t iters_;
+};
+
+/// One-line human-readable summary of a suite result (for gtest messages).
+std::string describe(const SuiteResult& result);
+
+// ---------------------------------------------------------------------------
+// Failure corpus: a plain-text file of "suite seed iter" lines. Failing
+// cases are appended on every selfcheck run given --corpus, and replayed
+// first on the next run, so a bug stays pinned until it is fixed.
+
+struct CorpusEntry {
+  std::string suite;
+  std::uint64_t seed = 0;
+  std::uint64_t iter = 0;
+};
+
+std::vector<CorpusEntry> load_corpus(const std::string& path);
+void append_corpus(const std::string& path,
+                   const std::vector<CorpusEntry>& entries);
+
+// ---------------------------------------------------------------------------
+// Selfcheck driver (shared by the CLI subcommand and CI).
+
+struct SelfCheckConfig {
+  std::uint64_t seed = 1;
+  std::size_t iters = 50;
+  /// Substring filter on suite names; empty = all suites.
+  std::string filter;
+  /// Optional failure-corpus path (see above).
+  std::string corpus_path;
+};
+
+struct SelfCheckReport {
+  std::vector<SuiteResult> suites;
+  bool ok() const {
+    for (const SuiteResult& s : suites)
+      if (!s.ok()) return false;
+    return true;
+  }
+};
+
+/// Run every matching suite, streaming a progress/result table to `out`.
+SelfCheckReport run_selfcheck(const SelfCheckConfig& config,
+                              std::ostream& out);
+
+/// Env-var overrides used by the gtest property binaries so CI can pin the
+/// seed (DIAGNET_PROPTEST_SEED) and scale depth (DIAGNET_PROPTEST_ITERS).
+std::uint64_t env_seed(std::uint64_t fallback);
+std::size_t env_iters(std::size_t fallback);
+
+}  // namespace diagnet::testkit

@@ -1,0 +1,51 @@
+// Invariant checkers: each function runs ONE randomized scenario drawn
+// from ctx.rng and records its verdict through ctx.check*(). They are the
+// semantic core of the paper's extensibility claims:
+//
+//   * landmark-permutation invariance — LandPooling's commutative pooling
+//     means no model output may depend on landmark order (§III-C);
+//   * landmark add/remove extensibility — feeding a trained model more (or
+//     fewer) landmarks changes neither output dimensions nor the scores of
+//     surviving features (§III-C, §III-F);
+//   * Algorithm 1 score weighting — output stays a distribution and
+//     preserves the attention ordering inside each family group;
+//   * ensemble averaging — w_U ∈ [0, 1] and the blend is convex (§III-F).
+//
+// The same checkers back the selfcheck suites and the gtest property
+// binaries; gtest calls them directly with a CaseContext and asserts ok().
+#pragma once
+
+#include "testkit/harness.h"
+
+namespace diagnet::testkit {
+
+/// Pooled features and coarse logits are invariant under a random landmark
+/// permutation of a random batch through a random small CoarseNet.
+void check_pooling_permutation(CaseContext& ctx);
+
+/// The full inference tail is *equivariant*: permuting landmarks permutes
+/// attention γ, Algorithm 1 scores, ensemble scores and the final ranking
+/// by exactly the induced feature permutation.
+void check_ranking_permutation(CaseContext& ctx);
+
+/// Output dimensions are independent of the landmark count fed forward.
+void check_extensibility_dims(CaseContext& ctx);
+
+/// Appending masked-out landmarks (garbage values, mask 0) is a bit-exact
+/// no-op on logits, and attention puts exactly 0 on masked features.
+void check_extensibility_masked_noop(CaseContext& ctx);
+
+/// Adding unavailable landmarks to the feature space leaves the scores and
+/// relative ranking of all surviving features unchanged through score
+/// weighting and ensemble blending.
+void check_extensibility_ranking(CaseContext& ctx);
+
+/// Algorithm 1: normalisation, non-negativity, within-group order
+/// preservation, and the s ∈ {0, 1} identity cases.
+void check_score_weighting(CaseContext& ctx);
+
+/// Ensemble blend: w_U = Σ_{j∈U} γ̂'_j ∈ [0, 1], elementwise convexity,
+/// normalisation, and the empty-U degenerate case.
+void check_ensemble_convexity(CaseContext& ctx);
+
+}  // namespace diagnet::testkit

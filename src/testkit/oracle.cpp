@@ -1,0 +1,182 @@
+#include "testkit/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::testkit::oracle {
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  DIAGNET_REQUIRE(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      long double s = 0.0L;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        s += static_cast<long double>(a(i, k)) * b(k, j);
+      c(i, j) = static_cast<double>(s);
+    }
+  return c;
+}
+
+Matrix gemm_at_b(const Matrix& a, const Matrix& b) {
+  DIAGNET_REQUIRE(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      long double s = 0.0L;
+      for (std::size_t k = 0; k < a.rows(); ++k)
+        s += static_cast<long double>(a(k, i)) * b(k, j);
+      c(i, j) = static_cast<double>(s);
+    }
+  return c;
+}
+
+Matrix gemm_a_bt(const Matrix& a, const Matrix& b) {
+  DIAGNET_REQUIRE(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      long double s = 0.0L;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        s += static_cast<long double>(a(i, k)) * b(j, k);
+      c(i, j) = static_cast<double>(s);
+    }
+  return c;
+}
+
+Matrix softmax(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    double mx = logits(i, 0);
+    for (std::size_t j = 1; j < logits.cols(); ++j)
+      mx = std::max(mx, logits(i, j));
+    long double sum = 0.0L;
+    for (std::size_t j = 0; j < logits.cols(); ++j)
+      sum += std::exp(static_cast<long double>(logits(i, j)) - mx);
+    for (std::size_t j = 0; j < logits.cols(); ++j)
+      out(i, j) = static_cast<double>(
+          std::exp(static_cast<long double>(logits(i, j)) - mx) / sum);
+  }
+  return out;
+}
+
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::size_t>& labels,
+                             Matrix* grad) {
+  DIAGNET_REQUIRE(labels.size() == logits.rows());
+  const std::size_t batch = logits.rows();
+  const Matrix probs = softmax(logits);
+  long double loss = 0.0L;
+  for (std::size_t i = 0; i < batch; ++i) {
+    DIAGNET_REQUIRE(labels[i] < logits.cols());
+    loss += -std::log(static_cast<long double>(probs(i, labels[i])));
+  }
+  if (grad != nullptr) {
+    grad->resize(logits.rows(), logits.cols());
+    for (std::size_t i = 0; i < batch; ++i)
+      for (std::size_t j = 0; j < logits.cols(); ++j)
+        (*grad)(i, j) = (probs(i, j) - (labels[i] == j ? 1.0 : 0.0)) /
+                        static_cast<double>(batch);
+  }
+  return static_cast<double>(loss / static_cast<long double>(batch));
+}
+
+namespace {
+
+/// q-quantile of a sorted vector with linear interpolation — the Table I
+/// decile definition, restated independently of the production layer.
+double quantile(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double pool_value(nn::PoolOp op, const std::vector<double>& sorted) {
+  const std::size_t n = sorted.size();
+  long double sum = 0.0L;
+  for (double v : sorted) sum += v;
+  const double avg = static_cast<double>(sum / static_cast<long double>(n));
+  switch (op) {
+    case nn::PoolOp::Min: return sorted.front();
+    case nn::PoolOp::Max: return sorted.back();
+    case nn::PoolOp::Avg: return avg;
+    case nn::PoolOp::Var: {
+      if (n < 2) return 0.0;
+      long double m2 = 0.0L;
+      for (double v : sorted) m2 += (static_cast<long double>(v) - avg) *
+                                    (static_cast<long double>(v) - avg);
+      return static_cast<double>(m2 / static_cast<long double>(n - 1));
+    }
+    case nn::PoolOp::P10: return quantile(sorted, 0.1);
+    case nn::PoolOp::P20: return quantile(sorted, 0.2);
+    case nn::PoolOp::P30: return quantile(sorted, 0.3);
+    case nn::PoolOp::P40: return quantile(sorted, 0.4);
+    case nn::PoolOp::P50: return quantile(sorted, 0.5);
+    case nn::PoolOp::P60: return quantile(sorted, 0.6);
+    case nn::PoolOp::P70: return quantile(sorted, 0.7);
+    case nn::PoolOp::P80: return quantile(sorted, 0.8);
+    case nn::PoolOp::P90: return quantile(sorted, 0.9);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Matrix land_pooling(const Matrix& kernel, const Matrix& bias,
+                    const std::vector<nn::PoolOp>& ops, const Matrix& land,
+                    const Matrix& mask) {
+  const std::size_t f = kernel.rows();
+  const std::size_t k = kernel.cols();
+  DIAGNET_REQUIRE(land.cols() % k == 0);
+  const std::size_t landmarks = land.cols() / k;
+  DIAGNET_REQUIRE(mask.rows() == land.rows() && mask.cols() == landmarks);
+
+  Matrix out(land.rows(), ops.size() * f);
+  for (std::size_t i = 0; i < land.rows(); ++i) {
+    for (std::size_t j = 0; j < f; ++j) {
+      std::vector<double> values;
+      for (std::size_t lam = 0; lam < landmarks; ++lam) {
+        if (mask(i, lam) < 0.5) continue;
+        long double s = bias(0, j);
+        for (std::size_t t = 0; t < k; ++t)
+          s += static_cast<long double>(kernel(j, t)) *
+               land(i, lam * k + t);
+        values.push_back(static_cast<double>(s));
+      }
+      DIAGNET_REQUIRE_MSG(!values.empty(),
+                          "sample with no available landmark");
+      std::sort(values.begin(), values.end());
+      for (std::size_t o = 0; o < ops.size(); ++o)
+        out(i, o * f + j) = pool_value(ops[o], values);
+    }
+  }
+  return out;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  DIAGNET_REQUIRE(a.same_shape(b));
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      worst = std::max(worst, std::abs(a(r, c) - b(r, c)));
+  return worst;
+}
+
+double max_rel_diff(const Matrix& a, const Matrix& b) {
+  DIAGNET_REQUIRE(a.same_shape(b));
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double denom =
+          std::max({std::abs(a(r, c)), std::abs(b(r, c)), 1.0});
+      worst = std::max(worst, std::abs(a(r, c) - b(r, c)) / denom);
+    }
+  return worst;
+}
+
+}  // namespace diagnet::testkit::oracle

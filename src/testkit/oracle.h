@@ -1,0 +1,46 @@
+// Reference oracles: deliberately naive implementations of the numeric
+// kernels, written for obviousness rather than speed, with long-double
+// accumulation so they are strictly more precise than the production
+// kernels they judge. A production kernel passes when it agrees with the
+// oracle to within the error bound of double-precision reordering.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/land_pooling.h"
+#include "tensor/matrix.h"
+
+namespace diagnet::testkit::oracle {
+
+using tensor::Matrix;
+
+/// C = A · B, scalar triple loop, long-double accumulators.
+Matrix gemm(const Matrix& a, const Matrix& b);
+/// C = A^T · B for A stored (K x M).
+Matrix gemm_at_b(const Matrix& a, const Matrix& b);
+/// C = A · B^T for B stored (N x K).
+Matrix gemm_a_bt(const Matrix& a, const Matrix& b);
+
+/// Row-wise softmax with the max-shift, long-double sums.
+Matrix softmax(const Matrix& logits);
+
+/// Mean softmax cross-entropy; when grad != nullptr it receives
+/// (softmax - onehot) / B, exactly the production contract.
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::size_t>& labels,
+                             Matrix* grad);
+
+/// LandPooling forward from first principles: F[λ] = K·x[λ] + b per
+/// available landmark, then each pooling operator over a sorted copy of
+/// the available values. Output is (B, ops·f) like the production layer.
+Matrix land_pooling(const Matrix& kernel, const Matrix& bias,
+                    const std::vector<nn::PoolOp>& ops, const Matrix& land,
+                    const Matrix& mask);
+
+/// Largest |a - b| over all elements (shapes must match).
+double max_abs_diff(const Matrix& a, const Matrix& b);
+/// Largest |a - b| / max(|a|, |b|, 1) over all elements.
+double max_rel_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace diagnet::testkit::oracle

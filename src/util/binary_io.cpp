@@ -7,6 +7,24 @@
 
 namespace diagnet::util {
 
+namespace {
+// Absolute caps used when the stream is not seekable and the remaining
+// byte count is unknown. Far above any legitimate DIAGNET payload yet far
+// below anything that could exhaust memory through one corrupt field.
+constexpr std::uint64_t kMaxStringBytes = 1ULL << 30;   // 1 GiB
+constexpr std::uint64_t kMaxArrayElems = 1ULL << 28;    // 256M elements
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 void BinaryWriter::write_u64(std::uint64_t value) {
   os_->write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
@@ -33,7 +51,36 @@ void BinaryWriter::write_indices(const std::vector<std::size_t>& values) {
   for (std::size_t v : values) write_u64(v);
 }
 
+BinaryReader::BinaryReader(std::istream& is) : is_(&is) {
+  // Probe the remaining byte count so corrupt length fields can be
+  // rejected before any allocation. Pipes and other non-seekable streams
+  // simply stay unbounded (remaining_ == kUnknownSize).
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    is.clear();
+    return;
+  }
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end != std::istream::pos_type(-1) && end >= pos)
+    remaining_ = static_cast<std::uint64_t>(end - pos);
+  is.clear();
+}
+
+void BinaryReader::require_available(std::uint64_t bytes,
+                                     const char* what) const {
+  if (remaining_ != kUnknownSize && bytes > remaining_)
+    throw std::runtime_error(
+        std::string("binary read: claimed length exceeds input for ") + what);
+}
+
 void BinaryReader::raw(void* dst, std::size_t bytes) {
+  if (remaining_ != kUnknownSize) {
+    if (bytes > remaining_)
+      throw std::runtime_error("binary read: truncated input");
+    remaining_ -= bytes;
+  }
   is_->read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
   if (!*is_) throw std::runtime_error("binary read: truncated input");
 }
@@ -54,8 +101,9 @@ bool BinaryReader::read_bool() { return read_u64() != 0; }
 
 std::string BinaryReader::read_string() {
   const std::uint64_t size = read_u64();
-  if (size > (1ULL << 30))
+  if (size > kMaxStringBytes)
     throw std::runtime_error("binary read: implausible string length");
+  require_available(size, "string");
   std::string value(size, '\0');
   if (size > 0) raw(value.data(), size);
   return value;
@@ -63,8 +111,9 @@ std::string BinaryReader::read_string() {
 
 std::vector<double> BinaryReader::read_doubles() {
   const std::uint64_t size = read_u64();
-  if (size > (1ULL << 32))
+  if (size > kMaxArrayElems)
     throw std::runtime_error("binary read: implausible array length");
+  require_available(size * sizeof(double), "double array");
   std::vector<double> values(size);
   if (size > 0) raw(values.data(), size * sizeof(double));
   return values;
@@ -72,8 +121,9 @@ std::vector<double> BinaryReader::read_doubles() {
 
 std::vector<std::size_t> BinaryReader::read_indices() {
   const std::uint64_t size = read_u64();
-  if (size > (1ULL << 32))
+  if (size > kMaxArrayElems)
     throw std::runtime_error("binary read: implausible array length");
+  require_available(size * sizeof(std::uint64_t), "index array");
   std::vector<std::size_t> values(size);
   for (auto& v : values) v = static_cast<std::size_t>(read_u64());
   return values;

@@ -2,6 +2,12 @@
 // registry. Writers never fail silently; readers throw std::runtime_error
 // on truncated or corrupt input so callers can surface a clean error for a
 // damaged model file.
+//
+// BinaryReader is hardened against hostile length fields: on seekable
+// streams it learns the remaining byte count up front and rejects any
+// claimed string/array size that cannot fit in what is left, so a few
+// flipped bits can never turn into a multi-gigabyte allocation. On
+// non-seekable streams conservative absolute caps apply instead.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +16,10 @@
 #include <vector>
 
 namespace diagnet::util {
+
+/// FNV-1a 64-bit hash — stable across platforms; used for model-bundle
+/// payload checksums (and by testkit to key property-suite sub-streams).
+std::uint64_t fnv1a64(const void* data, std::size_t n);
 
 class BinaryWriter {
  public:
@@ -28,7 +38,7 @@ class BinaryWriter {
 
 class BinaryReader {
  public:
-  explicit BinaryReader(std::istream& is) : is_(&is) {}
+  explicit BinaryReader(std::istream& is);
 
   std::uint64_t read_u64();
   double read_double();
@@ -40,9 +50,17 @@ class BinaryReader {
   /// Read a u64 and require it to equal `expected` (section tags).
   void expect_u64(std::uint64_t expected, const char* what);
 
+  /// Bytes left in a seekable stream; kUnknownSize when not seekable.
+  static constexpr std::uint64_t kUnknownSize = ~std::uint64_t{0};
+  std::uint64_t remaining() const { return remaining_; }
+
  private:
   void raw(void* dst, std::size_t bytes);
+  /// Throw unless a claimed payload of `bytes` can still fit in the input.
+  void require_available(std::uint64_t bytes, const char* what) const;
+
   std::istream* is_;
+  std::uint64_t remaining_ = kUnknownSize;
 };
 
 }  // namespace diagnet::util

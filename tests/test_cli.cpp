@@ -109,4 +109,29 @@ TEST(Cli, CorruptModelBundleExitsNonZeroWithError) {
   std::remove(model.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// selfcheck subcommand
+
+TEST(Cli, SelfcheckFilteredSuitePasses) {
+  // A filtered two-iteration run keeps this test fast while still driving
+  // the real harness end-to-end through the CLI.
+  const CliResult r = run_cli("selfcheck --seed 1 --iters 2 --suite oracle.gemm");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("oracle.gemm"), std::string::npos);
+  EXPECT_NE(r.output.find("selfcheck passed"), std::string::npos);
+}
+
+TEST(Cli, SelfcheckUnknownSuiteFilterExits2) {
+  const CliResult r = run_cli("selfcheck --suite no.such.suite");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("error: no suite matches"), std::string::npos);
+}
+
+TEST(Cli, SelfcheckReportsSeedInHeader) {
+  const CliResult r =
+      run_cli("selfcheck --seed 99 --iters 1 --suite oracle.softmax");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("seed 99"), std::string::npos);
+}
+
 }  // namespace

@@ -12,6 +12,9 @@
 #include "data/generator.h"
 #include "data/normalizer.h"
 #include "data/split.h"
+#include "nn/trainer.h"
+#include "testkit/gen.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 namespace diagnet::data {
@@ -363,6 +366,138 @@ TEST(Encoding, FlatMatrixZeroFillsUnavailable) {
     for (std::size_t m = 0; m < 5; ++m)
       EXPECT_DOUBLE_EQ(
           flat(i, fs.landmark_feature(4, static_cast<Metric>(m))), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Edge shapes: the encoders and minibatch gather must handle empty and
+// minimal inputs (zero rows, one landmark, one sample) without special
+// casing upstream.
+
+TEST(Encoding, BatchWithZeroRowsHasFullWidth) {
+  const auto& fs = fixture().fs;
+  Normalizer norm;
+  norm.fit(fixture().dataset, fs);
+  const std::vector<bool> all(fs.landmark_count(), true);
+  const nn::LandBatch batch = encode_batch({}, fs, norm, all);
+  EXPECT_EQ(batch.land.rows(), 0u);
+  EXPECT_EQ(batch.land.cols(), fs.landmark_count() * 5u);
+  EXPECT_EQ(batch.mask.rows(), 0u);
+  EXPECT_EQ(batch.mask.cols(), fs.landmark_count());
+  EXPECT_EQ(batch.local.rows(), 0u);
+  EXPECT_EQ(batch.local.cols(), fs.local_count());
+}
+
+TEST(Encoding, SingleLandmarkTopology) {
+  util::Rng rng(91);
+  const netsim::Topology topo = testkit::gen::topology(rng, 1);
+  const FeatureSpace fs(topo);
+  ASSERT_EQ(fs.landmark_count(), 1u);
+  ASSERT_EQ(fs.total(), 1u * 5u + 5u);
+
+  Dataset d;
+  d.landmark_available.assign(1, true);
+  for (std::size_t i = 0; i < 16; ++i) {
+    Sample s;
+    s.features.resize(fs.total());
+    for (double& v : s.features) v = rng.uniform(0.1, 5.0);
+    d.samples.push_back(std::move(s));
+  }
+  Normalizer norm;
+  norm.fit(d, fs);
+
+  const nn::CoarseDataset coarse = encode_coarse(d, fs, norm);
+  EXPECT_EQ(coarse.size(), 16u);
+  EXPECT_EQ(coarse.land.cols(), 5u);
+  EXPECT_EQ(coarse.mask.cols(), 1u);
+  EXPECT_EQ(coarse.local.cols(), 5u);
+  for (std::size_t i = 0; i < coarse.size(); ++i)
+    EXPECT_DOUBLE_EQ(coarse.mask(i, 0), 1.0);
+
+  const nn::LandBatch one =
+      encode_sample(d.samples[3].features, fs, norm, {true});
+  EXPECT_EQ(one.land.rows(), 1u);
+  EXPECT_EQ(one.land.cols(), 5u);
+  for (std::size_t m = 0; m < 5; ++m)
+    EXPECT_DOUBLE_EQ(one.land(0, m), coarse.land(3, m));
+}
+
+TEST(Encoding, SinglePointerBatchMatchesEncodeSample) {
+  const auto& fs = fixture().fs;
+  Normalizer norm;
+  norm.fit(fixture().dataset, fs);
+  std::vector<bool> avail(fs.landmark_count(), true);
+  avail[2] = false;  // one masked landmark exercises the zero-fill path
+  const Sample& sample = fixture().dataset.samples[5];
+
+  const nn::LandBatch single = encode_sample(sample.features, fs, norm, avail);
+  const nn::LandBatch batch =
+      encode_batch({&sample.features}, fs, norm, avail);
+  ASSERT_EQ(batch.land.rows(), 1u);
+  for (std::size_t c = 0; c < single.land.cols(); ++c)
+    EXPECT_DOUBLE_EQ(batch.land(0, c), single.land(0, c));
+  for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam)
+    EXPECT_DOUBLE_EQ(batch.mask(0, lam), single.mask(0, lam));
+  for (std::size_t t = 0; t < fs.local_count(); ++t)
+    EXPECT_DOUBLE_EQ(batch.local(0, t), single.local(0, t));
+}
+
+TEST(Encoding, BatchRejectsNullSample) {
+  const auto& fs = fixture().fs;
+  Normalizer norm;
+  norm.fit(fixture().dataset, fs);
+  const std::vector<bool> all(fs.landmark_count(), true);
+  EXPECT_THROW(encode_batch({nullptr}, fs, norm, all), std::logic_error);
+}
+
+TEST(CoarseDatasetGather, EmptyRowsYieldEmptyBatch) {
+  const auto& fs = fixture().fs;
+  Normalizer norm;
+  norm.fit(fixture().dataset, fs);
+  const nn::CoarseDataset coarse = encode_coarse(fixture().dataset, fs, norm);
+
+  const nn::LandBatch batch = coarse.gather({});
+  EXPECT_EQ(batch.land.rows(), 0u);
+  EXPECT_EQ(batch.land.cols(), coarse.land.cols());
+  EXPECT_EQ(batch.mask.rows(), 0u);
+  EXPECT_EQ(batch.local.rows(), 0u);
+  EXPECT_TRUE(coarse.gather_labels({}).empty());
+}
+
+TEST(CoarseDatasetGather, SingleRowMatchesSource) {
+  const auto& fs = fixture().fs;
+  Normalizer norm;
+  norm.fit(fixture().dataset, fs);
+  const nn::CoarseDataset coarse = encode_coarse(fixture().dataset, fs, norm);
+
+  const std::size_t r = 17;
+  const nn::LandBatch batch = coarse.gather({r});
+  ASSERT_EQ(batch.land.rows(), 1u);
+  for (std::size_t c = 0; c < coarse.land.cols(); ++c)
+    EXPECT_DOUBLE_EQ(batch.land(0, c), coarse.land(r, c));
+  for (std::size_t c = 0; c < coarse.mask.cols(); ++c)
+    EXPECT_DOUBLE_EQ(batch.mask(0, c), coarse.mask(r, c));
+  for (std::size_t c = 0; c < coarse.local.cols(); ++c)
+    EXPECT_DOUBLE_EQ(batch.local(0, c), coarse.local(r, c));
+  EXPECT_EQ(coarse.gather_labels({r}), std::vector<std::size_t>{coarse.labels[r]});
+}
+
+TEST(CoarseDatasetGather, ReusedBufferShrinksToRequest) {
+  // The allocation-free overload must leave exactly n rows in the output
+  // even when the buffer previously held a larger batch.
+  const auto& fs = fixture().fs;
+  Normalizer norm;
+  norm.fit(fixture().dataset, fs);
+  const nn::CoarseDataset coarse = encode_coarse(fixture().dataset, fs, norm);
+
+  nn::LandBatch buffer;
+  const std::vector<std::size_t> big{0, 1, 2, 3, 4, 5, 6, 7};
+  coarse.gather(big.data(), big.size(), buffer);
+  ASSERT_EQ(buffer.land.rows(), 8u);
+  const std::vector<std::size_t> small{9};
+  coarse.gather(small.data(), small.size(), buffer);
+  EXPECT_EQ(buffer.land.rows(), 1u);
+  for (std::size_t c = 0; c < coarse.land.cols(); ++c)
+    EXPECT_DOUBLE_EQ(buffer.land(0, c), coarse.land(9, c));
 }
 
 TEST(Encoding, CauseLabelsUseMarker) {

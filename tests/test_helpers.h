@@ -1,11 +1,15 @@
-// Shared helpers for the test suite: finite-difference gradient checking
-// and small random fixtures.
+// Shared helpers for the test suite: finite-difference gradient checking,
+// random fixtures (delegated to the testkit generators), and the gtest
+// front end over the testkit property suites.
 #pragma once
 
 #include <cmath>
 #include <functional>
+#include <string>
 
 #include "tensor/matrix.h"
+#include "testkit/gen.h"
+#include "testkit/harness.h"
 #include "util/rng.h"
 
 namespace diagnet::test {
@@ -13,10 +17,7 @@ namespace diagnet::test {
 inline tensor::Matrix random_matrix(std::size_t rows, std::size_t cols,
                                     std::uint64_t seed, double scale = 1.0) {
   util::Rng rng(seed);
-  tensor::Matrix m(rows, cols);
-  for (std::size_t r = 0; r < rows; ++r)
-    for (std::size_t c = 0; c < cols; ++c) m(r, c) = scale * rng.normal();
-  return m;
+  return testkit::gen::matrix(rng, rows, cols, scale);
 }
 
 /// Central finite difference of a scalar function w.r.t. one entry of a
@@ -36,6 +37,25 @@ inline double finite_difference(const std::function<double()>& f, double& x,
 inline double rel_error(double a, double b) {
   const double denom = std::max({std::abs(a), std::abs(b), 1e-8});
   return std::abs(a - b) / denom;
+}
+
+/// Run one registered testkit suite under the CI-overridable seed/iters
+/// (DIAGNET_PROPTEST_SEED / DIAGNET_PROPTEST_ITERS) and return its result.
+/// Assert on .ok() with << testkit::describe(result) for the repro line.
+inline testkit::SuiteResult run_property_suite(const std::string& name,
+                                               std::size_t default_iters = 50,
+                                               std::uint64_t default_seed = 1) {
+  testkit::SuiteResult result;
+  result.name = name;
+  const testkit::Suite* suite = testkit::find_suite(name);
+  if (suite == nullptr) {
+    result.failed_iterations = 1;
+    result.messages.push_back("unknown testkit suite: " + name);
+    return result;
+  }
+  const testkit::PropertyRunner runner(
+      testkit::env_seed(default_seed), testkit::env_iters(default_iters));
+  return runner.run(suite->name, suite->fn);
 }
 
 }  // namespace diagnet::test

@@ -1,102 +1,78 @@
 // Cross-module property tests: invariants that must hold over swept inputs
-// rather than single fixtures.
+// rather than single fixtures. The randomized sweeps run the src/testkit
+// invariant checkers directly — one CaseContext per swept seed, asserting
+// ok() — so gtest and `diagnet selfcheck` exercise identical properties.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <numeric>
 
-#include "core/score_weighting.h"
 #include "data/feature_space.h"
 #include "eval/pipeline.h"
 #include "netsim/path_model.h"
-#include "nn/coarse_net.h"
+#include "testkit/invariants.h"
 #include "tests/test_helpers.h"
 
 namespace diagnet {
 namespace {
+
+/// Run one testkit invariant checker for a handful of iterations under the
+/// swept seed, with the same (seed, suite, iter) keying the harness uses.
+testkit::CaseContext run_checker(void (*checker)(testkit::CaseContext&),
+                                 const std::string& suite,
+                                 std::uint64_t seed, std::uint64_t iters = 5) {
+  testkit::CaseContext ctx;
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    ctx.rng = util::Rng(seed).fork(testkit::fnv1a64(suite)).fork(iter);
+    ctx.seed = seed;
+    ctx.iter = iter;
+    checker(ctx);
+  }
+  return ctx;
+}
+
+std::string errors_of(const testkit::CaseContext& ctx) {
+  std::string out;
+  for (const std::string& e : ctx.errors) out += e + "\n";
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // CoarseNet is invariant to landmark permutations end-to-end (the property
 // that makes LandPooling topology-agnostic: the network cannot encode
 // landmark identity, only the distribution of behaviours).
 
-class PermutationSweep : public ::testing::TestWithParam<std::size_t> {};
+class PermutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PermutationSweep, CoarseLogitsIgnoreLandmarkOrder) {
-  const std::size_t rotation = GetParam();
-  nn::CoarseNetConfig config;
-  config.features_per_landmark = 5;
-  config.local_features = 5;
-  config.filters = 8;
-  config.pool_ops = nn::default_pool_ops();
-  config.hidden = {16, 8};
-  config.classes = 7;
-  util::Rng rng(21);
-  nn::CoarseNet net(config, rng);
-
-  const std::size_t L = 9;
-  nn::LandBatch batch;
-  batch.land = test::random_matrix(1, L * 5, 22);
-  batch.mask = nn::Matrix(1, L, 1.0);
-  batch.local = test::random_matrix(1, 5, 23);
-  const nn::Matrix base = net.forward(batch);
-
-  nn::LandBatch rotated = batch;
-  for (std::size_t lam = 0; lam < L; ++lam)
-    for (std::size_t f = 0; f < 5; ++f)
-      rotated.land(0, ((lam + rotation) % L) * 5 + f) =
-          batch.land(0, lam * 5 + f);
-  const nn::Matrix out = net.forward(rotated);
-  for (std::size_t c = 0; c < out.cols(); ++c)
-    EXPECT_NEAR(base(0, c), out(0, c), 1e-9);
+  const auto ctx = run_checker(testkit::check_pooling_permutation,
+                               "invariant.permutation", GetParam());
+  EXPECT_TRUE(ctx.ok()) << errors_of(ctx);
+  EXPECT_GT(ctx.checks, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Rotations, PermutationSweep,
+TEST_P(PermutationSweep, RankingIsPermutationEquivariant) {
+  const auto ctx = run_checker(testkit::check_ranking_permutation,
+                               "invariant.permutation", GetParam());
+  EXPECT_TRUE(ctx.ok()) << errors_of(ctx);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationSweep,
                          ::testing::Values(1u, 2u, 4u, 8u));
 
 // ---------------------------------------------------------------------------
-// Algorithm 1 invariants over many random inputs.
+// Algorithm 1 invariants over many random inputs: normalisation,
+// non-negativity, within-family order preservation and the s ∈ {0, 1}
+// identity cases, all inside the testkit checker.
 
 class ScoreWeightingSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ScoreWeightingSweep, NormalisationAndSignPreserved) {
-  const netsim::Topology topology = netsim::default_topology();
-  const data::FeatureSpace fs(topology);
-  util::Rng rng(GetParam());
-
-  // Random normalised attention + random coarse distribution.
-  std::vector<double> gamma(fs.total());
-  double gamma_sum = 0.0;
-  for (auto& g : gamma) {
-    g = rng.uniform();
-    gamma_sum += g;
-  }
-  for (auto& g : gamma) g /= gamma_sum;
-  std::vector<double> coarse(netsim::kFaultFamilies);
-  double coarse_sum = 0.0;
-  for (auto& y : coarse) {
-    y = rng.uniform();
-    coarse_sum += y;
-  }
-  for (auto& y : coarse) y /= coarse_sum;
-  const std::size_t argmax = static_cast<std::size_t>(
-      std::max_element(coarse.begin(), coarse.end()) - coarse.begin());
-
-  const auto tuned = core::weight_scores(gamma, coarse, argmax, fs);
-  // Always a distribution.
-  EXPECT_NEAR(std::accumulate(tuned.begin(), tuned.end(), 0.0), 1.0, 1e-9);
-  for (double t : tuned) EXPECT_GE(t, 0.0);
-  // Ordering preserved within each side of the family split (the bonus and
-  // penalty factors are uniform inside each group).
-  const auto family = static_cast<netsim::FaultFamily>(argmax);
-  for (std::size_t a = 0; a + 1 < fs.total(); ++a) {
-    for (std::size_t b = a + 1; b < std::min(a + 5, fs.total()); ++b) {
-      if ((fs.family_of(a) == family) != (fs.family_of(b) == family))
-        continue;
-      EXPECT_EQ(gamma[a] < gamma[b], tuned[a] < tuned[b]);
-    }
-  }
+  const auto ctx = run_checker(testkit::check_score_weighting,
+                               "invariant.scoreweight", GetParam());
+  EXPECT_TRUE(ctx.ok()) << errors_of(ctx);
+  EXPECT_GT(ctx.checks, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScoreWeightingSweep,
@@ -131,8 +107,7 @@ INSTANTIATE_TEST_SUITE_P(Rtts, TcpSweep,
 TEST(RankingFromScores, IsASortedPermutation) {
   util::Rng rng(31);
   for (int trial = 0; trial < 20; ++trial) {
-    std::vector<double> scores(55);
-    for (auto& s : scores) s = rng.uniform();
+    const std::vector<double> scores = testkit::gen::distribution(rng, 55);
     const auto ranking = eval::ranking_from_scores(scores);
     std::vector<std::size_t> sorted = ranking;
     std::sort(sorted.begin(), sorted.end());
@@ -203,6 +178,20 @@ TEST(FeatureSpaceProperties, ScalesWithTopologySize) {
   for (std::size_t j = 0; j < fs.total(); ++j) {
     EXPECT_FALSE(fs.name(j).empty());
     EXPECT_NE(fs.family_of(j), netsim::FaultFamily::Nominal);
+  }
+}
+
+// Generated topologies satisfy the same consistency contract.
+TEST(FeatureSpaceProperties, RandomTopologiesAreConsistent) {
+  util::Rng rng(47);
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const std::size_t regions = testkit::gen::dim(rng, 1, 12);
+    const netsim::Topology topo = testkit::gen::topology(rng, regions);
+    const data::FeatureSpace fs(topo);
+    EXPECT_EQ(fs.landmark_count(), regions);
+    EXPECT_EQ(fs.total(), regions * 5u + 5u);
+    for (std::size_t j = 0; j < fs.total(); ++j)
+      EXPECT_FALSE(fs.name(j).empty());
   }
 }
 

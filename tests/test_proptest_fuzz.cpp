@@ -1,0 +1,110 @@
+// Byte-level fuzzing of the persistence surfaces (src/testkit/fuzz.cpp):
+// corrupted model bundles and campaign CSVs must be rejected with a clean
+// `error:` path (an exception), never a crash, hang, or silent garbage
+// load. Also covers the harness itself: a failing property must surface a
+// reproducing --seed/--iters pair, and the failure corpus must round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tests/test_helpers.h"
+
+namespace diagnet {
+namespace {
+
+TEST(PropFuzz, BinaryIoRejectsCorruptStreams) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("fuzz.binary_io");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+TEST(PropFuzz, ModelBundleRejectsCorruption) {
+  const testkit::SuiteResult result = test::run_property_suite("fuzz.bundle");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+TEST(PropFuzz, CampaignCsvSurvivesCorruption) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("fuzz.campaign");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+// The harness must turn a failing property into a failure report whose
+// message embeds the reproducing --seed/--iters pair (the same contract the
+// injected-divergence drill relies on).
+TEST(PropFuzz, HarnessReportsReproducingSeed) {
+  const testkit::PropertyRunner runner(77, 3);
+  const testkit::SuiteResult result =
+      runner.run("canary", [](testkit::CaseContext& ctx) {
+        ctx.begin_case();
+        ctx.check(ctx.iter != 1, "deliberate canary failure");
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_EQ(result.failed_iterations, 1u);
+  ASSERT_FALSE(result.messages.empty());
+  EXPECT_NE(result.messages[0].find("--seed 77"), std::string::npos)
+      << result.messages[0];
+  EXPECT_NE(result.messages[0].find("iter 1"), std::string::npos)
+      << result.messages[0];
+}
+
+// An exception escaping a property is a failure with a repro, not a crash.
+TEST(PropFuzz, HarnessCapturesEscapedExceptions) {
+  const testkit::PropertyRunner runner(5, 2);
+  const testkit::SuiteResult result =
+      runner.run("canary.throw", [](testkit::CaseContext& ctx) {
+        ctx.begin_case();
+        throw std::runtime_error("boom");
+      });
+  EXPECT_EQ(result.failed_iterations, 2u);
+  ASSERT_FALSE(result.messages.empty());
+  EXPECT_NE(result.messages[0].find("boom"), std::string::npos);
+  EXPECT_NE(result.messages[0].find("--seed 5"), std::string::npos);
+}
+
+TEST(PropFuzz, FailureCorpusRoundTrips) {
+  const std::string path = "proptest_corpus_roundtrip.txt";
+  std::remove(path.c_str());
+  testkit::append_corpus(path, {{"oracle.gemm", 77, 3}, {"fuzz.bundle", 1, 9}});
+  testkit::append_corpus(path, {{"invariant.permutation", 12, 0}});
+  const std::vector<testkit::CorpusEntry> entries = testkit::load_corpus(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].suite, "oracle.gemm");
+  EXPECT_EQ(entries[0].seed, 77u);
+  EXPECT_EQ(entries[0].iter, 3u);
+  EXPECT_EQ(entries[1].suite, "fuzz.bundle");
+  EXPECT_EQ(entries[2].suite, "invariant.permutation");
+  EXPECT_EQ(entries[2].seed, 12u);
+  // A missing corpus file reads as empty, not as an error.
+  EXPECT_TRUE(testkit::load_corpus("no_such_corpus_file.txt").empty());
+}
+
+// Replayed iterations run before the fresh sweep and share its keying, so
+// a corpus entry reproduces the identical failure.
+TEST(PropFuzz, ReplayIterationsShareKeying) {
+  std::vector<std::uint64_t> seen;
+  const testkit::PropertyRunner runner(9, 2);
+  const testkit::SuiteResult result = runner.run(
+      "canary.replay",
+      [&seen](testkit::CaseContext& ctx) {
+        ctx.begin_case();
+        seen.push_back(ctx.iter);
+        ctx.check(ctx.iter != 7, "replayed failure");
+      },
+      {7});
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_EQ(result.failed_iterations, 1u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 7u);  // corpus replay first, then the fresh sweep
+  EXPECT_EQ(seen[1], 0u);
+  EXPECT_EQ(seen[2], 1u);
+}
+
+}  // namespace
+}  // namespace diagnet

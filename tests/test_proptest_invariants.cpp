@@ -1,0 +1,45 @@
+// Paper-level invariants under randomized inputs (src/testkit/invariants.cpp):
+//  * landmark-permutation invariance of the pooled representation and the
+//    final ranking (DIAGNET's symmetric-function claim),
+//  * add/remove-landmark extensibility (masked extras are bit-exact no-ops),
+//  * Algorithm 1 score weighting (probability simplex, within-family order,
+//    family mass steered to the coarse argmax),
+//  * ensemble convexity (w_U ∈ [0,1], output inside the γt/aux hull).
+// Each suite clears ≥100 randomized cases at the default 50 iterations.
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+
+namespace diagnet {
+namespace {
+
+TEST(PropInvariants, LandmarkPermutationInvariance) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("invariant.permutation");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+TEST(PropInvariants, AddRemoveLandmarkExtensibility) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("invariant.extensibility");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+TEST(PropInvariants, ScoreWeightingFollowsAlgorithm1) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("invariant.scoreweight");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+TEST(PropInvariants, EnsembleIsConvexCombination) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("invariant.ensemble");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+}  // namespace
+}  // namespace diagnet

@@ -1,0 +1,27 @@
+// Differential tests of the tensor kernels against the double-precision
+// naive oracles (src/testkit/differential.cpp): every GEMM variant across
+// the scalar / tiled / parallel dispatch regimes, and the fused softmax
+// cross-entropy path. Seeded via DIAGNET_PROPTEST_SEED; any failure message
+// carries its own --seed/--iters repro.
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+
+namespace diagnet {
+namespace {
+
+TEST(PropTensor, GemmMatchesOracleAcrossDispatchRegimes) {
+  const testkit::SuiteResult result = test::run_property_suite("oracle.gemm");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+TEST(PropTensor, SoftmaxCrossEntropyMatchesOracle) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("oracle.softmax");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+}  // namespace
+}  // namespace diagnet

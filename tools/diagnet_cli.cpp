@@ -16,6 +16,12 @@
 //   diagnet evaluate --campaign campaign.csv --model model.bin
 //       Recall@k of the model over every faulty sample in the campaign.
 //
+//   diagnet selfcheck [--seed N] [--iters K] [--suite substr]
+//                     [--corpus file]
+//       Run the seeded property/differential/fuzz suites (src/testkit)
+//       against this build. Every failure prints the exact --seed/--iters
+//       pair that reproduces it; --corpus pins failures to a replay file.
+//
 // The three stages exchange plain files, so a campaign can be generated
 // once and shared — the same hand-off the paper's analysis service does
 // with its clients.
@@ -34,6 +40,7 @@
 #include "eval/metrics.h"
 #include "netsim/simulator.h"
 #include "obs/obs.h"
+#include "testkit/harness.h"
 #include "util/table.h"
 
 namespace {
@@ -229,12 +236,29 @@ int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int cmd_selfcheck(const std::map<std::string, std::string>& flags) {
+  testkit::SelfCheckConfig config;
+  config.seed = std::stoull(flag_or(flags, "seed", "1"));
+  config.iters = std::stoull(flag_or(flags, "iters", "50"));
+  config.filter = flag_or(flags, "suite", "");
+  config.corpus_path = flag_or(flags, "corpus", "");
+
+  const testkit::SelfCheckReport report =
+      testkit::run_selfcheck(config, std::cout);
+  if (report.suites.empty()) {
+    std::cerr << "error: no suite matches --suite '" << config.filter
+              << "'\n";
+    return 2;
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args = setup_telemetry(argc, argv);
   if (args.empty()) {
-    std::cerr << "usage: diagnet <simulate|train|diagnose|evaluate> "
+    std::cerr << "usage: diagnet <simulate|train|diagnose|evaluate|selfcheck> "
                  "[--trace file] [--metrics file] [--telemetry] "
                  "[--threads n] [--flag value ...]\n";
     return 2;
@@ -246,6 +270,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(flags);
     if (command == "diagnose") return cmd_diagnose(flags);
     if (command == "evaluate") return cmd_evaluate(flags);
+    if (command == "selfcheck") return cmd_selfcheck(flags);
     std::cerr << "unknown command: " << command << '\n';
     return 2;
   } catch (const std::exception& e) {
