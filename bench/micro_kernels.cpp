@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,7 +18,9 @@
 #include <thread>
 
 #include "core/batch_diagnoser.h"
+#include "core/diagnet.h"
 #include "eval/pipeline.h"
+#include "serve/service.h"
 #include "obs/obs.h"
 #include "nn/coarse_net.h"
 #include "nn/softmax.h"
@@ -173,24 +176,27 @@ void bm_diagnose_full(benchmark::State& state) {
   const auto faulty = pipeline.faulty_test_indices();
   const auto& sample = pipeline.split().test.samples[faulty.front()];
   auto& model = pipeline.diagnet();
-  const std::vector<bool> all(pipeline.feature_space().landmark_count(),
-                              true);
+  core::DiagnoseRequest request;
+  request.features = sample.features;
+  request.service = sample.service;
   for (auto _ : state) {
-    auto diagnosis = model.diagnose(sample.features, sample.service, all);
-    benchmark::DoNotOptimize(diagnosis.scores.data());
+    auto response = model.diagnose(request);
+    benchmark::DoNotOptimize(response.diagnosis.scores.data());
   }
 }
 BENCHMARK(bm_diagnose_full);  // paper: 45 ms mean inference
 
-/// Cycle through the faulty test samples to build n diagnosis requests.
-std::vector<core::DiagnosisRequest> batch_requests(eval::Pipeline& pipeline,
-                                                   std::size_t n) {
+/// Cycle through the faulty test samples to build n diagnosis requests
+/// (empty landmark_available = all landmarks observable).
+std::vector<core::DiagnoseRequest> batch_requests(eval::Pipeline& pipeline,
+                                                  std::size_t n) {
   const auto faulty = pipeline.faulty_test_indices();
   const auto& test = pipeline.split().test.samples;
-  std::vector<core::DiagnosisRequest> requests(n);
+  std::vector<core::DiagnoseRequest> requests(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto& sample = test[faulty[i % faulty.size()]];
-    requests[i] = {&sample.features, sample.service};
+    requests[i].features = sample.features;
+    requests[i].service = sample.service;
   }
   return requests;
 }
@@ -198,20 +204,53 @@ std::vector<core::DiagnosisRequest> batch_requests(eval::Pipeline& pipeline,
 void bm_diagnose_batch(benchmark::State& state) {
   auto& pipeline = shared_pipeline();
   const auto n = static_cast<std::size_t>(state.range(0));
-  const std::vector<bool> all(pipeline.feature_space().landmark_count(),
-                              true);
   const auto requests = batch_requests(pipeline, n);
   core::BatchDiagnoserConfig config;
   config.batch_size = 256;
   const core::BatchDiagnoser batcher(pipeline.diagnet(), config);
   for (auto _ : state) {
-    auto out = batcher.diagnose_all(requests, all);
+    auto out = batcher.run(requests);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(bm_diagnose_batch)->Arg(1)->Arg(64)->Arg(256);
+
+/// End-to-end throughput of the online serving queue: 256 requests flooded
+/// through DiagnosisService::submit at max_batch 1 (no amortisation — every
+/// request pays its own network passes plus the dispatch overhead) vs 64.
+/// The batch-64 rate must be >= 2x the single-request rate on one core —
+/// the acceptance gate `serve_speedup` in BENCH_micro_kernels.json.
+void bm_serve_throughput(benchmark::State& state) {
+  auto& pipeline = shared_pipeline();
+  const auto max_batch = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRequests = 256;
+  const auto requests = batch_requests(pipeline, kRequests);
+
+  auto provider = std::make_shared<serve::ModelProvider>(
+      std::shared_ptr<core::DiagNetModel>(std::shared_ptr<void>{},
+                                          &pipeline.diagnet()));
+  serve::ServiceConfig serve_config;
+  serve_config.max_batch = max_batch;
+  serve_config.max_delay_us = 1000;
+  serve_config.queue_capacity = kRequests + 1;
+  serve::DiagnosisService service(provider, serve_config);
+
+  std::vector<std::future<core::DiagnoseResponse>> futures;
+  futures.reserve(kRequests);
+  for (auto _ : state) {
+    futures.clear();
+    for (const auto& request : requests)
+      futures.push_back(service.submit(request));
+    for (auto& future : futures)
+      benchmark::DoNotOptimize(future.get().diagnosis.scores.data());
+  }
+  service.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRequests));
+}
+BENCHMARK(bm_serve_throughput)->Arg(1)->Arg(64);
 
 void bm_rf_score(benchmark::State& state) {
   auto& pipeline = shared_pipeline();
@@ -257,8 +296,6 @@ BENCHMARK(bm_probe_landmarks);
 void write_speedup_report(std::chrono::steady_clock::time_point start) {
   auto& pipeline = shared_pipeline();
   auto& model = pipeline.diagnet();
-  const std::vector<bool> all(pipeline.feature_space().landmark_count(),
-                              true);
   constexpr std::size_t kSamples = 512;
   const auto requests = batch_requests(pipeline, kSamples);
 
@@ -268,12 +305,12 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
 
   const auto run_seq = [&] {
     for (const auto& request : requests) {
-      auto d = model.diagnose(*request.features, request.service, all);
-      benchmark::DoNotOptimize(d.scores.data());
+      auto response = model.diagnose(request);
+      benchmark::DoNotOptimize(response.diagnosis.scores.data());
     }
   };
   const auto run_batch = [&] {
-    auto out = batcher.diagnose_all(requests, all);
+    auto out = batcher.run(requests);
     benchmark::DoNotOptimize(out.data());
   };
 
@@ -294,6 +331,57 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
       "\ndiagnosis throughput (%zu samples): per-sample %.1f /s, "
       "batch-256 %.1f /s, speedup %.2fx\n",
       kSamples, seq_rate, batch_rate, speedup);
+
+  // Online serving gate: micro-batched serving (flood at max_batch 64)
+  // vs single-request serving, where every request pays the unbatched
+  // diagnose() path measured above (seq_rate) — one encode, one
+  // forward+backward and fresh allocations per request. That is the
+  // architecture `diagnet serve` replaces; acceptance is >= 2x on one
+  // core. The closed-loop max_batch=1 round-trip rate through the queue
+  // is recorded too (serve_roundtrip_rps) — it already benefits from the
+  // batch engine's workspace reuse, so it is NOT the single-request
+  // baseline, just the dispatch-overhead yardstick.
+  const auto serve_seconds = [&](std::size_t max_batch, bool flood) {
+    auto provider = std::make_shared<serve::ModelProvider>(
+        std::shared_ptr<core::DiagNetModel>(std::shared_ptr<void>{},
+                                            &model));
+    serve::ServiceConfig serve_config;
+    serve_config.max_batch = max_batch;
+    serve_config.max_delay_us = 1000;
+    serve_config.queue_capacity = kSamples + 1;
+    serve::DiagnosisService service(provider, serve_config);
+    service.submit(requests[0]).get();  // warm-up
+    const auto t0 = clock::now();
+    if (flood) {
+      std::vector<std::future<core::DiagnoseResponse>> futures;
+      futures.reserve(requests.size());
+      for (const auto& request : requests)
+        futures.push_back(service.submit(request));
+      for (auto& future : futures)
+        benchmark::DoNotOptimize(future.get().diagnosis.scores.data());
+    } else {
+      for (const auto& request : requests)
+        benchmark::DoNotOptimize(
+            service.submit(request).get().diagnosis.scores.data());
+    }
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    service.stop();
+    return seconds;
+  };
+  const double serve_roundtrip_seconds = serve_seconds(1, /*flood=*/false);
+  const double serve_batch_seconds = serve_seconds(64, /*flood=*/true);
+  const double serve_single_rps = seq_rate;  // unbatched diagnose() path
+  const double serve_roundtrip_rps =
+      static_cast<double>(kSamples) / serve_roundtrip_seconds;
+  const double serve_batch64_rps =
+      static_cast<double>(kSamples) / serve_batch_seconds;
+  const double serve_speedup = serve_batch64_rps / serve_single_rps;
+  std::printf(
+      "serve throughput (%zu requests): single-request %.1f /s, "
+      "queue round-trip %.1f /s, batch-64 %.1f /s, speedup %.2fx\n",
+      kSamples, serve_single_rps, serve_roundtrip_rps, serve_batch64_rps,
+      serve_speedup);
 
   // Sharded-trainer scaling: one epoch over 512 samples at 1 worker vs 4.
   // The partition and reduction order are thread-count invariant, so both
@@ -339,6 +427,10 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
       << "  \"seq_samples_per_s\": " << seq_rate << ",\n"
       << "  \"batch256_samples_per_s\": " << batch_rate << ",\n"
       << "  \"batch_speedup\": " << speedup << ",\n"
+      << "  \"serve_single_rps\": " << serve_single_rps << ",\n"
+      << "  \"serve_roundtrip_rps\": " << serve_roundtrip_rps << ",\n"
+      << "  \"serve_batch64_rps\": " << serve_batch64_rps << ",\n"
+      << "  \"serve_speedup\": " << serve_speedup << ",\n"
       << "  \"train_epoch_1t_seconds\": " << epoch_1t << ",\n"
       << "  \"train_epoch_4t_seconds\": " << epoch_4t << ",\n"
       << "  \"train_speedup_4t\": " << train_speedup << ",\n"

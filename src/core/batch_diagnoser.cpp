@@ -12,9 +12,12 @@ namespace diagnet::core {
 
 namespace {
 
-/// A run of request indices served by one network; at most batch_size long.
+/// A run of request indices served by one (network, mask) pair; at most
+/// batch_size long. The mask pointer refers either to a request's own
+/// landmark_available vector or to the shared all-true fallback.
 struct Chunk {
   nn::CoarseNet* net = nullptr;
+  const std::vector<bool>* mask = nullptr;
   std::vector<std::size_t> indices;  // into the request vector
 };
 
@@ -26,28 +29,38 @@ BatchDiagnoser::BatchDiagnoser(DiagNetModel& model,
   DIAGNET_REQUIRE(config_.batch_size > 0);
 }
 
-std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
-    const std::vector<DiagnosisRequest>& requests,
-    const std::vector<bool>& landmark_available) const {
+std::vector<DiagnoseResponse> BatchDiagnoser::run(
+    const std::vector<DiagnoseRequest>& requests) const {
   DIAGNET_SPAN("diagnose.batch");
   DIAGNET_REQUIRE_MSG(model_->trained(), "train_general() first");
   DIAGNET_COUNT_N("diagnose.batch.samples", requests.size());
 
-  std::vector<Diagnosis> results(requests.size());
+  std::vector<DiagnoseResponse> results(requests.size());
   if (requests.empty()) return results;
 
-  // Group requests by serving network (first-appearance order) so each
-  // batch runs through exactly the network diagnose() would have used.
+  const data::FeatureSpace& fs = model_->feature_space();
+  const std::vector<bool> all_landmarks(fs.landmark_count(), true);
+
+  // Group requests by (serving network, landmark mask) in first-appearance
+  // order so each batch runs through exactly the network and fleet
+  // diagnose() would have used. Invalid requests get their Status now and
+  // never occupy a batch slot.
   std::vector<Chunk> groups;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    DIAGNET_REQUIRE(requests[i].features != nullptr);
-    nn::CoarseNet* net = config_.use_general
+    const DiagnoseRequest& request = requests[i];
+    results[i].status = model_->validate(request);
+    if (!results[i].status.ok()) continue;
+    nn::CoarseNet* net = config_.use_general || request.use_general
                              ? &model_->general_net()
-                             : &model_->service_net(requests[i].service);
-    auto it = std::find_if(groups.begin(), groups.end(),
-                           [&](const Chunk& g) { return g.net == net; });
+                             : &model_->service_net(request.service);
+    const std::vector<bool>* mask = request.landmark_available.empty()
+                                        ? &all_landmarks
+                                        : &request.landmark_available;
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const Chunk& g) {
+      return g.net == net && (g.mask == mask || *g.mask == *mask);
+    });
     if (it == groups.end()) {
-      groups.push_back({net, {}});
+      groups.push_back({net, mask, {}});
       it = groups.end() - 1;
     }
     it->indices.push_back(i);
@@ -58,7 +71,7 @@ std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
     for (std::size_t b = 0; b < g.indices.size(); b += config_.batch_size) {
       const std::size_t e =
           std::min(g.indices.size(), b + config_.batch_size);
-      chunks.push_back({g.net,
+      chunks.push_back({g.net, g.mask,
                         {g.indices.begin() + static_cast<std::ptrdiff_t>(b),
                          g.indices.begin() + static_cast<std::ptrdiff_t>(e)}});
     }
@@ -73,12 +86,12 @@ std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
   // networks can be used directly (no clone cost).
   const bool concurrent = pool.size() > 1 && chunks.size() > 1;
 
-  const data::FeatureSpace& fs = model_->feature_space();
   const bool gradient =
       model_->config().attention == AttentionMethod::Gradient;
 
   pool.parallel_for(chunks.size(), [&](std::size_t ci) {
     const Chunk& chunk = chunks[ci];
+    const std::vector<bool>& mask = *chunk.mask;
     std::unique_ptr<nn::CoarseNet> private_net;
     nn::CoarseNet* net = chunk.net;
     if (concurrent) {
@@ -91,9 +104,8 @@ std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
       DIAGNET_SPAN("diagnose.batch.encode");
       std::vector<const std::vector<double>*> raw(chunk.indices.size());
       for (std::size_t r = 0; r < chunk.indices.size(); ++r)
-        raw[r] = requests[chunk.indices[r]].features;
-      batch = data::encode_batch(raw, fs, model_->normalizer(),
-                                 landmark_available);
+        raw[r] = &requests[chunk.indices[r]].features;
+      batch = data::encode_batch(raw, fs, model_->normalizer(), mask);
     }
 
     std::vector<AttentionResult> attention;
@@ -107,8 +119,8 @@ std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
         attention.reserve(chunk.indices.size());
         for (std::size_t r = 0; r < chunk.indices.size(); ++r) {
           const nn::LandBatch row = data::encode_sample(
-              *requests[chunk.indices[r]].features, fs,
-              model_->normalizer(), landmark_available);
+              requests[chunk.indices[r]].features, fs, model_->normalizer(),
+              mask);
           attention.push_back(compute_occlusion_attention(*net, row, fs));
         }
       }
@@ -118,12 +130,31 @@ std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
       DIAGNET_SPAN("diagnose.batch.score");
       for (std::size_t r = 0; r < chunk.indices.size(); ++r) {
         const std::size_t i = chunk.indices[r];
-        results[i] = model_->complete_diagnosis(
-            attention[r], *requests[i].features, landmark_available);
+        results[i].diagnosis = model_->complete_diagnosis(
+            attention[r], requests[i].features, mask);
       }
     }
   });
   return results;
+}
+
+std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
+    const std::vector<DiagnosisRequest>& requests,
+    const std::vector<bool>& landmark_available) const {
+  std::vector<DiagnoseRequest> owned(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    DIAGNET_REQUIRE(requests[i].features != nullptr);
+    owned[i].features = *requests[i].features;
+    owned[i].service = requests[i].service;
+    owned[i].landmark_available = landmark_available;
+  }
+  std::vector<DiagnoseResponse> responses = run(owned);
+  std::vector<Diagnosis> out(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    responses[i].status.throw_if_error();
+    out[i] = std::move(responses[i].diagnosis);
+  }
+  return out;
 }
 
 }  // namespace diagnet::core

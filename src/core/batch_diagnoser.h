@@ -3,20 +3,21 @@
 // Algorithm 1 score weighting, extensible-forest scoring, ensemble
 // blending — vectorised over N samples.
 //
-// Requests are grouped by the network that serves them (a service's
-// specialised model when one exists, the general model otherwise), each
+// Requests are grouped by (serving network, landmark mask) — a service's
+// specialised model when one exists, the general model otherwise — each
 // group is cut into batches of `batch_size` rows, and batches are processed
 // in parallel on a thread pool. Inside a batch the coarse network runs ONE
 // forward pass and ONE input-only backward pass for all rows (see
 // CoarseNet::backward_inputs); everything downstream of the attention step
 // is per-row.
 //
-// Exactness contract: diagnose_all()[i] is bit-identical to
-// model.diagnose(*requests[i].features, requests[i].service,
-// landmark_available) — every per-row computation (GEMM accumulation
-// order, land pooling, softmax, the score pipeline) is independent of the
-// other rows of the batch, of batch_size, and of the thread count. The
-// property test in tests/test_batch_diagnoser.cpp pins this.
+// Exactness contract: run(requests)[i].diagnosis is bit-identical to
+// model.diagnose(requests[i]).diagnosis — every per-row computation (GEMM
+// accumulation order, land pooling, softmax, the score pipeline) is
+// independent of the other rows of the batch, of batch_size, and of the
+// thread count. The property test in tests/test_batch_diagnoser.cpp pins
+// this, and the serving subsystem (src/serve) relies on it to coalesce
+// concurrent callers without changing any answer.
 #pragma once
 
 #include <cstddef>
@@ -27,7 +28,8 @@
 
 namespace diagnet::core {
 
-/// One sample to diagnose. `features` must outlive the diagnose_all() call.
+/// Deprecated non-owning request type, kept for existing callers of
+/// diagnose_all(). New code should use core::DiagnoseRequest.
 struct DiagnosisRequest {
   const std::vector<double>* features = nullptr;
   std::size_t service = 0;
@@ -41,6 +43,8 @@ struct BatchDiagnoserConfig {
   /// the serving network (layer forward caches are not thread-safe).
   util::ThreadPool* pool = nullptr;
   /// Route every request through the general model, ignoring services.
+  /// (Per-request routing is expressed with DiagnoseRequest::use_general;
+  /// this config toggle forces it for the whole run.)
   bool use_general = false;
 };
 
@@ -49,8 +53,15 @@ class BatchDiagnoser {
   explicit BatchDiagnoser(DiagNetModel& model,
                           BatchDiagnoserConfig config = {});
 
-  /// Diagnose all requests; result i corresponds to request i. All requests
-  /// share one inference-time landmark availability mask.
+  /// Diagnose all requests; response i corresponds to request i. Requests
+  /// that fail validation (wrong feature count, bad mask) get a non-OK
+  /// Status response without poisoning the rest of the batch.
+  std::vector<DiagnoseResponse> run(
+      const std::vector<DiagnoseRequest>& requests) const;
+
+  /// Deprecated forwarding overload over the non-owning request type: all
+  /// requests share one landmark availability mask; any per-request
+  /// failure throws (the historic behaviour). New code should call run().
   std::vector<Diagnosis> diagnose_all(
       const std::vector<DiagnosisRequest>& requests,
       const std::vector<bool>& landmark_available) const;

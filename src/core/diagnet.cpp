@@ -118,6 +118,45 @@ nn::CoarseNet& DiagNetModel::service_net(std::size_t service) {
   return it != specialized_.end() ? *it->second : *general_;
 }
 
+util::Status DiagNetModel::validate(const DiagnoseRequest& request) const {
+  if (!trained())
+    return util::Status::failed_precondition("model is not trained");
+  if (request.features.size() != fs_->total())
+    return util::Status::invalid_argument(
+        "request has " + std::to_string(request.features.size()) +
+        " features; this deployment has " + std::to_string(fs_->total()));
+  if (!request.landmark_available.empty() &&
+      request.landmark_available.size() != fs_->landmark_count())
+    return util::Status::invalid_argument(
+        "landmark mask has " +
+        std::to_string(request.landmark_available.size()) +
+        " entries; this deployment has " +
+        std::to_string(fs_->landmark_count()) + " landmarks");
+  return {};
+}
+
+DiagnoseResponse DiagNetModel::diagnose(const DiagnoseRequest& request) {
+  DiagnoseResponse response;
+  response.status = validate(request);
+  if (!response.status.ok()) return response;
+  std::vector<bool> all_landmarks;
+  const std::vector<bool>* mask = &request.landmark_available;
+  if (request.landmark_available.empty()) {
+    all_landmarks.assign(fs_->landmark_count(), true);
+    mask = &all_landmarks;
+  }
+  nn::CoarseNet& net =
+      request.use_general ? *general_ : service_net(request.service);
+  [[maybe_unused]] const auto t0 = std::chrono::steady_clock::now();
+  response.diagnosis = diagnose_with(net, request.features, *mask);
+  [[maybe_unused]] const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  DIAGNET_OBSERVE("diagnose.latency_ms", latency_ms);
+  return response;
+}
+
 Diagnosis DiagNetModel::diagnose(const std::vector<double>& raw_features,
                                  std::size_t service,
                                  const std::vector<bool>& landmark_available) {

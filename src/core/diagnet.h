@@ -28,6 +28,7 @@
 #include "forest/extensible_forest.h"
 #include "nn/coarse_net.h"
 #include "nn/trainer.h"
+#include "util/status.h"
 
 namespace diagnet::core {
 
@@ -66,6 +67,32 @@ struct Diagnosis {
   double w_unknown = 0.0;           // ensemble weight of the attention side
 };
 
+/// The stable request type every diagnosis entry point consumes — the
+/// single-sample façade, the batched engine (core/batch_diagnoser.h) and
+/// the online server (src/serve) all speak this struct, so a request can
+/// travel from a wire transport through micro-batching down to the model
+/// without re-marshalling. Owns its feature storage (value semantics: safe
+/// to queue, move across threads, and outlive its producer).
+struct DiagnoseRequest {
+  std::vector<double> features;          // raw feature vector, fs.total() wide
+  std::size_t service = 0;               // ignored when use_general
+  bool use_general = false;              // bypass the specialised heads
+  /// Inference-time landmark fleet; empty means "every landmark probed"
+  /// (the common serving case). When non-empty, must be landmark_count()
+  /// long.
+  std::vector<bool> landmark_available;
+};
+
+/// The paired response: a Status (OK, or the reason no diagnosis was
+/// produced — validation failure, queue rejection, missed deadline) plus
+/// the diagnosis when OK. CLI errors and server `Rejected` wire responses
+/// both render from the same Status.
+struct DiagnoseResponse {
+  util::Status status;
+  Diagnosis diagnosis;  // meaningful only when status.ok()
+  bool ok() const { return status.ok(); }
+};
+
 class DiagNetModel {
  public:
   DiagNetModel(const data::FeatureSpace& fs, DiagNetConfig config);
@@ -80,15 +107,23 @@ class DiagNetModel {
   nn::TrainingHistory specialize(std::size_t service,
                                  const data::Dataset& train);
 
-  /// Diagnose one degraded sample (raw feature vector) for a service.
+  /// Diagnose one request (the stable API): validates the request shape
+  /// and model state into the response Status instead of throwing, routes
+  /// through the service's specialised model (or the general one when
+  /// request.use_general), and returns the ranked diagnosis.
+  DiagnoseResponse diagnose(const DiagnoseRequest& request);
+
+  /// Deprecated loose-parameter overload; forwards to the request API.
   /// `landmark_available` is the inference-time fleet (usually all true —
   /// more landmarks than during training is the extensibility case).
-  /// Uses the service's specialised model when one exists.
+  /// Kept so existing callers compile; new code should build a
+  /// DiagnoseRequest. Throws where the request API returns a Status.
   Diagnosis diagnose(const std::vector<double>& raw_features,
                      std::size_t service,
                      const std::vector<bool>& landmark_available);
 
-  /// Same, but always through the general model (Fig. 10 compares the two).
+  /// Deprecated: always through the general model (Fig. 10 compares the
+  /// two). Equivalent to a DiagnoseRequest with use_general = true.
   Diagnosis diagnose_general(const std::vector<double>& raw_features,
                              const std::vector<bool>& landmark_available);
 
@@ -105,6 +140,11 @@ class DiagNetModel {
   Diagnosis complete_diagnosis(const AttentionResult& attention,
                                const std::vector<double>& raw_features,
                                const std::vector<bool>& landmark_available) const;
+
+  /// Request validation shared by the single-sample path, the batched
+  /// engine and the server's admission control: OK, or the Status the
+  /// response should carry (failed_precondition / invalid_argument).
+  util::Status validate(const DiagnoseRequest& request) const;
 
   bool trained() const { return general_ != nullptr; }
   bool has_specialized(std::size_t service) const;

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/binary_io.h"
 #include "util/require.h"
@@ -17,7 +18,10 @@ constexpr std::uint64_t kFileMagic = 0x44474e4554'4d4f44ULL;  // "DGNET MOD"
 constexpr std::uint64_t kFileVersion = 2;
 }  // namespace
 
-void save_model(const DiagNetModel& model, std::ostream& os) {
+util::Status try_save_model(const DiagNetModel& model, std::ostream& os) {
+  if (!model.trained())
+    return util::Status::failed_precondition(
+        "cannot save an untrained model");
   std::ostringstream payload_os(std::ios::binary);
   {
     util::BinaryWriter payload_writer(payload_os);
@@ -30,38 +34,89 @@ void save_model(const DiagNetModel& model, std::ostream& os) {
   writer.write_u64(kFileVersion);
   writer.write_u64(util::fnv1a64(payload.data(), payload.size()));
   writer.write_string(payload);
+  if (!os)
+    return util::Status::data_loss("model registry: write failed");
+  return {};
+}
+
+util::Status try_save_model_file(const DiagNetModel& model,
+                                 const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os)
+    return util::Status::not_found("model registry: cannot open " + path);
+  if (util::Status s = try_save_model(model, os); !s.ok()) return s;
+  if (!os)
+    return util::Status::data_loss("model registry: write failed: " + path);
+  return {};
+}
+
+util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model(
+    std::istream& is, const data::FeatureSpace& fs) {
+  // binary_io and DiagNetModel::load signal malformed bytes by throwing;
+  // the registry is where those are converted into one Status channel.
+  try {
+    util::BinaryReader reader(is);
+    reader.expect_u64(kFileMagic, "model file magic");
+    const std::uint64_t version = reader.read_u64();
+    if (version != kFileVersion)
+      return util::Status::data_loss(
+          "model registry: unsupported version");
+    const std::uint64_t checksum = reader.read_u64();
+    const std::string payload = reader.read_string();
+    if (util::fnv1a64(payload.data(), payload.size()) != checksum)
+      return util::Status::data_loss(
+          "model registry: checksum mismatch (corrupt model bundle)");
+
+    std::istringstream payload_is(payload, std::ios::binary);
+    util::BinaryReader payload_reader(payload_is);
+    return DiagNetModel::load(payload_reader, fs);
+  } catch (const std::exception& e) {
+    return util::Status::data_loss(e.what());
+  }
+}
+
+util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model_file(
+    const std::string& path, const data::FeatureSpace& fs) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return util::Status::not_found("model registry: cannot open " + path);
+  return try_load_model(is, fs);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated throwing forwarders.
+
+namespace {
+[[noreturn]] void throw_status(const util::Status& status) {
+  // The untrained-save contract predates Status and is pinned by tests:
+  // programming errors stay logic_error, everything else runtime_error.
+  if (status.code() == util::StatusCode::kFailedPrecondition)
+    throw std::logic_error(status.message());
+  throw std::runtime_error(status.message());
+}
+}  // namespace
+
+void save_model(const DiagNetModel& model, std::ostream& os) {
+  if (util::Status s = try_save_model(model, os); !s.ok()) throw_status(s);
 }
 
 void save_model_file(const DiagNetModel& model, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("model registry: cannot open " + path);
-  save_model(model, os);
-  if (!os) throw std::runtime_error("model registry: write failed: " + path);
+  if (util::Status s = try_save_model_file(model, path); !s.ok())
+    throw_status(s);
 }
 
 std::unique_ptr<DiagNetModel> load_model(std::istream& is,
                                          const data::FeatureSpace& fs) {
-  util::BinaryReader reader(is);
-  reader.expect_u64(kFileMagic, "model file magic");
-  const std::uint64_t version = reader.read_u64();
-  if (version != kFileVersion)
-    throw std::runtime_error("model registry: unsupported version");
-  const std::uint64_t checksum = reader.read_u64();
-  const std::string payload = reader.read_string();
-  if (util::fnv1a64(payload.data(), payload.size()) != checksum)
-    throw std::runtime_error(
-        "model registry: checksum mismatch (corrupt model bundle)");
-
-  std::istringstream payload_is(payload, std::ios::binary);
-  util::BinaryReader payload_reader(payload_is);
-  return DiagNetModel::load(payload_reader, fs);
+  auto result = try_load_model(is, fs);
+  if (!result.ok()) throw_status(result.status());
+  return std::move(result).value();
 }
 
 std::unique_ptr<DiagNetModel> load_model_file(const std::string& path,
                                               const data::FeatureSpace& fs) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("model registry: cannot open " + path);
-  return load_model(is, fs);
+  auto result = try_load_model_file(path, fs);
+  if (!result.ok()) throw_status(result.status());
+  return std::move(result).value();
 }
 
 }  // namespace diagnet::core

@@ -7,6 +7,12 @@
 // weights, every specialised per-service head, the normaliser statistics,
 // the auxiliary Random Forest, and the unknown-feature set — so a client
 // can diagnose without access to any training data.
+//
+// The primary API is Status-based (try_*): corruption, truncation and
+// shape mismatches come back as util::Status (data_loss / not_found /
+// invalid_argument) instead of a zoo of exception types, so the CLI's
+// `error:` exit and the serving subsystem's hot-swap-refusal path render
+// the same object. The historic throwing names remain as thin forwarders.
 #pragma once
 
 #include <iosfwd>
@@ -14,16 +20,29 @@
 #include <string>
 
 #include "core/diagnet.h"
+#include "util/status.h"
 
 namespace diagnet::core {
 
-/// Serialise a trained model (throws std::logic_error if untrained).
-void save_model(const DiagNetModel& model, std::ostream& os);
-void save_model_file(const DiagNetModel& model, const std::string& path);
+/// Serialise a trained model. failed_precondition when untrained;
+/// not_found / data_loss for file errors.
+util::Status try_save_model(const DiagNetModel& model, std::ostream& os);
+util::Status try_save_model_file(const DiagNetModel& model,
+                                 const std::string& path);
 
 /// Reconstruct a model bound to `fs`. The feature space must describe the
 /// same deployment shape (k metrics per landmark, local feature count) the
-/// model was trained for; mismatches throw std::runtime_error.
+/// model was trained for; mismatches are invalid_argument, corrupt or
+/// truncated bundles data_loss, missing files not_found.
+util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model(
+    std::istream& is, const data::FeatureSpace& fs);
+util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model_file(
+    const std::string& path, const data::FeatureSpace& fs);
+
+/// Deprecated throwing forwarders (std::runtime_error / std::logic_error)
+/// over the Status API, kept so existing callers compile unchanged.
+void save_model(const DiagNetModel& model, std::ostream& os);
+void save_model_file(const DiagNetModel& model, const std::string& path);
 std::unique_ptr<DiagNetModel> load_model(std::istream& is,
                                          const data::FeatureSpace& fs);
 std::unique_ptr<DiagNetModel> load_model_file(const std::string& path,

@@ -1,9 +1,10 @@
 #include "data/io.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
-#include <stdexcept>
 
 #include "util/require.h"
 
@@ -14,6 +15,28 @@ namespace {
 constexpr const char* kMetaColumns =
     "client_region,service,time_hours,page_load_ms,qoe_degraded,"
     "primary_cause,coarse_label,true_causes,injected";
+
+using util::Status;
+
+/// Strict numeric cell parsers: the whole cell must be consumed, so a
+/// malformed row fails loudly instead of silently truncating a value.
+bool parse_double_cell(const std::string& cell, double* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && errno != ERANGE;
+}
+
+bool parse_uint_cell(const std::string& cell, std::size_t* out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(cell.c_str(), &end, 10);
+  if (end != cell.c_str() + cell.size() || errno == ERANGE) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
 
 std::string encode_faults(const netsim::ActiveFaults& faults) {
   std::ostringstream os;
@@ -26,9 +49,9 @@ std::string encode_faults(const netsim::ActiveFaults& faults) {
   return os.str();
 }
 
-netsim::ActiveFaults decode_faults(const std::string& text) {
-  netsim::ActiveFaults faults;
-  if (text.empty()) return faults;
+Status decode_faults(const std::string& text, netsim::ActiveFaults* out) {
+  out->clear();
+  if (text.empty()) return {};
   std::istringstream items(text);
   std::string item;
   while (std::getline(items, item, ';')) {
@@ -38,11 +61,12 @@ netsim::ActiveFaults decode_faults(const std::string& text) {
     std::istringstream is(item);
     if (!(is >> family >> sep1 >> fault.region >> sep2 >> fault.magnitude) ||
         sep1 != '@' || sep2 != '@')
-      throw std::runtime_error("dataset csv: malformed fault spec: " + item);
+      return Status::invalid_argument(
+          "dataset csv: malformed fault spec: " + item);
     fault.family = static_cast<netsim::FaultFamily>(family);
-    faults.push_back(fault);
+    out->push_back(fault);
   }
-  return faults;
+  return {};
 }
 
 std::string encode_causes(const std::vector<std::size_t>& causes) {
@@ -54,14 +78,20 @@ std::string encode_causes(const std::vector<std::size_t>& causes) {
   return os.str();
 }
 
-std::vector<std::size_t> decode_causes(const std::string& text) {
-  std::vector<std::size_t> causes;
-  if (text.empty()) return causes;
+Status decode_causes(const std::string& text,
+                     std::vector<std::size_t>* out) {
+  out->clear();
+  if (text.empty()) return {};
   std::istringstream items(text);
   std::string item;
-  while (std::getline(items, item, ';'))
-    causes.push_back(std::stoull(item));
-  return causes;
+  while (std::getline(items, item, ';')) {
+    std::size_t cause = 0;
+    if (!parse_uint_cell(item, &cause))
+      return Status::invalid_argument(
+          "dataset csv: malformed cause list: " + text);
+    out->push_back(cause);
+  }
+  return {};
 }
 
 std::vector<std::string> split_line(const std::string& line) {
@@ -74,10 +104,46 @@ std::vector<std::string> split_line(const std::string& line) {
   return cells;
 }
 
+Status parse_row(const std::vector<std::string>& cells,
+                 const FeatureSpace& fs, std::size_t row, Sample* sample) {
+  const auto bad_cell = [&](std::size_t col) {
+    return Status::invalid_argument(
+        "dataset csv: malformed value in row " + std::to_string(row) +
+        ", column " + std::to_string(col) + ": '" + cells[col] + "'");
+  };
+  sample->features.resize(fs.total());
+  for (std::size_t j = 0; j < fs.total(); ++j)
+    if (!parse_double_cell(cells[j], &sample->features[j]))
+      return bad_cell(j);
+  std::size_t c = fs.total();
+  if (!parse_uint_cell(cells[c], &sample->client_region)) return bad_cell(c);
+  ++c;
+  if (!parse_uint_cell(cells[c], &sample->service)) return bad_cell(c);
+  ++c;
+  if (!parse_double_cell(cells[c], &sample->time_hours)) return bad_cell(c);
+  ++c;
+  if (!parse_double_cell(cells[c], &sample->page_load_ms)) return bad_cell(c);
+  ++c;
+  sample->qoe_degraded = cells[c++] == "1";
+  if (cells[c].empty()) {
+    sample->primary_cause = kNoCause;
+  } else if (!parse_uint_cell(cells[c], &sample->primary_cause)) {
+    return bad_cell(c);
+  }
+  ++c;
+  std::size_t coarse = 0;
+  if (!parse_uint_cell(cells[c], &coarse)) return bad_cell(c);
+  sample->coarse_label = static_cast<netsim::FaultFamily>(coarse);
+  ++c;
+  if (Status s = decode_causes(cells[c++], &sample->true_causes); !s.ok())
+    return s;
+  return decode_faults(cells[c], &sample->injected);
+}
+
 }  // namespace
 
-void write_csv(const Dataset& dataset, const FeatureSpace& fs,
-               std::ostream& os) {
+util::Status try_write_csv(const Dataset& dataset, const FeatureSpace& fs,
+                           std::ostream& os) {
   // Line 1: landmark availability of this dataset.
   os << "#landmark_available";
   for (bool available : dataset.landmark_available)
@@ -90,7 +156,11 @@ void write_csv(const Dataset& dataset, const FeatureSpace& fs,
 
   os << std::setprecision(17);
   for (const Sample& sample : dataset.samples) {
-    DIAGNET_REQUIRE(sample.features.size() == fs.total());
+    if (sample.features.size() != fs.total())
+      return Status::invalid_argument(
+          "dataset csv: sample has " +
+          std::to_string(sample.features.size()) + " features, expected " +
+          std::to_string(fs.total()));
     for (double v : sample.features) os << v << ',';
     os << sample.client_region << ',' << sample.service << ','
        << sample.time_hours << ',' << sample.page_load_ms << ','
@@ -101,28 +171,35 @@ void write_csv(const Dataset& dataset, const FeatureSpace& fs,
        << encode_causes(sample.true_causes) << ','
        << encode_faults(sample.injected) << '\n';
   }
+  if (!os) return Status::data_loss("dataset csv: write failed");
+  return {};
 }
 
-void write_csv_file(const Dataset& dataset, const FeatureSpace& fs,
-                    const std::string& path) {
+util::Status try_write_csv_file(const Dataset& dataset,
+                                const FeatureSpace& fs,
+                                const std::string& path) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("dataset csv: cannot open " + path);
-  write_csv(dataset, fs, os);
-  if (!os) throw std::runtime_error("dataset csv: write failed: " + path);
+  if (!os) return Status::not_found("dataset csv: cannot open " + path);
+  if (Status s = try_write_csv(dataset, fs, os); !s.ok()) return s;
+  if (!os)
+    return Status::data_loss("dataset csv: write failed: " + path);
+  return {};
 }
 
-Dataset read_csv(std::istream& is, const FeatureSpace& fs) {
+util::StatusOr<Dataset> try_read_csv(std::istream& is,
+                                     const FeatureSpace& fs) {
   Dataset dataset;
   std::string line;
 
   // Availability preamble.
   if (!std::getline(is, line))
-    throw std::runtime_error("dataset csv: empty input");
+    return Status::invalid_argument("dataset csv: empty input");
   {
     const auto cells = split_line(line);
     if (cells.empty() || cells[0] != "#landmark_available" ||
         cells.size() != fs.landmark_count() + 1)
-      throw std::runtime_error("dataset csv: bad availability preamble");
+      return Status::invalid_argument(
+          "dataset csv: bad availability preamble");
     dataset.landmark_available.resize(fs.landmark_count());
     for (std::size_t lam = 0; lam < fs.landmark_count(); ++lam)
       dataset.landmark_available[lam] = cells[lam + 1] == "1";
@@ -130,49 +207,59 @@ Dataset read_csv(std::istream& is, const FeatureSpace& fs) {
 
   // Header check.
   if (!std::getline(is, line))
-    throw std::runtime_error("dataset csv: missing header");
+    return Status::invalid_argument("dataset csv: missing header");
   {
     const auto cells = split_line(line);
     if (cells.size() != fs.total() + 9)
-      throw std::runtime_error("dataset csv: header width mismatch");
+      return Status::invalid_argument(
+          "dataset csv: header width mismatch");
     for (std::size_t j = 0; j < fs.total(); ++j)
       if (cells[j] != fs.name(j))
-        throw std::runtime_error("dataset csv: header names do not match "
-                                 "the feature space (col " +
-                                 std::to_string(j) + ")");
+        return Status::invalid_argument(
+            "dataset csv: header names do not match the feature space "
+            "(col " + std::to_string(j) + ")");
   }
 
+  std::size_t row = 2;  // 0-based file line of the first sample row
   while (std::getline(is, line)) {
+    ++row;
     if (line.empty()) continue;
     const auto cells = split_line(line);
     if (cells.size() != fs.total() + 9)
-      throw std::runtime_error("dataset csv: row width mismatch");
+      return Status::invalid_argument("dataset csv: row width mismatch");
     Sample sample;
-    sample.features.resize(fs.total());
-    for (std::size_t j = 0; j < fs.total(); ++j)
-      sample.features[j] = std::stod(cells[j]);
-    std::size_t c = fs.total();
-    sample.client_region = std::stoull(cells[c++]);
-    sample.service = std::stoull(cells[c++]);
-    sample.time_hours = std::stod(cells[c++]);
-    sample.page_load_ms = std::stod(cells[c++]);
-    sample.qoe_degraded = cells[c++] == "1";
-    sample.primary_cause =
-        cells[c].empty() ? kNoCause : std::stoull(cells[c]);
-    ++c;
-    sample.coarse_label =
-        static_cast<netsim::FaultFamily>(std::stoull(cells[c++]));
-    sample.true_causes = decode_causes(cells[c++]);
-    sample.injected = decode_faults(cells[c++]);
+    if (Status s = parse_row(cells, fs, row, &sample); !s.ok()) return s;
     dataset.samples.push_back(std::move(sample));
   }
   return dataset;
 }
 
-Dataset read_csv_file(const std::string& path, const FeatureSpace& fs) {
+util::StatusOr<Dataset> try_read_csv_file(const std::string& path,
+                                          const FeatureSpace& fs) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("dataset csv: cannot open " + path);
-  return read_csv(is, fs);
+  if (!is) return Status::not_found("dataset csv: cannot open " + path);
+  return try_read_csv(is, fs);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated throwing forwarders.
+
+void write_csv(const Dataset& dataset, const FeatureSpace& fs,
+               std::ostream& os) {
+  try_write_csv(dataset, fs, os).throw_if_error();
+}
+
+void write_csv_file(const Dataset& dataset, const FeatureSpace& fs,
+                    const std::string& path) {
+  try_write_csv_file(dataset, fs, path).throw_if_error();
+}
+
+Dataset read_csv(std::istream& is, const FeatureSpace& fs) {
+  return std::move(try_read_csv(is, fs)).value_or_throw();
+}
+
+Dataset read_csv_file(const std::string& path, const FeatureSpace& fs) {
+  return std::move(try_read_csv_file(path, fs)).value_or_throw();
 }
 
 }  // namespace diagnet::data

@@ -3,24 +3,43 @@
 // metadata and ground-truth columns. Lets campaigns be generated once,
 // inspected with standard tooling, and re-used across runs — the analogue
 // of the paper's two-week measurement archive.
+//
+// Parsing is Status-based (try_*): malformed input comes back as
+// util::Status (invalid_argument / not_found) rather than exceptions, so
+// the CLI `error:` exit and any service ingesting campaigns render the
+// same failure. The historic throwing names remain as thin forwarders.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace diagnet::data {
 
 /// Write the dataset (features + ground truth) as CSV.
+util::Status try_write_csv(const Dataset& dataset, const FeatureSpace& fs,
+                           std::ostream& os);
+util::Status try_write_csv_file(const Dataset& dataset,
+                                const FeatureSpace& fs,
+                                const std::string& path);
+
+/// Parse a CSV previously produced by write_csv. The header must match the
+/// feature space; malformed input is invalid_argument, a missing file
+/// not_found. landmark_available is restored from the embedded
+/// per-dataset line.
+util::StatusOr<Dataset> try_read_csv(std::istream& is,
+                                     const FeatureSpace& fs);
+util::StatusOr<Dataset> try_read_csv_file(const std::string& path,
+                                          const FeatureSpace& fs);
+
+/// Deprecated throwing forwarders (std::runtime_error) over the Status
+/// API, kept so existing callers compile unchanged.
 void write_csv(const Dataset& dataset, const FeatureSpace& fs,
                std::ostream& os);
 void write_csv_file(const Dataset& dataset, const FeatureSpace& fs,
                     const std::string& path);
-
-/// Parse a CSV previously produced by write_csv. The header must match the
-/// feature space; malformed input throws std::runtime_error.
-/// landmark_available is restored from the embedded per-dataset line.
 Dataset read_csv(std::istream& is, const FeatureSpace& fs);
 Dataset read_csv_file(const std::string& path, const FeatureSpace& fs);
 

@@ -171,9 +171,15 @@ std::vector<std::size_t> Pipeline::rank(ModelKind kind,
   const std::vector<bool>& available = split_.test.landmark_available;
 
   switch (kind) {
-    case ModelKind::DiagNet:
-      return diagnet_.diagnose(sample.features, sample.service, available)
-          .ranking;
+    case ModelKind::DiagNet: {
+      core::DiagnoseRequest request;
+      request.features = sample.features;
+      request.service = sample.service;
+      request.landmark_available = available;
+      core::DiagnoseResponse response = diagnet_.diagnose(request);
+      response.status.throw_if_error();
+      return std::move(response.diagnosis.ranking);
+    }
     case ModelKind::RandomForest: {
       const std::vector<double> flat = data::encode_flat_sample(
           sample.features, fs_, baseline_normalizer_,
@@ -194,18 +200,21 @@ std::vector<std::vector<std::size_t>> Pipeline::rank_all(
     ModelKind kind, const std::vector<std::size_t>& test_indices) {
   DIAGNET_SPAN("pipeline.rank_all");
   if (kind == ModelKind::DiagNet) {
-    std::vector<core::DiagnosisRequest> requests(test_indices.size());
+    std::vector<core::DiagnoseRequest> requests(test_indices.size());
     for (std::size_t i = 0; i < test_indices.size(); ++i) {
       DIAGNET_REQUIRE(test_indices[i] < split_.test.samples.size());
       const data::Sample& sample = split_.test.samples[test_indices[i]];
-      requests[i] = {&sample.features, sample.service};
+      requests[i].features = sample.features;
+      requests[i].service = sample.service;
+      requests[i].landmark_available = split_.test.landmark_available;
     }
     const core::BatchDiagnoser batcher(diagnet_);
-    std::vector<core::Diagnosis> diagnoses =
-        batcher.diagnose_all(requests, split_.test.landmark_available);
-    std::vector<std::vector<std::size_t>> rankings(diagnoses.size());
-    for (std::size_t i = 0; i < diagnoses.size(); ++i)
-      rankings[i] = std::move(diagnoses[i].ranking);
+    std::vector<core::DiagnoseResponse> responses = batcher.run(requests);
+    std::vector<std::vector<std::size_t>> rankings(responses.size());
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      responses[i].status.throw_if_error();
+      rankings[i] = std::move(responses[i].diagnosis.ranking);
+    }
     return rankings;
   }
   // The flat-vector baselines are one tree/likelihood evaluation per

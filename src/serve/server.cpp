@@ -1,0 +1,245 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <string>
+#include <deque>
+#include <future>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+#include "serve/wire.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIAGNET_SERVE_HAS_TCP 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DIAGNET_SERVE_HAS_TCP 0
+#endif
+
+namespace diagnet::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// One queued outgoing response: either an immediate (pre-formatted) error
+/// line, or a pending future the writer thread must wait on.
+struct Outgoing {
+  bool immediate = false;
+  std::string immediate_line;
+  std::uint64_t id = 0;
+  std::size_t top_k = 5;
+  clock::time_point submitted;
+  std::future<core::DiagnoseResponse> future;
+};
+
+}  // namespace
+
+SessionStats run_session(DiagnosisService& service,
+                         const data::FeatureSpace& fs, std::istream& in,
+                         std::ostream& out, std::size_t default_top_k,
+                         const std::atomic<bool>* stop_flag) {
+  SessionStats stats;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Outgoing> pending;
+  bool reader_done = false;
+
+  // Writer thread: answers strictly in submission order, so a pipelining
+  // client can match responses positionally as well as by id. Waiting on
+  // future k never starves k+1 — batching completes them together anyway.
+  std::thread writer([&] {
+    while (true) {
+      Outgoing next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !pending.empty() || reader_done; });
+        if (pending.empty() && reader_done) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      std::string line;
+      bool ok = true;
+      if (next.immediate) {
+        line = std::move(next.immediate_line);
+        ok = false;
+      } else {
+        core::DiagnoseResponse response = next.future.get();
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(clock::now() -
+                                                      next.submitted)
+                .count();
+        ok = response.ok();
+        line = ok ? format_response(next.id, response.diagnosis, fs,
+                                    next.top_k, latency_ms)
+                  : format_error(next.id, response.status);
+      }
+      out << line << '\n';
+      out.flush();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++stats.responses;
+        if (!ok) ++stats.errors;
+      }
+    }
+  });
+
+  std::string line;
+  while ((stop_flag == nullptr || !stop_flag->load()) &&
+         std::getline(in, line)) {
+    if (line.empty()) continue;
+    DIAGNET_SPAN("serve.request");
+    DIAGNET_COUNT("serve.requests");
+    Outgoing outgoing;
+    auto parsed = parse_request(line);
+    if (!parsed.ok()) {
+      outgoing.immediate = true;
+      outgoing.immediate_line = format_error(0, parsed.status());
+    } else {
+      outgoing.id = parsed->id;
+      outgoing.top_k = parsed->top_k == 0 ? default_top_k : parsed->top_k;
+      outgoing.submitted = clock::now();
+      outgoing.future =
+          service.submit(std::move(parsed->request), parsed->deadline_ms);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++stats.requests;
+      pending.push_back(std::move(outgoing));
+    }
+    cv.notify_one();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    reader_done = true;
+  }
+  cv.notify_all();
+  writer.join();
+  return stats;
+}
+
+#if DIAGNET_SERVE_HAS_TCP
+
+namespace {
+
+/// Minimal streambuf over a connected socket: buffered reads, write-
+/// through output. Enough for a line protocol; not seekable.
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {}
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, buffer_, sizeof buffer_);
+    if (n <= 0) return traits_type::eof();
+    setg(buffer_, buffer_, buffer_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type c) override {
+    if (traits_type::eq_int_type(c, traits_type::eof()))
+      return traits_type::not_eof(c);
+    const char byte = traits_type::to_char_type(c);
+    return write_all(&byte, 1) ? c : traits_type::eof();
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return write_all(s, static_cast<std::size_t>(n))
+               ? n
+               : std::streamsize(0);
+  }
+
+ private:
+  bool write_all(const char* data, std::size_t n) {
+    while (n > 0) {
+      const ssize_t written = ::write(fd_, data, n);
+      if (written <= 0) return false;
+      data += written;
+      n -= static_cast<std::size_t>(written);
+    }
+    return true;
+  }
+
+  int fd_;
+  char buffer_[4096];
+};
+
+}  // namespace
+
+util::Status run_tcp_listener(DiagnosisService& service,
+                              const data::FeatureSpace& fs,
+                              std::uint16_t port,
+                              std::size_t default_top_k,
+                              const std::atomic<bool>& stop_flag) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0)
+    return util::Status::unavailable("tcp: socket() failed");
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listener, 16) != 0) {
+    ::close(listener);
+    return util::Status::unavailable("tcp: cannot listen on 127.0.0.1:" +
+                                     std::to_string(port));
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(ntohs(addr.sin_port)));
+
+  std::vector<std::thread> sessions;
+  while (!stop_flag.load()) {
+    // Poll with a timeout so the stop flag is honoured between accepts.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    sessions.emplace_back([&service, &fs, default_top_k, &stop_flag, conn] {
+      FdStreambuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      run_session(service, fs, in, out, default_top_k, &stop_flag);
+      ::close(conn);
+    });
+  }
+  ::close(listener);
+  // Drain: sessions end at client EOF; every accepted request is answered
+  // before its session thread exits.
+  for (std::thread& t : sessions) t.join();
+  return {};
+}
+
+#else  // !DIAGNET_SERVE_HAS_TCP
+
+util::Status run_tcp_listener(DiagnosisService&, const data::FeatureSpace&,
+                              std::uint16_t, std::size_t,
+                              const std::atomic<bool>&) {
+  return util::Status::unavailable(
+      "tcp transport is not available on this platform; use the stdio "
+      "transport");
+}
+
+#endif  // DIAGNET_SERVE_HAS_TCP
+
+}  // namespace diagnet::serve

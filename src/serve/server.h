@@ -1,0 +1,50 @@
+// Transports for the serving subsystem: a line-delimited JSON session
+// over std::istream/std::ostream (the stdio transport `diagnet serve`
+// uses by default, and what the tests drive with string streams), plus an
+// optional loopback-TCP listener on POSIX hosts.
+//
+// A session reads one request per line, submits it to the
+// DiagnosisService, and writes one response line per request *in
+// submission order* (a dedicated writer thread waits on the per-request
+// futures, so reading and writing overlap and a client may pipeline
+// thousands of requests without reading). EOF triggers the graceful
+// drain: every accepted request is answered before the session returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "data/feature_space.h"
+#include "serve/service.h"
+
+namespace diagnet::serve {
+
+struct SessionStats {
+  std::uint64_t requests = 0;   // lines read (including malformed ones)
+  std::uint64_t responses = 0;  // lines written
+  std::uint64_t errors = 0;     // non-OK responses among them
+};
+
+/// Run one stdio-style session to completion (EOF on `in`, or
+/// `stop_flag` becoming true between lines — e.g. from a SIGINT handler).
+/// Does NOT stop the service: the caller owns its lifetime, so several
+/// sessions (TCP connections) can share one service.
+SessionStats run_session(DiagnosisService& service,
+                         const data::FeatureSpace& fs, std::istream& in,
+                         std::ostream& out, std::size_t default_top_k = 5,
+                         const std::atomic<bool>* stop_flag = nullptr);
+
+/// Loopback TCP listener: accepts connections on 127.0.0.1:`port` (0 =
+/// kernel-assigned; the chosen port is echoed on stderr) and runs one
+/// session per connection, all sharing `service`. Returns when
+/// `stop_flag` becomes true (checked between accepts) or on a fatal
+/// socket error. On non-POSIX builds returns unavailable.
+util::Status run_tcp_listener(DiagnosisService& service,
+                              const data::FeatureSpace& fs,
+                              std::uint16_t port,
+                              std::size_t default_top_k,
+                              const std::atomic<bool>& stop_flag);
+
+}  // namespace diagnet::serve

@@ -1,0 +1,145 @@
+#include "serve/wire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/telemetry.h"  // append_json_escaped
+#include "serve/json.h"
+
+namespace diagnet::serve {
+
+namespace {
+
+using util::Status;
+
+Status field_error(const char* field, const char* what) {
+  return Status::invalid_argument("request field '" + std::string(field) +
+                                  "' " + what);
+}
+
+/// Read an optional non-negative integer field.
+Status read_uint(const JsonValue& object, const char* field,
+                 std::uint64_t* out) {
+  const JsonValue* v = object.find(field);
+  if (v == nullptr) return {};
+  if (v->kind() != JsonValue::Kind::Number || v->as_number() < 0.0 ||
+      std::floor(v->as_number()) != v->as_number())
+    return field_error(field, "must be a non-negative integer");
+  *out = static_cast<std::uint64_t>(v->as_number());
+  return {};
+}
+
+}  // namespace
+
+util::StatusOr<WireRequest> parse_request(const std::string& line) {
+  auto parsed = parse_json(line);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& object = *parsed;
+  if (object.kind() != JsonValue::Kind::Object)
+    return Status::invalid_argument("request must be a JSON object");
+
+  WireRequest wire;
+  if (Status s = read_uint(object, "id", &wire.id); !s.ok()) return s;
+
+  const JsonValue* features = object.find("features");
+  if (features == nullptr)
+    return field_error("features", "is required");
+  if (features->kind() != JsonValue::Kind::Array)
+    return field_error("features", "must be an array of numbers");
+  wire.request.features.reserve(features->items().size());
+  for (const JsonValue& v : features->items()) {
+    if (v.kind() != JsonValue::Kind::Number)
+      return field_error("features", "must be an array of numbers");
+    wire.request.features.push_back(v.as_number());
+  }
+
+  std::uint64_t service = 0;
+  if (Status s = read_uint(object, "service", &service); !s.ok()) return s;
+  wire.request.service = static_cast<std::size_t>(service);
+
+  if (const JsonValue* general = object.find("general")) {
+    if (general->kind() != JsonValue::Kind::Bool)
+      return field_error("general", "must be a boolean");
+    wire.request.use_general = general->as_bool();
+  }
+
+  if (const JsonValue* landmarks = object.find("landmarks")) {
+    if (landmarks->kind() != JsonValue::Kind::Array)
+      return field_error("landmarks", "must be an array of 0/1 or booleans");
+    wire.request.landmark_available.reserve(landmarks->items().size());
+    for (const JsonValue& v : landmarks->items()) {
+      if (v.kind() == JsonValue::Kind::Bool)
+        wire.request.landmark_available.push_back(v.as_bool());
+      else if (v.kind() == JsonValue::Kind::Number)
+        wire.request.landmark_available.push_back(v.as_number() != 0.0);
+      else
+        return field_error("landmarks",
+                           "must be an array of 0/1 or booleans");
+    }
+  }
+
+  if (const JsonValue* deadline = object.find("deadline_ms")) {
+    if (deadline->kind() != JsonValue::Kind::Number ||
+        deadline->as_number() < 0.0)
+      return field_error("deadline_ms", "must be a non-negative number");
+    wire.deadline_ms = deadline->as_number();
+  }
+
+  if (object.find("top_k") != nullptr) {
+    std::uint64_t top_k = 0;
+    if (Status s = read_uint(object, "top_k", &top_k); !s.ok()) return s;
+    if (top_k == 0) return field_error("top_k", "must be positive");
+    wire.top_k = static_cast<std::size_t>(top_k);
+  }
+  return wire;
+}
+
+std::string format_response(std::uint64_t id,
+                            const core::Diagnosis& diagnosis,
+                            const data::FeatureSpace& fs, std::size_t top_k,
+                            double latency_ms) {
+  const std::size_t k = std::min(top_k, diagnosis.ranking.size());
+  char buf[32];
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":true";
+  out += ",\"causes\":[";
+  for (std::size_t r = 0; r < k; ++r) {
+    if (r > 0) out += ',';
+    out += '"';
+    obs::append_json_escaped(out, fs.name(diagnosis.ranking[r]));
+    out += '"';
+  }
+  out += "],\"cause_ids\":[";
+  for (std::size_t r = 0; r < k; ++r) {
+    if (r > 0) out += ',';
+    out += std::to_string(diagnosis.ranking[r]);
+  }
+  out += "],\"scores\":[";
+  for (std::size_t r = 0; r < k; ++r) {
+    if (r > 0) out += ',';
+    std::snprintf(buf, sizeof buf, "%.17g",
+                  diagnosis.scores[diagnosis.ranking[r]]);
+    out += buf;
+  }
+  out += "],\"coarse_family\":" + std::to_string(diagnosis.coarse_argmax);
+  std::snprintf(buf, sizeof buf, "%.6g", diagnosis.w_unknown);
+  out += ",\"w_unknown\":";
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%.3f", latency_ms);
+  out += ",\"latency_ms\":";
+  out += buf;
+  out += '}';
+  return out;
+}
+
+std::string format_error(std::uint64_t id, const util::Status& status) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":false";
+  out += ",\"code\":\"";
+  out += util::status_code_name(status.code());
+  out += "\",\"error\":\"";
+  obs::append_json_escaped(out, status.message());
+  out += "\"}";
+  return out;
+}
+
+}  // namespace diagnet::serve

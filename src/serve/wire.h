@@ -1,0 +1,53 @@
+// Wire protocol of the serving subsystem: line-delimited JSON over any
+// byte transport (stdin/stdout by default, loopback TCP optionally).
+//
+// Request line (one JSON object per line):
+//   {"id": 7,                    // optional caller correlation id
+//    "features": [ ... ],        // required, fs.total() doubles
+//    "service": 2,               // optional, default 0
+//    "general": false,           // optional: force the general model
+//    "landmarks": [1,1,0, ...],  // optional per-landmark availability
+//    "deadline_ms": 50,          // optional; 0/absent = no deadline
+//    "top_k": 5}                 // optional; how many causes to return
+//
+// Success response:
+//   {"id":7,"ok":true,"causes":["dns_ber","..."],"cause_ids":[3,9],
+//    "scores":[0.41,0.17],"coarse_family":2,"w_unknown":0.12,
+//    "latency_ms":1.9}
+// Rejection/error response (Status-rendered, same codes the CLI prints):
+//   {"id":7,"ok":false,"code":"resource_exhausted","error":"queue full"}
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/diagnet.h"
+#include "data/feature_space.h"
+#include "util/status.h"
+
+namespace diagnet::serve {
+
+/// One request as decoded off the wire.
+struct WireRequest {
+  std::uint64_t id = 0;
+  core::DiagnoseRequest request;
+  double deadline_ms = 0.0;  // 0 = none
+  std::size_t top_k = 0;     // 0 = use the session default
+};
+
+/// Parse one request line. Shape errors (malformed JSON, missing
+/// "features", non-numeric entries) are invalid_argument; the feature
+/// count itself is validated later by the model so a mis-sized request
+/// still gets a response carrying its id.
+util::StatusOr<WireRequest> parse_request(const std::string& line);
+
+/// Render a success response line (no trailing newline).
+std::string format_response(std::uint64_t id,
+                            const core::Diagnosis& diagnosis,
+                            const data::FeatureSpace& fs, std::size_t top_k,
+                            double latency_ms);
+
+/// Render a rejection/error response line from a Status.
+std::string format_error(std::uint64_t id, const util::Status& status);
+
+}  // namespace diagnet::serve

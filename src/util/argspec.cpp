@@ -1,0 +1,168 @@
+#include "util/argspec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/require.h"
+
+namespace diagnet::util {
+
+namespace {
+
+const ArgSpec* find_spec(std::span<const ArgSpec> specs,
+                         const std::string& name) {
+  for (const ArgSpec& s : specs)
+    if (name == s.name) return &s;
+  return nullptr;
+}
+
+Status check_typed(const ArgSpec& spec, const std::string& value) {
+  switch (spec.type) {
+    case ArgType::kString:
+    case ArgType::kFlag:
+      return {};
+    case ArgType::kUint: {
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(),
+                       [](unsigned char c) { return std::isdigit(c); }))
+        return Status::invalid_argument("--" + std::string(spec.name) +
+                                        " expects a non-negative integer, got '" +
+                                        value + "'");
+      errno = 0;
+      std::strtoull(value.c_str(), nullptr, 10);
+      if (errno == ERANGE)
+        return Status::invalid_argument("--" + std::string(spec.name) +
+                                        " value out of range: '" + value + "'");
+      return {};
+    }
+    case ArgType::kDouble: {
+      char* end = nullptr;
+      errno = 0;
+      std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE)
+        return Status::invalid_argument("--" + std::string(spec.name) +
+                                        " expects a number, got '" + value +
+                                        "'");
+      return {};
+    }
+  }
+  return Status::internal("unhandled ArgType");
+}
+
+const char* type_name(ArgType type) {
+  switch (type) {
+    case ArgType::kString: return "string";
+    case ArgType::kUint: return "uint";
+    case ArgType::kDouble: return "number";
+    case ArgType::kFlag: return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+const ArgSpec& ParsedArgs::spec(const std::string& name) const {
+  const ArgSpec* s = find_spec(specs_, name);
+  DIAGNET_REQUIRE_MSG(s != nullptr, "flag not in this command's ArgSpec table: " + name);
+  return *s;
+}
+
+const std::string& ParsedArgs::str(const std::string& name) const {
+  DIAGNET_REQUIRE(spec(name).type == ArgType::kString);
+  return values_.at(name);
+}
+
+std::uint64_t ParsedArgs::uint(const std::string& name) const {
+  DIAGNET_REQUIRE(spec(name).type == ArgType::kUint);
+  return std::strtoull(values_.at(name).c_str(), nullptr, 10);
+}
+
+double ParsedArgs::num(const std::string& name) const {
+  DIAGNET_REQUIRE(spec(name).type == ArgType::kDouble);
+  return std::strtod(values_.at(name).c_str(), nullptr);
+}
+
+bool ParsedArgs::flag(const std::string& name) const {
+  DIAGNET_REQUIRE(spec(name).type == ArgType::kFlag);
+  return values_.at(name) == "1";
+}
+
+bool ParsedArgs::given(const std::string& name) const {
+  spec(name);  // validate the name
+  const auto it = given_.find(name);
+  return it != given_.end() && it->second;
+}
+
+StatusOr<ParsedArgs> parse_args(const std::vector<std::string>& args,
+                                std::size_t first,
+                                std::span<const ArgSpec> specs) {
+  ParsedArgs parsed;
+  parsed.specs_ = specs;
+  for (const ArgSpec& s : specs)
+    parsed.values_[s.name] = s.type == ArgType::kFlag ? "0" : s.def;
+
+  for (std::size_t i = first; i < args.size(); ++i) {
+    const std::string& word = args[i];
+    if (word == "--help" || word == "-h")
+      return Status::not_found("help");  // caller prints help_text()
+    if (word.rfind("--", 0) != 0)
+      return Status::invalid_argument("expected --flag value, got: " + word);
+    const std::string name = word.substr(2);
+    const ArgSpec* spec = find_spec(specs, name);
+    if (spec == nullptr)
+      return Status::invalid_argument("unknown flag " + word +
+                                      " (try --help)");
+    if (spec->type == ArgType::kFlag) {
+      parsed.values_[name] = "1";
+      parsed.given_[name] = true;
+      continue;
+    }
+    if (i + 1 >= args.size())
+      return Status::invalid_argument("missing value for " + word);
+    const std::string& value = args[++i];
+    if (Status s = check_typed(*spec, value); !s.ok()) return s;
+    parsed.values_[name] = value;
+    parsed.given_[name] = true;
+  }
+  return parsed;
+}
+
+std::string help_text(const std::string& command, const std::string& summary,
+                      std::span<const ArgSpec> specs) {
+  std::string out = "usage: diagnet " + command;
+  for (const ArgSpec& s : specs) {
+    out += " [--";
+    out += s.name;
+    if (s.type != ArgType::kFlag) {
+      out += " <";
+      out += type_name(s.type);
+      out += ">";
+    }
+    out += "]";
+  }
+  out += "\n  " + summary + "\n\nflags:\n";
+  std::size_t width = 0;
+  for (const ArgSpec& s : specs)
+    width = std::max(width, std::string(s.name).size());
+  for (const ArgSpec& s : specs) {
+    std::string left = "  --" + std::string(s.name);
+    left.resize(width + 6, ' ');
+    out += left;
+    out += s.help;
+    if (s.type != ArgType::kFlag && *s.def != '\0') {
+      out += " (default ";
+      out += s.def;
+      out += ")";
+    }
+    out += '\n';
+  }
+  out +=
+      "\ntelemetry (any command): [--trace <file>] [--metrics <file>] "
+      "[--telemetry]\n";
+  return out;
+}
+
+}  // namespace diagnet::util

@@ -1,0 +1,36 @@
+#include "util/status.h"
+
+#include <stdexcept>
+
+namespace diagnet::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void Status::throw_if_error() const {
+  if (!ok()) throw std::runtime_error(message_);
+}
+
+}  // namespace diagnet::util

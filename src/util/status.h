@@ -1,0 +1,138 @@
+// Error handling without exceptions: a Status carries an error code plus a
+// human-readable message, and StatusOr<T> is "a T or the Status explaining
+// why there is none".
+//
+// The codebase historically mixed three error styles — bool returns,
+// std::runtime_error throws, and DIAGNET_REQUIRE logic errors. Recoverable
+// I/O and request-validation failures now flow through Status so every
+// front end renders them the same way: the CLI prints
+// `error: <status.message()>`, and the serving subsystem (src/serve) maps
+// the code onto a `Rejected`/error wire response. DIAGNET_REQUIRE stays
+// reserved for programming errors (broken invariants), which remain
+// exceptions on purpose.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "util/require.h"
+
+namespace diagnet::util {
+
+/// Canonical error space (a pragmatic subset of the gRPC/absl codes —
+/// exactly the ones a file-based trainer plus an online server need).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed malformed input (bad CSV row, bad JSON)
+  kNotFound,           // a named thing does not exist (file, suite, sample)
+  kDataLoss,           // stored bytes are corrupt (checksum, truncation)
+  kFailedPrecondition, // operation needs state the object is not in
+  kResourceExhausted,  // admission control: queue full, budget spent
+  kDeadlineExceeded,   // the request's deadline passed before completion
+  kUnavailable,        // the service is stopping / not accepting work
+  kInternal,           // invariant failure surfaced as a recoverable error
+};
+
+/// Stable lower-snake-case name ("invalid_argument") used in wire responses
+/// and log lines.
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status data_loss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "data_loss: checksum mismatch" (or "ok").
+  std::string to_string() const;
+
+  /// Bridge to the legacy throwing call sites: no-op when OK, otherwise
+  /// throws std::runtime_error carrying message() (codes that were
+  /// historically thrown as runtime_error keep their exact what() text).
+  void throw_if_error() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type T, or the Status explaining its absence. Accessing
+/// value() on a non-OK StatusOr is a programming error (DIAGNET_REQUIRE).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    DIAGNET_REQUIRE_MSG(!status_.ok(),
+                        "StatusOr constructed from an OK status with no value");
+  }
+  StatusOr(T value)  // NOLINT(implicit)
+      : has_value_(true), value_(std::move(value)) {}
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DIAGNET_REQUIRE_MSG(has_value_, status_.to_string());
+    return value_;
+  }
+  T& value() & {
+    DIAGNET_REQUIRE_MSG(has_value_, status_.to_string());
+    return value_;
+  }
+  T&& value() && {
+    DIAGNET_REQUIRE_MSG(has_value_, status_.to_string());
+    return std::move(value_);
+  }
+
+  /// Legacy bridge: return the value or throw the status as runtime_error.
+  T&& value_or_throw() && {
+    status_.throw_if_error();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  bool has_value_ = false;
+  T value_{};
+};
+
+}  // namespace diagnet::util

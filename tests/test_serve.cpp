@@ -1,0 +1,461 @@
+// Integration tests for the serving subsystem (src/serve): micro-batch
+// coalescing under concurrent producers must be BIT-IDENTICAL to the
+// sequential DiagNetModel::diagnose path, admission control must reject
+// (never block), deadlines must shed before wasting batch slots, stop()
+// must drain every accepted request, and a model hot-swap mid-stream must
+// never crash or mix models within a response.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/diagnet.h"
+#include "core/registry.h"
+#include "eval/pipeline.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace diagnet {
+namespace {
+
+/// Shared trained pipeline (built once for the whole binary), same reduced
+/// configuration the batch-diagnoser parity suite uses.
+eval::Pipeline& pipeline() {
+  static auto instance = [] {
+    eval::PipelineConfig config = eval::PipelineConfig::small();
+    config.campaign.nominal_samples = 300;
+    config.campaign.fault_samples = 700;
+    config.diagnet.trainer.max_epochs = 4;
+    config.diagnet.specialization.max_epochs = 3;
+    config.seed = 4242;
+    return std::make_unique<eval::Pipeline>(config);
+  }();
+  return *instance;
+}
+
+/// Non-owning shared_ptr to the pipeline-owned model (aliasing ctor).
+std::shared_ptr<core::DiagNetModel> pipeline_model() {
+  return {std::shared_ptr<void>{}, &pipeline().diagnet()};
+}
+
+core::DiagnoseRequest request_for(std::size_t test_index) {
+  auto& p = pipeline();
+  const data::Sample& sample = p.split().test.samples[test_index];
+  core::DiagnoseRequest request;
+  request.features = sample.features;
+  request.service = sample.service;
+  request.landmark_available = p.split().test.landmark_available;
+  return request;
+}
+
+void expect_bit_identical(const core::Diagnosis& got,
+                          const core::Diagnosis& want) {
+  EXPECT_EQ(got.scores, want.scores);
+  EXPECT_EQ(got.ranking, want.ranking);
+  EXPECT_EQ(got.coarse_probs, want.coarse_probs);
+  EXPECT_EQ(got.coarse_argmax, want.coarse_argmax);
+  EXPECT_EQ(got.attention, want.attention);
+  EXPECT_EQ(got.w_unknown, want.w_unknown);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-batching: concurrent producers, bit-exact responses
+
+TEST(DiagnosisService, ConcurrentProducersBitExactVsSequential) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+  ASSERT_GE(indices.size(), 32u);
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 32;
+
+  // Sequential reference through the unbatched new-API path.
+  std::vector<core::Diagnosis> reference(kProducers * kPerProducer);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    core::DiagnoseResponse response =
+        p.diagnet().diagnose(request_for(indices[i % indices.size()]));
+    ASSERT_TRUE(response.ok()) << response.status.to_string();
+    reference[i] = std::move(response.diagnosis);
+  }
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  config.max_batch = 16;
+  // A wide window so the concurrent submissions coalesce deterministically
+  // instead of racing the dispatcher one by one.
+  config.max_delay_us = 200'000;
+  serve::DiagnosisService service(provider, config);
+
+  std::vector<std::future<core::DiagnoseResponse>> futures(reference.size());
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::size_t slot = t * kPerProducer + i;
+        futures[slot] =
+            service.submit(request_for(indices[slot % indices.size()]));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    core::DiagnoseResponse response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status.to_string();
+    expect_bit_identical(response.diagnosis, reference[i]);
+  }
+  service.stop();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, reference.size());
+  EXPECT_EQ(stats.completed, reference.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  // The point of micro-batching: far fewer batches than requests.
+  EXPECT_LT(stats.batches, stats.accepted);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(DiagnosisService, QueueFullRejectsWithoutBlocking) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+  ASSERT_GE(indices.size(), 8u);
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  // The dispatcher parks until 8 requests arrive (or 10 s pass), so the
+  // 4-deep queue fills deterministically and the 5th submit is rejected.
+  config.max_batch = 8;
+  config.max_delay_us = 10'000'000;
+  config.queue_capacity = 4;
+  serve::DiagnosisService service(provider, config);
+
+  std::vector<std::future<core::DiagnoseResponse>> accepted;
+  for (std::size_t i = 0; i < 4; ++i)
+    accepted.push_back(service.submit(request_for(indices[i])));
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto rejected = service.submit(request_for(indices[4 + i]));
+    const core::DiagnoseResponse response = rejected.get();  // immediate
+    EXPECT_FALSE(response.ok());
+    EXPECT_EQ(response.status.code(), util::StatusCode::kResourceExhausted);
+    EXPECT_NE(response.status.message().find("queue full"),
+              std::string::npos);
+  }
+
+  service.stop();  // drains the 4 accepted requests
+  for (auto& future : accepted) {
+    const core::DiagnoseResponse response = future.get();
+    EXPECT_TRUE(response.ok()) << response.status.to_string();
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.rejected, 3u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(DiagnosisService, DeadlineShedsBeforeDispatch) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 10'000'000;  // park until stop()
+  serve::DiagnosisService service(provider, config);
+
+  std::vector<std::future<core::DiagnoseResponse>> futures;
+  for (std::size_t i = 0; i < 3; ++i)
+    futures.push_back(service.submit(request_for(indices[i]),
+                                     /*deadline_ms=*/1.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.stop();  // batch forms now; every deadline has long passed
+
+  for (auto& future : futures) {
+    const core::DiagnoseResponse response = future.get();
+    EXPECT_FALSE(response.ok());
+    EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed, 3u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(DiagnosisService, StopDrainsAcceptedAndRefusesNew) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  config.max_batch = 64;
+  config.max_delay_us = 10'000'000;  // only stop() releases the batch
+  serve::DiagnosisService service(provider, config);
+
+  std::vector<std::future<core::DiagnoseResponse>> futures;
+  for (std::size_t i = 0; i < 6; ++i)
+    futures.push_back(service.submit(request_for(indices[i])));
+  service.stop();
+
+  for (auto& future : futures) {
+    const core::DiagnoseResponse response = future.get();
+    EXPECT_TRUE(response.ok()) << response.status.to_string();
+  }
+  EXPECT_EQ(service.stats().completed, 6u);
+
+  // Post-stop submissions resolve immediately with unavailable.
+  auto late = service.submit(request_for(indices[0]));
+  const core::DiagnoseResponse response = late.get();
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), util::StatusCode::kUnavailable);
+
+  service.stop();  // idempotent
+}
+
+TEST(DiagnosisService, InvalidRequestGetsStatusNotCrash) {
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::DiagnosisService service(provider);
+
+  core::DiagnoseRequest bad;
+  bad.features = {1.0, 2.0, 3.0};  // wrong feature count
+  const core::DiagnoseResponse response = service.submit(bad).get();
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), util::StatusCode::kInvalidArgument);
+  service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Hot-swap
+
+TEST(ModelProvider, HotSwapMidStreamNeverMixesModels) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+  const core::DiagnoseRequest request = request_for(indices[0]);
+
+  // Model B: a save/load roundtrip of A with the forest ensemble disabled,
+  // so its responses are valid but bit-distinguishable from A's.
+  std::stringstream bundle;
+  ASSERT_TRUE(core::try_save_model(p.diagnet(), bundle).ok());
+  auto loaded = core::try_load_model(bundle, p.feature_space());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  std::shared_ptr<core::DiagNetModel> model_b = std::move(loaded).value();
+  model_b->set_ensemble(false);
+
+  core::DiagnoseResponse ref_a = p.diagnet().diagnose(request);
+  core::DiagnoseResponse ref_b = model_b->diagnose(request);
+  ASSERT_TRUE(ref_a.ok() && ref_b.ok());
+  ASSERT_NE(ref_a.diagnosis.scores, ref_b.diagnosis.scores)
+      << "models A and B must be distinguishable for this test";
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 100;
+  serve::DiagnosisService service(provider, config);
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    bool use_b = true;
+    while (!stop_swapping.load()) {
+      provider->swap(use_b ? model_b : pipeline_model());
+      use_b = !use_b;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr std::size_t kRequests = 200;
+  std::vector<std::future<core::DiagnoseResponse>> futures;
+  futures.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i)
+    futures.push_back(service.submit(request));
+
+  std::size_t from_a = 0, from_b = 0;
+  for (auto& future : futures) {
+    core::DiagnoseResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status.to_string();
+    if (response.diagnosis.scores == ref_a.diagnosis.scores) {
+      expect_bit_identical(response.diagnosis, ref_a.diagnosis);
+      ++from_a;
+    } else {
+      // Anything not bit-equal to A must be bit-equal to B: a response can
+      // only come from exactly one published model, never a mixture.
+      expect_bit_identical(response.diagnosis, ref_b.diagnosis);
+      ++from_b;
+    }
+  }
+  stop_swapping.store(true);
+  swapper.join();
+  service.stop();
+
+  EXPECT_EQ(from_a + from_b, kRequests);
+  EXPECT_GT(provider->generation(), 1u);
+}
+
+TEST(ModelProvider, BadBundleNeverTakesDownServing) {
+  auto& p = pipeline();
+  const std::string path =
+      testing::TempDir() + "/diagnet_serve_reload_model.bin";
+  ASSERT_TRUE(core::try_save_model_file(p.diagnet(), path).ok());
+
+  auto provider_or = serve::ModelProvider::from_file(path, p.feature_space());
+  ASSERT_TRUE(provider_or.ok()) << provider_or.status().to_string();
+  auto provider = std::move(provider_or).value();
+  EXPECT_EQ(provider->generation(), 1u);
+
+  // Unchanged file: polling is a no-op.
+  util::Status status;
+  EXPECT_FALSE(provider->poll_and_reload(path, p.feature_space(), &status));
+  EXPECT_TRUE(status.ok());
+
+  // Corrupt overwrite with a newer mtime: the reload is refused, the old
+  // model keeps serving, and the error is reported — not thrown.
+  {
+    std::ofstream corrupt(path, std::ios::trunc | std::ios::binary);
+    corrupt << "not a model bundle";
+  }
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() +
+                std::chrono::seconds(2));
+  EXPECT_FALSE(provider->poll_and_reload(path, p.feature_space(), &status));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(provider->generation(), 1u);
+  EXPECT_TRUE(provider->current()
+                  ->diagnose(request_for(p.faulty_test_indices()[0]))
+                  .ok());
+
+  // The bad mtime is remembered: the broken file is not re-parsed.
+  EXPECT_FALSE(provider->poll_and_reload(path, p.feature_space(), &status));
+  EXPECT_TRUE(status.ok());
+
+  // A newer good bundle swaps in.
+  ASSERT_TRUE(core::try_save_model_file(p.diagnet(), path).ok());
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() +
+                std::chrono::seconds(4));
+  EXPECT_TRUE(provider->poll_and_reload(path, p.feature_space(), &status));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(provider->generation(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(Wire, ParseRejectsMalformedRequests) {
+  EXPECT_EQ(serve::parse_request("{").status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(serve::parse_request("42").status().code(),
+            util::StatusCode::kInvalidArgument);
+  const auto missing = serve::parse_request("{\"service\":1}");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("features"), std::string::npos);
+  const auto bad_top_k =
+      serve::parse_request("{\"features\":[1],\"top_k\":0}");
+  EXPECT_FALSE(bad_top_k.ok());
+  EXPECT_NE(bad_top_k.status().message().find("top_k"), std::string::npos);
+}
+
+TEST(Wire, ParseReadsEveryField) {
+  const auto parsed = serve::parse_request(
+      "{\"id\":7,\"features\":[1.5,-2.0],\"service\":3,\"general\":true,"
+      "\"landmarks\":[1,0,true],\"deadline_ms\":50,\"top_k\":2}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().id, 7u);
+  EXPECT_EQ(parsed.value().request.features,
+            (std::vector<double>{1.5, -2.0}));
+  EXPECT_EQ(parsed.value().request.service, 3u);
+  EXPECT_TRUE(parsed.value().request.use_general);
+  EXPECT_EQ(parsed.value().request.landmark_available,
+            (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(parsed.value().deadline_ms, 50.0);
+  EXPECT_EQ(parsed.value().top_k, 2u);
+  // Absent top_k means "session default".
+  const auto bare = serve::parse_request("{\"features\":[1]}");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value().top_k, 0u);
+}
+
+TEST(Wire, FormatErrorCarriesStatusCodeName) {
+  const std::string line = serve::format_error(
+      9, util::Status::resource_exhausted("queue full"));
+  EXPECT_NE(line.find("\"id\":9"), std::string::npos);
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"code\":\"resource_exhausted\""), std::string::npos);
+  EXPECT_NE(line.find("queue full"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Stdio session end-to-end
+
+TEST(Server, StdioSessionAnswersInSubmissionOrder) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  auto make_line = [&](std::size_t id, std::size_t test_index) {
+    const data::Sample& sample = p.split().test.samples[test_index];
+    std::ostringstream line;
+    line.precision(17);
+    line << "{\"id\":" << id << ",\"service\":" << sample.service
+         << ",\"features\":[";
+    for (std::size_t f = 0; f < sample.features.size(); ++f) {
+      if (f > 0) line << ',';
+      line << sample.features[f];
+    }
+    line << "]}";
+    return line.str();
+  };
+
+  std::stringstream in;
+  in << make_line(1, indices[0]) << '\n';
+  in << '\n';  // blank lines are skipped
+  in << "this is not json\n";
+  in << "{\"id\":3,\"features\":[1,2,3]}\n";  // wrong feature count
+  in << make_line(4, indices[1]) << '\n';
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::DiagnosisService service(provider);
+  std::stringstream out;
+  const serve::SessionStats stats =
+      serve::run_session(service, p.feature_space(), in, out, 5);
+  service.stop();
+
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(out, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.responses, 4u);
+  EXPECT_EQ(stats.errors, 2u);
+
+  // In submission order, each line answering its request's id.
+  EXPECT_NE(lines[0].find("\"id\":1,\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"causes\":["), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[1].find("invalid_argument"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":3,\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"id\":4,\"ok\":true"), std::string::npos);
+
+  // The ranked causes on the wire match a direct diagnosis bit-for-bit
+  // (scores are rendered with %.17g, which round-trips doubles exactly).
+  core::DiagnoseResponse reference =
+      p.diagnet().diagnose(request_for(indices[0]));
+  ASSERT_TRUE(reference.ok());
+  const std::string expected = serve::format_response(
+      1, reference.diagnosis, p.feature_space(), 5, 0.0);
+  const std::string expected_prefix =
+      expected.substr(0, expected.find(",\"latency_ms\""));
+  EXPECT_EQ(lines[0].substr(0, expected_prefix.size()), expected_prefix);
+}
+
+}  // namespace
+}  // namespace diagnet

@@ -9,27 +9,42 @@
 //       the per-service specialised heads and the auxiliary forest, and
 //       save the trained bundle.
 //
-//   diagnose --campaign campaign.csv --model model.bin [--sample N]
+//   diagnet diagnose --campaign campaign.csv --model model.bin [--sample N]
 //       Load a trained model and print the ranked root causes for the
 //       N-th faulty sample of the campaign.
 //
 //   diagnet evaluate --campaign campaign.csv --model model.bin
 //       Recall@k of the model over every faulty sample in the campaign.
 //
+//   diagnet serve --model model.bin [--port P] [--watch]
+//       Long-lived diagnosis service: line-delimited JSON requests over
+//       stdin/stdout (or loopback TCP with --port), dynamic micro-batching,
+//       bounded-queue admission control, and atomic model hot-swap.
+//
+//   diagnet mkrequests --campaign campaign.csv --out requests.jsonl
+//       Turn campaign samples into serve request lines — the smoke-test
+//       and load-generation companion to `diagnet serve`.
+//
 //   diagnet selfcheck [--seed N] [--iters K] [--suite substr]
 //                     [--corpus file]
 //       Run the seeded property/differential/fuzz suites (src/testkit)
-//       against this build. Every failure prints the exact --seed/--iters
-//       pair that reproduces it; --corpus pins failures to a replay file.
+//       against this build.
 //
-// The three stages exchange plain files, so a campaign can be generated
+// Every subcommand declares its flags as one util::ArgSpec table: typed
+// values, uniform auto-generated `--help`, and unknown flags are hard
+// errors. The stages exchange plain files, so a campaign can be generated
 // once and shared — the same hand-off the paper's analysis service does
 // with its clients.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/batch_diagnoser.h"
@@ -40,7 +55,10 @@
 #include "eval/metrics.h"
 #include "netsim/simulator.h"
 #include "obs/obs.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "testkit/harness.h"
+#include "util/argspec.h"
 #include "util/table.h"
 
 namespace {
@@ -79,30 +97,19 @@ std::vector<std::string> setup_telemetry(int argc, char** argv) {
   return args;
 }
 
-std::map<std::string, std::string> parse_flags(
-    const std::vector<std::string>& args, std::size_t first) {
-  std::map<std::string, std::string> flags;
-  for (std::size_t i = first; i < args.size(); i += 2) {
-    const std::string& key = args[i];
-    if (key.rfind("--", 0) != 0)
-      throw std::runtime_error("expected --flag value, got: " + key);
-    if (i + 1 >= args.size())
-      throw std::runtime_error("missing value for " + key);
-    flags[key.substr(2)] = args[i + 1];
-  }
-  return flags;
-}
+// ---------------------------------------------------------------------------
+// simulate
 
-std::string flag_or(const std::map<std::string, std::string>& flags,
-                    const std::string& key, const std::string& fallback) {
-  const auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
+const util::ArgSpec kSimulateArgs[] = {
+    {"samples", util::ArgType::kUint, "15000", "campaign size"},
+    {"seed", util::ArgType::kUint, "42", "simulator RNG seed"},
+    {"out", util::ArgType::kString, "campaign.csv", "output CSV path"},
+};
 
-int cmd_simulate(const std::map<std::string, std::string>& flags) {
-  const auto seed = std::stoull(flag_or(flags, "seed", "42"));
-  const auto samples = std::stoull(flag_or(flags, "samples", "15000"));
-  const std::string out = flag_or(flags, "out", "campaign.csv");
+int cmd_simulate(const util::ParsedArgs& args) {
+  const std::uint64_t seed = args.uint("seed");
+  const std::uint64_t samples = args.uint("samples");
+  const std::string out = args.str("out");
 
   netsim::Simulator sim = netsim::Simulator::make_default(seed);
   sim.calibrate_qoe();
@@ -116,24 +123,44 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   std::cout << "Simulating " << samples << " samples (seed " << seed
             << ")...\n";
   const data::Dataset dataset = data::generate_campaign(sim, fs, campaign);
-  data::write_csv_file(dataset, fs, out);
+  if (util::Status s = data::try_write_csv_file(dataset, fs, out); !s.ok()) {
+    std::cerr << "error: " << s.message() << '\n';
+    return 1;
+  }
   std::cout << "Wrote " << dataset.size() << " samples ("
             << dataset.count_faulty() << " faulty) to " << out << '\n';
   return 0;
 }
 
-int cmd_train(const std::map<std::string, std::string>& flags) {
-  const auto seed = std::stoull(flag_or(flags, "seed", "42"));
-  const std::string campaign_path = flag_or(flags, "campaign", "campaign.csv");
-  const std::string out = flag_or(flags, "out", "model.bin");
-  // Worker threads for minibatch sharding (0 = all hardware threads,
-  // 1 = serial). The result is bit-identical for every value.
-  const auto threads = std::stoull(flag_or(flags, "threads", "0"));
+// ---------------------------------------------------------------------------
+// train
+
+const util::ArgSpec kTrainArgs[] = {
+    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign CSV"},
+    {"out", util::ArgType::kString, "model.bin", "output model bundle"},
+    {"seed", util::ArgType::kUint, "42", "training RNG seed"},
+    {"threads", util::ArgType::kUint, "0",
+     "minibatch worker threads (0 = all cores; result is bit-identical)"},
+    {"epochs", util::ArgType::kUint, "0",
+     "cap training epochs (0 = paper defaults)"},
+};
+
+int cmd_train(const util::ParsedArgs& args) {
+  const std::uint64_t seed = args.uint("seed");
+  const std::string campaign_path = args.str("campaign");
+  const std::string out = args.str("out");
+  const std::uint64_t threads = args.uint("threads");
+  const std::uint64_t epochs = args.uint("epochs");
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
   std::cout << "Loading " << campaign_path << "...\n";
-  const data::Dataset dataset = data::read_csv_file(campaign_path, fs);
+  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
+  if (!dataset_or.ok()) {
+    std::cerr << "error: " << dataset_or.status().message() << '\n';
+    return 1;
+  }
+  const data::Dataset dataset = std::move(dataset_or).value();
 
   data::SplitConfig split_config;
   split_config.seed = seed ^ 0x5b11ULL;
@@ -145,6 +172,11 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   config.seed = seed;
   config.trainer.threads = threads;
   config.specialization.threads = threads;
+  if (epochs > 0) {
+    config.trainer.max_epochs = epochs;
+    config.specialization.max_epochs =
+        std::min<std::size_t>(config.specialization.max_epochs, epochs);
+  }
   core::DiagNetModel model(fs, config);
   std::cout << "Training general model...\n";
   const auto history = model.train_general(split.train);
@@ -164,26 +196,54 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
               << (special.best_epoch + 1) << " epoch(s)\n";
   }
 
-  core::save_model_file(model, out);
+  if (util::Status s = core::try_save_model_file(model, out); !s.ok()) {
+    std::cerr << "error: " << s.message() << '\n';
+    return 1;
+  }
   std::cout << "Saved model bundle to " << out << '\n';
   return 0;
 }
 
-int cmd_diagnose(const std::map<std::string, std::string>& flags) {
-  const std::string campaign_path = flag_or(flags, "campaign", "campaign.csv");
-  const std::string model_path = flag_or(flags, "model", "model.bin");
-  const auto wanted = std::stoull(flag_or(flags, "sample", "0"));
+// ---------------------------------------------------------------------------
+// diagnose
+
+const util::ArgSpec kDiagnoseArgs[] = {
+    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign CSV"},
+    {"model", util::ArgType::kString, "model.bin", "trained model bundle"},
+    {"sample", util::ArgType::kUint, "0", "index among faulty samples"},
+};
+
+int cmd_diagnose(const util::ParsedArgs& args) {
+  const std::string campaign_path = args.str("campaign");
+  const std::string model_path = args.str("model");
+  const std::uint64_t wanted = args.uint("sample");
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
-  const data::Dataset dataset = data::read_csv_file(campaign_path, fs);
-  auto model = core::load_model_file(model_path, fs);
+  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
+  if (!dataset_or.ok()) {
+    std::cerr << "error: " << dataset_or.status().message() << '\n';
+    return 1;
+  }
+  auto model_or = core::try_load_model_file(model_path, fs);
+  if (!model_or.ok()) {
+    std::cerr << "error: " << model_or.status().message() << '\n';
+    return 1;
+  }
+  const auto model = std::move(model_or).value();
 
   std::size_t seen = 0;
-  for (const data::Sample& sample : dataset.samples) {
+  for (const data::Sample& sample : dataset_or.value().samples) {
     if (!sample.is_faulty() || seen++ != wanted) continue;
-    const std::vector<bool> all(fs.landmark_count(), true);
-    auto diagnosis = model->diagnose(sample.features, sample.service, all);
+    core::DiagnoseRequest request;
+    request.features = sample.features;
+    request.service = sample.service;
+    const core::DiagnoseResponse response = model->diagnose(request);
+    if (!response.ok()) {
+      std::cerr << "error: " << response.status.message() << '\n';
+      return 1;
+    }
+    const core::Diagnosis& diagnosis = response.diagnosis;
     std::cout << "Faulty sample #" << wanted << " (client in "
               << topology.region(sample.client_region).code
               << "), ground truth: " << fs.name(sample.primary_cause)
@@ -200,34 +260,59 @@ int cmd_diagnose(const std::map<std::string, std::string>& flags) {
   return 1;
 }
 
-int cmd_evaluate(const std::map<std::string, std::string>& flags) {
-  const std::string campaign_path = flag_or(flags, "campaign", "campaign.csv");
-  const std::string model_path = flag_or(flags, "model", "model.bin");
+// ---------------------------------------------------------------------------
+// evaluate
+
+const util::ArgSpec kEvaluateArgs[] = {
+    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign CSV"},
+    {"model", util::ArgType::kString, "model.bin", "trained model bundle"},
+};
+
+int cmd_evaluate(const util::ParsedArgs& args) {
+  const std::string campaign_path = args.str("campaign");
+  const std::string model_path = args.str("model");
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
-  const data::Dataset dataset = data::read_csv_file(campaign_path, fs);
-  auto model = core::load_model_file(model_path, fs);
+  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
+  if (!dataset_or.ok()) {
+    std::cerr << "error: " << dataset_or.status().message() << '\n';
+    return 1;
+  }
+  auto model_or = core::try_load_model_file(model_path, fs);
+  if (!model_or.ok()) {
+    std::cerr << "error: " << model_or.status().message() << '\n';
+    return 1;
+  }
+  const auto model = std::move(model_or).value();
 
   // All faulty samples go through the batched diagnosis engine: one
   // network pass per batch instead of one forward+backward per sample.
-  std::vector<core::DiagnosisRequest> requests;
+  std::vector<core::DiagnoseRequest> requests;
   std::vector<std::size_t> truths;
-  for (const data::Sample& sample : dataset.samples) {
+  for (const data::Sample& sample : dataset_or.value().samples) {
     if (!sample.is_faulty()) continue;
-    requests.push_back({&sample.features, sample.service});
+    core::DiagnoseRequest request;
+    request.features = sample.features;
+    request.service = sample.service;
+    requests.push_back(std::move(request));
     truths.push_back(sample.primary_cause);
   }
   if (requests.empty()) {
     std::cerr << "error: no faulty samples in " << campaign_path << '\n';
     return 1;
   }
-  const std::vector<bool> all(fs.landmark_count(), true);
   const core::BatchDiagnoser batcher(*model);
-  std::vector<core::Diagnosis> diagnoses = batcher.diagnose_all(requests, all);
-  std::vector<std::vector<std::size_t>> rankings(diagnoses.size());
-  for (std::size_t i = 0; i < diagnoses.size(); ++i)
-    rankings[i] = std::move(diagnoses[i].ranking);
+  std::vector<core::DiagnoseResponse> responses = batcher.run(requests);
+  std::vector<std::vector<std::size_t>> rankings;
+  rankings.reserve(responses.size());
+  for (core::DiagnoseResponse& response : responses) {
+    if (!response.ok()) {
+      std::cerr << "error: " << response.status.message() << '\n';
+      return 1;
+    }
+    rankings.push_back(std::move(response.diagnosis.ranking));
+  }
   util::Table table({"k", "Recall@k"});
   for (std::size_t k = 1; k <= 5; ++k)
     table.add_row({std::to_string(k),
@@ -236,12 +321,22 @@ int cmd_evaluate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int cmd_selfcheck(const std::map<std::string, std::string>& flags) {
+// ---------------------------------------------------------------------------
+// selfcheck
+
+const util::ArgSpec kSelfcheckArgs[] = {
+    {"seed", util::ArgType::kUint, "1", "base RNG seed for every suite"},
+    {"iters", util::ArgType::kUint, "50", "iterations per property"},
+    {"suite", util::ArgType::kString, "", "substring filter on suite names"},
+    {"corpus", util::ArgType::kString, "", "failure replay/append file"},
+};
+
+int cmd_selfcheck(const util::ParsedArgs& args) {
   testkit::SelfCheckConfig config;
-  config.seed = std::stoull(flag_or(flags, "seed", "1"));
-  config.iters = std::stoull(flag_or(flags, "iters", "50"));
-  config.filter = flag_or(flags, "suite", "");
-  config.corpus_path = flag_or(flags, "corpus", "");
+  config.seed = args.uint("seed");
+  config.iters = args.uint("iters");
+  config.filter = args.str("suite");
+  config.corpus_path = args.str("corpus");
 
   const testkit::SelfCheckReport report =
       testkit::run_selfcheck(config, std::cout);
@@ -253,26 +348,266 @@ int cmd_selfcheck(const std::map<std::string, std::string>& flags) {
   return report.ok() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// serve
+
+#if defined(__unix__) || defined(__APPLE__)
+std::atomic<bool> g_interrupted{false};
+
+void handle_sigint(int) { g_interrupted.store(true); }
+
+void install_sigint_handler() {
+  struct sigaction action {};
+  action.sa_handler = handle_sigint;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocking stdin read returns on SIGINT, so the
+  // session loop sees the flag and starts the graceful drain.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+}
+#else
+std::atomic<bool> g_interrupted{false};
+void install_sigint_handler() {}
+#endif
+
+const util::ArgSpec kServeArgs[] = {
+    {"model", util::ArgType::kString, "model.bin", "trained bundle to serve"},
+    {"port", util::ArgType::kUint, "0",
+     "loopback TCP port (0 = line-JSON over stdin/stdout)"},
+    {"max-batch", util::ArgType::kUint, "64",
+     "max requests fused into one batch"},
+    {"max-delay-us", util::ArgType::kUint, "2000",
+     "batch-forming window after the oldest waiting arrival"},
+    {"queue-cap", util::ArgType::kUint, "1024",
+     "admission bound; beyond it requests are rejected, never queued"},
+    {"threads", util::ArgType::kUint, "1",
+     "worker threads for the batch engine"},
+    {"top-k", util::ArgType::kUint, "5",
+     "causes per response when the request does not say"},
+    {"watch", util::ArgType::kFlag, "",
+     "poll --model for newer bundles and hot-swap them atomically"},
+    {"watch-interval-ms", util::ArgType::kUint, "500",
+     "poll period for --watch"},
+};
+
+int cmd_serve(const util::ParsedArgs& args) {
+  const std::string model_path = args.str("model");
+  if (args.uint("max-batch") == 0 || args.uint("queue-cap") == 0) {
+    std::cerr << "error: --max-batch and --queue-cap must be positive\n";
+    return 1;
+  }
+
+  const netsim::Topology topology = netsim::default_topology();
+  const data::FeatureSpace fs(topology);
+  auto provider_or = serve::ModelProvider::from_file(model_path, fs);
+  if (!provider_or.ok()) {
+    std::cerr << "error: " << provider_or.status().message() << '\n';
+    return 1;
+  }
+  const auto provider = std::move(provider_or).value();
+
+  serve::ServiceConfig config;
+  config.max_batch = args.uint("max-batch");
+  config.max_delay_us = args.uint("max-delay-us");
+  config.queue_capacity = args.uint("queue-cap");
+  config.worker_threads = args.uint("threads");
+  serve::DiagnosisService service(provider, config);
+
+  install_sigint_handler();
+
+  std::atomic<bool> watch_stop{false};
+  std::thread watcher;
+  if (args.flag("watch")) {
+    const auto interval =
+        std::chrono::milliseconds(args.uint("watch-interval-ms"));
+    watcher = std::thread([&watch_stop, provider, model_path, interval, &fs] {
+      while (!watch_stop.load()) {
+        std::this_thread::sleep_for(interval);
+        util::Status status;
+        if (provider->poll_and_reload(model_path, fs, &status))
+          std::cerr << "serve: hot-swapped model (generation "
+                    << provider->generation() << ")\n";
+        else if (!status.ok())
+          std::cerr << "serve: reload failed, keeping current model: "
+                    << status.to_string() << '\n';
+      }
+    });
+  }
+
+  const std::size_t top_k = args.uint("top-k");
+  serve::SessionStats session_stats;
+  util::Status listen_status;
+  if (args.uint("port") != 0) {
+    listen_status = serve::run_tcp_listener(
+        service, fs, static_cast<std::uint16_t>(args.uint("port")), top_k,
+        g_interrupted);
+  } else {
+    std::cerr << "serve: reading line-JSON requests from stdin "
+                 "(EOF or SIGINT drains and exits)\n";
+    session_stats = serve::run_session(service, fs, std::cin, std::cout,
+                                       top_k, &g_interrupted);
+  }
+
+  service.stop();  // graceful drain: every accepted request is answered
+  watch_stop.store(true);
+  if (watcher.joinable()) watcher.join();
+
+  const serve::DiagnosisService::Stats stats = service.stats();
+  std::cerr << "serve: drained — " << session_stats.requests
+            << " request line(s), " << session_stats.responses
+            << " response(s), " << session_stats.errors
+            << " error(s); accepted " << stats.accepted << ", rejected "
+            << stats.rejected << ", shed " << stats.shed << ", batches "
+            << stats.batches << ", model generation "
+            << provider->generation() << '\n';
+  if (!listen_status.ok()) {
+    std::cerr << "error: " << listen_status.message() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// mkrequests
+
+const util::ArgSpec kMkrequestsArgs[] = {
+    {"campaign", util::ArgType::kString, "campaign.csv",
+     "campaign CSV to draw samples from"},
+    {"out", util::ArgType::kString, "requests.jsonl",
+     "output file, one serve request JSON per line"},
+    {"limit", util::ArgType::kUint, "100",
+     "requests to emit (cycles the samples when larger)"},
+    {"deadline-ms", util::ArgType::kDouble, "0",
+     "per-request deadline (0 = none)"},
+    {"all", util::ArgType::kFlag, "",
+     "include nominal samples too (default: faulty only)"},
+};
+
+int cmd_mkrequests(const util::ParsedArgs& args) {
+  const std::string campaign_path = args.str("campaign");
+  const std::string out = args.str("out");
+  const std::uint64_t limit = args.uint("limit");
+  const double deadline_ms = args.num("deadline-ms");
+  const bool include_nominal = args.flag("all");
+
+  const netsim::Topology topology = netsim::default_topology();
+  const data::FeatureSpace fs(topology);
+  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
+  if (!dataset_or.ok()) {
+    std::cerr << "error: " << dataset_or.status().message() << '\n';
+    return 1;
+  }
+  const data::Dataset& dataset = dataset_or.value();
+
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < dataset.samples.size(); ++i)
+    if (include_nominal || dataset.samples[i].is_faulty())
+      eligible.push_back(i);
+  if (eligible.empty()) {
+    std::cerr << "error: no " << (include_nominal ? "" : "faulty ")
+              << "samples in " << campaign_path << '\n';
+    return 1;
+  }
+
+  std::ofstream file(out, std::ios::trunc);
+  if (!file) {
+    std::cerr << "error: cannot open " << out << " for writing\n";
+    return 1;
+  }
+  char buffer[64];
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    const data::Sample& sample =
+        dataset.samples[eligible[i % eligible.size()]];
+    std::string line = "{\"id\":" + std::to_string(i + 1) +
+                       ",\"service\":" + std::to_string(sample.service);
+    if (deadline_ms > 0) {
+      std::snprintf(buffer, sizeof buffer, "%.17g", deadline_ms);
+      line += ",\"deadline_ms\":";
+      line += buffer;
+    }
+    line += ",\"features\":[";
+    for (std::size_t f = 0; f < sample.features.size(); ++f) {
+      if (f > 0) line += ',';
+      std::snprintf(buffer, sizeof buffer, "%.17g", sample.features[f]);
+      line += buffer;
+    }
+    line += "]}";
+    file << line << '\n';
+  }
+  file.flush();
+  if (!file) {
+    std::cerr << "error: failed writing " << out << '\n';
+    return 1;
+  }
+  std::cout << "Wrote " << limit << " request(s) from " << eligible.size()
+            << " sample(s) to " << out << '\n';
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// command registry
+
+struct Command {
+  const char* name;
+  const char* summary;
+  std::span<const util::ArgSpec> specs;
+  int (*handler)(const util::ParsedArgs&);
+};
+
+const Command kCommands[] = {
+    {"simulate", "generate a fault-injection measurement campaign as CSV",
+     kSimulateArgs, cmd_simulate},
+    {"train", "train the DIAGNET bundle from a campaign and save it",
+     kTrainArgs, cmd_train},
+    {"diagnose", "print the ranked root causes for one faulty sample",
+     kDiagnoseArgs, cmd_diagnose},
+    {"evaluate", "Recall@k of a model over every faulty campaign sample",
+     kEvaluateArgs, cmd_evaluate},
+    {"serve", "long-lived micro-batching diagnosis service (line JSON)",
+     kServeArgs, cmd_serve},
+    {"mkrequests", "turn campaign samples into serve request lines",
+     kMkrequestsArgs, cmd_mkrequests},
+    {"selfcheck", "run the seeded property/differential/fuzz suites",
+     kSelfcheckArgs, cmd_selfcheck},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args = setup_telemetry(argc, argv);
   if (args.empty()) {
-    std::cerr << "usage: diagnet <simulate|train|diagnose|evaluate|selfcheck> "
-                 "[--trace file] [--metrics file] [--telemetry] "
-                 "[--threads n] [--flag value ...]\n";
+    std::cerr << "usage: diagnet <command> [--flag value ...]\n\ncommands:\n";
+    for (const Command& command : kCommands) {
+      std::string left = "  ";
+      left += command.name;
+      left.resize(14, ' ');
+      std::cerr << left << command.summary << '\n';
+    }
+    std::cerr << "\ntelemetry (any command): [--trace file] [--metrics file]"
+                 " [--telemetry]\nper-command flags: diagnet <command>"
+                 " --help\n";
     return 2;
   }
-  const std::string command = args[0];
-  try {
-    const auto flags = parse_flags(args, 1);
-    if (command == "simulate") return cmd_simulate(flags);
-    if (command == "train") return cmd_train(flags);
-    if (command == "diagnose") return cmd_diagnose(flags);
-    if (command == "evaluate") return cmd_evaluate(flags);
-    if (command == "selfcheck") return cmd_selfcheck(flags);
-    std::cerr << "unknown command: " << command << '\n';
+  const std::string name = args[0];
+  const Command* command = nullptr;
+  for (const Command& candidate : kCommands)
+    if (name == candidate.name) command = &candidate;
+  if (command == nullptr) {
+    std::cerr << "unknown command: " << name << '\n';
     return 2;
+  }
+  const auto parsed = util::parse_args(args, 1, command->specs);
+  if (!parsed.ok()) {
+    if (parsed.status().code() == util::StatusCode::kNotFound) {
+      std::cout << util::help_text(command->name, command->summary,
+                                   command->specs);
+      return 0;
+    }
+    std::cerr << "error: " << parsed.status().message() << '\n';
+    return 1;
+  }
+  try {
+    return command->handler(parsed.value());
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
