@@ -7,6 +7,8 @@
 #include <deque>
 #include <future>
 #include <istream>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <thread>
@@ -165,7 +167,13 @@ class FdStreambuf : public std::streambuf {
  private:
   bool write_all(const char* data, std::size_t n) {
     while (n > 0) {
+      // MSG_NOSIGNAL: a client that hangs up before reading must surface
+      // as a write error here, not as a process-killing SIGPIPE.
+#if defined(MSG_NOSIGNAL)
+      const ssize_t written = ::send(fd_, data, n, MSG_NOSIGNAL);
+#else
       const ssize_t written = ::write(fd_, data, n);
+#endif
       if (written <= 0) return false;
       data += written;
       n -= static_cast<std::size_t>(written);
@@ -175,6 +183,17 @@ class FdStreambuf : public std::streambuf {
 
   int fd_;
   char buffer_[4096];
+};
+
+/// One accepted connection: the session thread sets `done` when the
+/// client side ends; the accept loop joins finished sessions and owns
+/// closing `fd` (only after the join, so a shutdown() from the stop path
+/// can never hit a recycled descriptor).
+struct TcpSession {
+  explicit TcpSession(int fd) : fd(fd) {}
+  const int fd;
+  std::atomic<bool> done{false};
+  std::thread thread;
 };
 
 }  // namespace
@@ -206,27 +225,55 @@ util::Status run_tcp_listener(DiagnosisService& service,
   std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
                static_cast<unsigned>(ntohs(addr.sin_port)));
 
-  std::vector<std::thread> sessions;
+  std::list<std::unique_ptr<TcpSession>> sessions;
+  const auto reap_finished = [&sessions] {
+    for (auto it = sessions.begin(); it != sessions.end();) {
+      if ((*it)->done.load()) {
+        (*it)->thread.join();
+        ::close((*it)->fd);
+        it = sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
   while (!stop_flag.load()) {
-    // Poll with a timeout so the stop flag is honoured between accepts.
+    // Poll with a timeout so the stop flag is honoured between accepts,
+    // and reap finished sessions each tick — a long-lived server must not
+    // accumulate joinable threads across short-lived connections.
     pollfd pfd{listener, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
+    reap_finished();
     if (ready < 0) break;
     if (ready == 0) continue;
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) continue;
-    sessions.emplace_back([&service, &fs, default_top_k, &stop_flag, conn] {
-      FdStreambuf buf(conn);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      run_session(service, fs, in, out, default_top_k, &stop_flag);
-      ::close(conn);
-    });
+#if defined(SO_NOSIGPIPE)
+    ::setsockopt(conn, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#endif
+    auto session = std::make_unique<TcpSession>(conn);
+    TcpSession* raw = session.get();
+    session->thread =
+        std::thread([&service, &fs, default_top_k, &stop_flag, raw] {
+          FdStreambuf buf(raw->fd);
+          std::istream in(&buf);
+          std::ostream out(&buf);
+          run_session(service, fs, in, out, default_top_k, &stop_flag);
+          raw->done.store(true);
+        });
+    sessions.push_back(std::move(session));
   }
   ::close(listener);
-  // Drain: sessions end at client EOF; every accepted request is answered
-  // before its session thread exits.
-  for (std::thread& t : sessions) t.join();
+  // Drain: SHUT_RD delivers EOF to sessions blocked in read() on idle
+  // connections (otherwise shutdown would wait for every connected client
+  // to hang up) while leaving the write side open, so in-flight responses
+  // still reach their clients before the join.
+  for (const auto& session : sessions) ::shutdown(session->fd, SHUT_RD);
+  for (const auto& session : sessions) {
+    session->thread.join();
+    ::close(session->fd);
+  }
   return {};
 }
 

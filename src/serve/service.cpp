@@ -118,12 +118,19 @@ std::future<core::DiagnoseResponse> DiagnosisService::submit(
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = clock::now();
-  pending.has_deadline = deadline_ms > 0.0;
-  pending.deadline =
-      pending.has_deadline
-          ? pending.enqueued + std::chrono::microseconds(static_cast<
-                std::int64_t>(deadline_ms * 1000.0))
-          : clock::time_point::max();
+  pending.has_deadline = deadline_ms > 0.0;  // NaN compares false: no deadline
+  if (pending.has_deadline) {
+    // Cap at ~10 years: the value is client-controlled, and an unbounded
+    // double would overflow the int64 microsecond cast (UB) and the
+    // time_point addition below.
+    constexpr double kMaxDeadlineMs = 3.2e11;
+    const double clamped = std::min(deadline_ms, kMaxDeadlineMs);
+    pending.deadline =
+        pending.enqueued +
+        std::chrono::microseconds(static_cast<std::int64_t>(clamped * 1000.0));
+  } else {
+    pending.deadline = clock::time_point::max();
+  }
   std::future<core::DiagnoseResponse> future =
       pending.promise.get_future();
 

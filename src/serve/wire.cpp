@@ -18,15 +18,24 @@ Status field_error(const char* field, const char* what) {
                                   "' " + what);
 }
 
+/// Largest integer a double represents exactly (2^53). Values above it
+/// are rejected rather than cast: float-to-int conversion out of the
+/// destination's range is undefined behaviour, and this field arrives
+/// from untrusted network input.
+constexpr double kMaxExactUint = 9007199254740992.0;
+
 /// Read an optional non-negative integer field.
 Status read_uint(const JsonValue& object, const char* field,
                  std::uint64_t* out) {
   const JsonValue* v = object.find(field);
   if (v == nullptr) return {};
-  if (v->kind() != JsonValue::Kind::Number || v->as_number() < 0.0 ||
-      std::floor(v->as_number()) != v->as_number())
+  if (v->kind() != JsonValue::Kind::Number)
     return field_error(field, "must be a non-negative integer");
-  *out = static_cast<std::uint64_t>(v->as_number());
+  const double n = v->as_number();
+  if (!std::isfinite(n) || n < 0.0 || std::floor(n) != n)
+    return field_error(field, "must be a non-negative integer");
+  if (n > kMaxExactUint) return field_error(field, "is too large");
+  *out = static_cast<std::uint64_t>(n);
   return {};
 }
 
@@ -81,8 +90,9 @@ util::StatusOr<WireRequest> parse_request(const std::string& line) {
 
   if (const JsonValue* deadline = object.find("deadline_ms")) {
     if (deadline->kind() != JsonValue::Kind::Number ||
+        !std::isfinite(deadline->as_number()) ||
         deadline->as_number() < 0.0)
-      return field_error("deadline_ms", "must be a non-negative number");
+      return field_error("deadline_ms", "must be a finite non-negative number");
     wire.deadline_ms = deadline->as_number();
   }
 

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
@@ -194,6 +195,26 @@ TEST(DiagnosisService, DeadlineShedsBeforeDispatch) {
   EXPECT_EQ(stats.completed, 0u);
 }
 
+TEST(DiagnosisService, AbsurdDeadlineIsClampedNotUndefined) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::DiagnosisService service(provider, serve::ServiceConfig{});
+
+  // deadline_ms is client-controlled and only lower-bounded at the wire
+  // layer; a huge-but-finite value must behave as "no effective deadline"
+  // (clamped), not overflow the microsecond cast. NaN means no deadline.
+  auto huge = service.submit(request_for(indices[0]),
+                             /*deadline_ms=*/1e300);
+  auto nan = service.submit(request_for(indices[1]),
+                            /*deadline_ms=*/std::nan(""));
+  service.stop();
+  EXPECT_TRUE(huge.get().ok());
+  EXPECT_TRUE(nan.get().ok());
+  EXPECT_EQ(service.stats().shed, 0u);
+}
+
 TEST(DiagnosisService, StopDrainsAcceptedAndRefusesNew) {
   auto& p = pipeline();
   const std::vector<std::size_t> indices = p.faulty_test_indices();
@@ -364,6 +385,26 @@ TEST(Wire, ParseRejectsMalformedRequests) {
       serve::parse_request("{\"features\":[1],\"top_k\":0}");
   EXPECT_FALSE(bad_top_k.ok());
   EXPECT_NE(bad_top_k.status().message().find("top_k"), std::string::npos);
+}
+
+TEST(Wire, ParseRejectsUnrepresentableNumbers) {
+  // Infinity passes floor(x)==x, and anything above 2^64 (or 2^53 for
+  // exactness) makes the uint64 cast undefined behaviour — all of these
+  // arrive from untrusted network input and must be rejected, not cast.
+  EXPECT_FALSE(serve::parse_request("{\"id\":1e300,\"features\":[1]}").ok());
+  EXPECT_FALSE(serve::parse_request("{\"id\":1e999,\"features\":[1]}").ok());
+  EXPECT_FALSE(
+      serve::parse_request("{\"features\":[1],\"service\":1e300}").ok());
+  EXPECT_FALSE(
+      serve::parse_request("{\"features\":[1],\"top_k\":1e999}").ok());
+  EXPECT_FALSE(
+      serve::parse_request("{\"features\":[1],\"deadline_ms\":1e999}").ok());
+  // Large but exactly-representable values still parse.
+  const auto big = serve::parse_request(
+      "{\"id\":9007199254740992,\"features\":[1],\"deadline_ms\":1e300}");
+  ASSERT_TRUE(big.ok()) << big.status().to_string();
+  EXPECT_EQ(big.value().id, 9007199254740992ull);
+  EXPECT_EQ(big.value().deadline_ms, 1e300);
 }
 
 TEST(Wire, ParseReadsEveryField) {

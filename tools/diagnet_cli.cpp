@@ -364,6 +364,9 @@ void install_sigint_handler() {
   // session loop sees the flag and starts the graceful drain.
   action.sa_flags = 0;
   sigaction(SIGINT, &action, nullptr);
+  // A client that hangs up before reading its responses must surface as a
+  // write error in the transport, not as a process-killing SIGPIPE.
+  signal(SIGPIPE, SIG_IGN);
 }
 #else
 std::atomic<bool> g_interrupted{false};
@@ -394,6 +397,10 @@ int cmd_serve(const util::ParsedArgs& args) {
   const std::string model_path = args.str("model");
   if (args.uint("max-batch") == 0 || args.uint("queue-cap") == 0) {
     std::cerr << "error: --max-batch and --queue-cap must be positive\n";
+    return 1;
+  }
+  if (args.uint("port") > 65535) {
+    std::cerr << "error: --port must be <= 65535\n";
     return 1;
   }
 
