@@ -16,6 +16,7 @@
 
 #include "eval/pipeline.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "util/table.h"
 
 namespace diagnet::bench {
@@ -86,7 +87,11 @@ inline void write_bench_report() {
   }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.3f", wall_seconds);
-  file << "{\"bench\":\"" << state.slug << "\",\"wall_seconds\":" << buf
+  // run_metadata_json stamps timestamp / git SHA / hardware threads /
+  // build type so a perf trajectory can tell apart "the code got slower"
+  // from "the machine or build changed".
+  file << "{\"bench\":\"" << state.slug << "\","
+       << obs::run_metadata_json() << ",\"wall_seconds\":" << buf
        << ",\"peak_rss_kib\":" << obs::peak_rss_kib()
        << ",\"scale\":" << bench_scale() << "}\n";
   std::cerr << "[bench] report written to " << path << '\n';

@@ -83,6 +83,21 @@ struct DiagnoseRequest {
   std::vector<bool> landmark_available;
 };
 
+/// Per-request serving trace, stamped by serve::DiagnosisService so one
+/// slow response can be explained from its own record: where the time
+/// went (queued behind a batch window? a slow inference pass? a stalled
+/// writer?) without correlating external logs. request_id == 0 means the
+/// response never passed through a service (direct model call).
+struct RequestTrace {
+  std::uint64_t request_id = 0;      // service-assigned, unique per process
+  double queue_us = 0.0;             // submit -> batch cut from the queue
+  double assembly_us = 0.0;          // batch cut -> inference start
+  double inference_us = 0.0;         // batched network passes
+  double write_back_us = 0.0;        // inference end -> this promise stamped
+  std::uint64_t batch_size = 0;      // live peers in the same batch
+  std::uint64_t model_generation = 0;  // ModelProvider generation used
+};
+
 /// The paired response: a Status (OK, or the reason no diagnosis was
 /// produced — validation failure, queue rejection, missed deadline) plus
 /// the diagnosis when OK. CLI errors and server `Rejected` wire responses
@@ -90,6 +105,7 @@ struct DiagnoseRequest {
 struct DiagnoseResponse {
   util::Status status;
   Diagnosis diagnosis;  // meaningful only when status.ok()
+  RequestTrace trace;   // populated on the serving path (request_id != 0)
   bool ok() const { return status.ok(); }
 };
 

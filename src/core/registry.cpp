@@ -51,7 +51,7 @@ util::Status try_save_model_file(const DiagNetModel& model,
 }
 
 util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model(
-    std::istream& is, const data::FeatureSpace& fs) {
+    std::istream& is, const data::FeatureSpace& fs, ModelBundleInfo* info) {
   // binary_io and DiagNetModel::load signal malformed bytes by throwing;
   // the registry is where those are converted into one Status channel.
   try {
@@ -69,18 +69,24 @@ util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model(
 
     std::istringstream payload_is(payload, std::ios::binary);
     util::BinaryReader payload_reader(payload_is);
-    return DiagNetModel::load(payload_reader, fs);
+    auto model = DiagNetModel::load(payload_reader, fs);
+    if (info != nullptr) {
+      info->checksum = checksum;
+      info->version = version;
+    }
+    return model;
   } catch (const std::exception& e) {
     return util::Status::data_loss(e.what());
   }
 }
 
 util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model_file(
-    const std::string& path, const data::FeatureSpace& fs) {
+    const std::string& path, const data::FeatureSpace& fs,
+    ModelBundleInfo* info) {
   std::ifstream is(path, std::ios::binary);
   if (!is)
     return util::Status::not_found("model registry: cannot open " + path);
-  return try_load_model(is, fs);
+  return try_load_model(is, fs, info);
 }
 
 // ---------------------------------------------------------------------------

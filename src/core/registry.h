@@ -30,14 +30,27 @@ util::Status try_save_model(const DiagNetModel& model, std::ostream& os);
 util::Status try_save_model_file(const DiagNetModel& model,
                                  const std::string& path);
 
+/// Side-channel facts about a successfully loaded bundle; the serving
+/// subsystem surfaces these through its statsz endpoint so an operator
+/// can tell WHICH model a process is serving (the checksum is the v2
+/// registry's FNV-1a payload checksum, i.e. it identifies the exact
+/// trained weights, not just a file path).
+struct ModelBundleInfo {
+  std::uint64_t checksum = 0;
+  std::uint64_t version = 0;  // registry file-format version
+};
+
 /// Reconstruct a model bound to `fs`. The feature space must describe the
 /// same deployment shape (k metrics per landmark, local feature count) the
 /// model was trained for; mismatches are invalid_argument, corrupt or
-/// truncated bundles data_loss, missing files not_found.
+/// truncated bundles data_loss, missing files not_found. `info`, when
+/// non-null, receives the bundle checksum/version on success.
 util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model(
-    std::istream& is, const data::FeatureSpace& fs);
+    std::istream& is, const data::FeatureSpace& fs,
+    ModelBundleInfo* info = nullptr);
 util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model_file(
-    const std::string& path, const data::FeatureSpace& fs);
+    const std::string& path, const data::FeatureSpace& fs,
+    ModelBundleInfo* info = nullptr);
 
 /// Deprecated throwing forwarders (std::runtime_error / std::logic_error)
 /// over the Status API, kept so existing callers compile unchanged.

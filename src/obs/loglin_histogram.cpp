@@ -1,0 +1,130 @@
+#include "obs/loglin_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diagnet::obs {
+
+namespace {
+
+/// Relaxed CAS accumulate/min/max over atomic<double> (fetch_add on
+/// floating atomics is C++20-library-optional; the CAS loop is portable
+/// and the contention here is a handful of writer threads).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v < current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (v > current && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t LogLinearHistogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0 and NaN: underflow bucket
+  int exp;                   // v = frac * 2^exp, frac in [0.5, 1)
+  const double frac = std::frexp(v, &exp);
+  const int e = exp - 1;  // v in [2^e, 2^(e+1))
+  if (e < kMinExp2) return 0;
+  if (e > kMaxExp2) return kBucketCount - 1;
+  // frac in [0.5, 1) -> linear sub-bucket 0..63 within the major bucket.
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 +
+         static_cast<std::size_t>(e - kMinExp2) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double LogLinearHistogram::bucket_midpoint(std::size_t index) {
+  if (index == 0) return 0.0;  // "smaller than the resolvable range"
+  if (index >= kBucketCount - 1)
+    return std::ldexp(1.0, kMaxExp2 + 1);  // overflow: range top
+  const std::size_t linear = index - 1;
+  const int e = kMinExp2 + static_cast<int>(linear / kSubBuckets);
+  const double sub = static_cast<double>(linear % kSubBuckets);
+  // Midpoint of [2^e * (1 + sub/64), 2^e * (1 + (sub+1)/64)).
+  return std::ldexp(1.0 + (sub + 0.5) / kSubBuckets, e);
+}
+
+void LogLinearHistogram::observe(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(v)) {
+    atomic_add(sum_, v);
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+  }
+}
+
+LogLinearHistogram::Snapshot LogLinearHistogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  if (snap.count == 0) return snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const double min = min_.load(std::memory_order_relaxed);
+  const double max = max_.load(std::memory_order_relaxed);
+  snap.min = std::isfinite(min) ? min : 0.0;
+  snap.max = std::isfinite(max) ? max : 0.0;
+  snap.buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LogLinearHistogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+double LogLinearHistogram::Snapshot::percentile(double q) const {
+  if (buckets.empty()) return std::nan("");
+  // Total from the buckets themselves: under concurrent writes `count`
+  // can momentarily run ahead of the bucket array copy.
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return std::nan("");
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) > rank)
+      return std::clamp(bucket_midpoint(i), min, max);
+  }
+  return max;
+}
+
+void LogLinearHistogram::Snapshot::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  if (buckets.empty()) buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < buckets.size() && i < other.buckets.size(); ++i)
+    buckets[i] += other.buckets[i];
+}
+
+}  // namespace diagnet::obs

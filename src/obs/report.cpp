@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -84,6 +86,23 @@ std::string render_summary() {
     out += table.to_string();
   }
 
+  const auto tails = registry.tail_histograms();
+  if (!tails.empty()) {
+    util::Table table({"tail histogram", "count", "mean", "p50", "p90",
+                       "p99", "p999", "max"});
+    for (const auto& [name, snap] : tails) {
+      if (snap.count == 0) continue;
+      table.add_row({name, std::to_string(snap.count),
+                     util::fmt(snap.mean(), 3),
+                     util::fmt(snap.percentile(0.50), 3),
+                     util::fmt(snap.percentile(0.90), 3),
+                     util::fmt(snap.percentile(0.99), 3),
+                     util::fmt(snap.percentile(0.999), 3),
+                     util::fmt(snap.max, 3)});
+    }
+    out += table.to_string();
+  }
+
   const auto counters = registry.counters();
   const auto gauges = registry.gauges();
   if (!counters.empty() || !gauges.empty()) {
@@ -95,7 +114,8 @@ std::string render_summary() {
     out += table.to_string();
   }
 
-  if (histograms.empty() && counters.empty() && gauges.empty())
+  if (histograms.empty() && tails.empty() && counters.empty() &&
+      gauges.empty())
     out += "(no telemetry recorded)\n";
   return out;
 }
@@ -142,7 +162,60 @@ std::string metrics_to_json() {
     }
     out += '}';
   }
+  out += "},\"tail_histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.tail_histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(snap.count);
+    const std::pair<const char*, double> fields[] = {
+        {"mean", snap.mean()},           {"min", snap.min},
+        {"max", snap.max},               {"p50", snap.percentile(0.50)},
+        {"p90", snap.percentile(0.90)},  {"p99", snap.percentile(0.99)},
+        {"p999", snap.percentile(0.999)}};
+    for (const auto& [key, value] : fields) {
+      out += ",\"";
+      out += key;
+      out += "\":";
+      append_json_number(out, value);
+    }
+    out += '}';
+  }
   out += "}}";
+  return out;
+}
+
+std::string run_metadata_json() {
+#if defined(DIAGNET_GIT_SHA)
+  const char* git_sha = DIAGNET_GIT_SHA;
+#else
+  const char* git_sha = "unknown";
+#endif
+#if defined(DIAGNET_BUILD_TYPE)
+  const char* build_type = DIAGNET_BUILD_TYPE;
+#else
+  const char* build_type = "unknown";
+#endif
+  char stamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+#if defined(__unix__) || defined(__APPLE__)
+  if (std::tm utc{}; gmtime_r(&now, &utc) != nullptr)
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+#else
+  if (const std::tm* utc = std::gmtime(&now); utc != nullptr)
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", utc);
+#endif
+  std::string out = "\"timestamp\":\"";
+  out += stamp;
+  out += "\",\"git_sha\":\"";
+  append_json_escaped(out, git_sha);
+  out += "\",\"hardware_threads\":";
+  out += std::to_string(std::thread::hardware_concurrency());
+  out += ",\"build_type\":\"";
+  append_json_escaped(out, build_type);
+  out += '"';
   return out;
 }
 

@@ -9,14 +9,26 @@
 namespace diagnet::obs {
 
 /// Render every counter, gauge and histogram currently in the registry as
-/// banner + ASCII tables. Histograms report count / mean / p50 / p95 / p99
-/// / max / total.
+/// banner + ASCII tables. Reservoir histograms report count / mean / p50 /
+/// p95 / p99 / max / total; tail (log-linear) histograms report count /
+/// mean / p50 / p90 / p99 / p999 / max.
 std::string render_summary();
 
 /// Same content as JSON:
 ///   {"counters": {...}, "gauges": {...},
-///    "histograms": {"name": {"count":..,"mean":..,"p50":..,...}, ...}}
+///    "histograms": {"name": {"count":..,"mean":..,"p50":..,...}, ...},
+///    "tail_histograms": {"name": {"count":..,"p50":..,"p999":..}, ...}}
 std::string metrics_to_json();
+
+/// Run metadata shared by every BENCH_*.json emitter so perf trajectories
+/// are comparable across machines and commits: a comma-joined fragment of
+/// key:value pairs (no braces) —
+///   "timestamp":"2026-08-08T12:00:00Z","git_sha":"abc1234",
+///   "hardware_threads":8,"build_type":"Release"
+/// git_sha/build_type come from compile definitions (DIAGNET_GIT_SHA,
+/// DIAGNET_BUILD_TYPE, wired in src/obs/CMakeLists.txt), "unknown" when
+/// absent; the timestamp is wall-clock UTC at call time.
+std::string run_metadata_json();
 
 /// metrics_to_json() straight to a file; returns false on I/O failure.
 bool write_metrics_file(const std::string& path);

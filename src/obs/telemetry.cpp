@@ -172,6 +172,9 @@ Gauge& Registry::gauge(const std::string& name) {
 Histogram& Registry::histogram(const std::string& name) {
   return lookup(histograms_, name);
 }
+LogLinearHistogram& Registry::tail_histogram(const std::string& name) {
+  return lookup(tail_histograms_, name);
+}
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -204,12 +207,26 @@ std::vector<std::pair<std::string, Histogram::Snapshot>> Registry::histograms()
   return out;
 }
 
+std::vector<std::pair<std::string, LogLinearHistogram::Snapshot>>
+Registry::tail_histograms() const {
+  std::vector<std::pair<std::string, LogLinearHistogram::Snapshot>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, metric] : tail_histograms_)
+      out.emplace_back(name, metric->snapshot());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 void Registry::reset_for_test() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, metric] : counters_) metric->reset();
     for (auto& [name, metric] : gauges_) metric->set(0.0);
     for (auto& [name, metric] : histograms_) metric->reset();
+    for (auto& [name, metric] : tail_histograms_) metric->reset();
   }
   TraceBufferList& list = trace_buffers();
   std::lock_guard<std::mutex> lock(list.mu);
@@ -235,7 +252,18 @@ void observe(const char* name, double value) {
   Registry::instance().histogram(name).observe(value);
 }
 
-Span::Span(const char* name) : name_(name), active_(enabled()) {
+void observe_tail(const char* name, double value) {
+  if (!enabled()) return;
+  Registry::instance().tail_histogram(name).observe(value);
+}
+
+Span::Span(const char* name)
+    : name_(name), site_(nullptr), active_(enabled()) {
+  if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+Span::Span(SpanSite& site)
+    : name_(site.name), site_(&site), active_(enabled()) {
   if (active_) start_ = std::chrono::steady_clock::now();
 }
 
@@ -244,9 +272,15 @@ Span::~Span() {
   const auto end = std::chrono::steady_clock::now();
   const double dur_us =
       std::chrono::duration<double, std::micro>(end - start_).count();
-  Registry::instance()
-      .histogram(std::string(name_) + ".ms")
-      .observe(dur_us / 1000.0);
+  Histogram* histogram =
+      site_ != nullptr ? site_->histogram.load(std::memory_order_acquire)
+                       : nullptr;
+  if (histogram == nullptr) {
+    histogram = &Registry::instance().histogram(std::string(name_) + ".ms");
+    if (site_ != nullptr)
+      site_->histogram.store(histogram, std::memory_order_release);
+  }
+  histogram->observe(dur_us / 1000.0);
   if (g_trace_events.fetch_add(1, std::memory_order_relaxed) >=
       kMaxTraceEvents)
     return;

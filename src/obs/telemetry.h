@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/loglin_histogram.h"
 #include "util/stats.h"
 
 namespace diagnet::obs {
@@ -111,11 +112,17 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  /// Tail (log-linear) histogram family: exact p999 over unbounded
+  /// streams, lock-free recording — all `serve.*` latency metrics live
+  /// here (see loglin_histogram.h for when to use which family).
+  LogLinearHistogram& tail_histogram(const std::string& name);
 
   /// Sorted-by-name snapshots for the report sinks.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, double>> gauges() const;
   std::vector<std::pair<std::string, Histogram::Snapshot>> histograms() const;
+  std::vector<std::pair<std::string, LogLinearHistogram::Snapshot>>
+  tail_histograms() const;
 
   /// Zero every metric and drop buffered trace events (test isolation).
   void reset_for_test();
@@ -130,12 +137,31 @@ class Registry {
   std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
   std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  std::vector<std::pair<std::string, std::unique_ptr<LogLinearHistogram>>>
+      tail_histograms_;
 };
 
-/// Convenience recording helpers; all no-ops while disabled.
+/// Convenience recording helpers; all no-ops while disabled. These take
+/// the registry mutex for a linear name scan on every call — fine for
+/// dynamic names, but instrumented call sites with literal names should
+/// go through the obs.h macros, which cache the metric pointer in a
+/// function-local static so steady-state recording is one atomic op.
 void count(const char* name, std::uint64_t delta = 1);
 void gauge_set(const char* name, double value);
 void observe(const char* name, double value);
+void observe_tail(const char* name, double value);
+
+/// One instrumented span call site (created as a function-local static by
+/// DIAGNET_SPAN): caches the "<name>.ms" histogram pointer after the
+/// first recording so the span hot path never re-does the registry
+/// lookup + string concatenation. Metric objects live for the process
+/// lifetime (reset_for_test zeroes, never destroys), so the cached
+/// pointer cannot dangle.
+struct SpanSite {
+  explicit SpanSite(const char* span_name) : name(span_name) {}
+  const char* name;
+  std::atomic<Histogram*> histogram{nullptr};
+};
 
 /// Scoped timer. On destruction (if telemetry was enabled at construction)
 /// it appends a trace event and observes "<name>.ms" in the registry.
@@ -144,6 +170,7 @@ void observe(const char* name, double value);
 class Span {
  public:
   explicit Span(const char* name);
+  explicit Span(SpanSite& site);
   ~Span();
 
   Span(const Span&) = delete;
@@ -151,6 +178,7 @@ class Span {
 
  private:
   const char* name_;
+  SpanSite* site_;  // nullptr for uncached (dynamic-name) spans
   std::chrono::steady_clock::time_point start_;
   bool active_;
 };

@@ -1,0 +1,239 @@
+#include "serve/loadgen.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "serve/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DIAGNET_SERVE_HAS_TCP 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DIAGNET_SERVE_HAS_TCP 0
+#endif
+
+namespace diagnet::serve {
+
+#if DIAGNET_SERVE_HAS_TCP
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// splitmix64: deterministic per-thread pool sampling.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One connected client: line-oriented send/receive over a socket.
+class Connection {
+ public:
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Connect with retries until the deadline — the benchmark script
+  /// starts server and loadgen concurrently, so the listener may not be
+  /// up on the first attempt.
+  util::Status connect(std::uint16_t port, double timeout_s) {
+    const auto deadline =
+        clock::now() + std::chrono::duration<double>(timeout_s);
+    while (true) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) return util::Status::unavailable("loadgen: socket()");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port);
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) == 0) {
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return {};
+      }
+      ::close(fd_);
+      fd_ = -1;
+      if (clock::now() >= deadline)
+        return util::Status::unavailable(
+            "loadgen: cannot connect to 127.0.0.1:" + std::to_string(port));
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  bool send_line(const std::string& line) {
+    std::string framed = line;
+    framed += '\n';
+    const char* data = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+#if defined(MSG_NOSIGNAL)
+      const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+#else
+      const ssize_t n = ::write(fd_, data, left);
+#endif
+      if (n <= 0) return false;
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool recv_line(std::string* line) {
+    line->clear();
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace
+
+util::StatusOr<LoadgenReport> run_loadgen(const LoadgenConfig& config) {
+  if (config.pool.empty())
+    return util::Status::invalid_argument("loadgen: empty request pool");
+  if (config.requests == 0)
+    return util::Status::invalid_argument("loadgen: requests must be > 0");
+  if (config.concurrency == 0)
+    return util::Status::invalid_argument(
+        "loadgen: concurrency must be > 0");
+  const std::size_t concurrency =
+      std::min(config.concurrency, config.requests);
+
+  obs::LogLinearHistogram latency_ms;
+  std::atomic<std::uint64_t> sent{0}, ok{0}, rejected{0}, errors{0};
+  std::mutex statsz_mu;
+  std::string statsz;
+  std::mutex connect_error_mu;
+  util::Status connect_error;
+
+  const auto start = clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(concurrency);
+  for (std::size_t t = 0; t < concurrency; ++t) {
+    workers.emplace_back([&, t] {
+      Connection conn;
+      if (util::Status s =
+              conn.connect(config.port, config.connect_timeout_s);
+          !s.ok()) {
+        std::lock_guard<std::mutex> lock(connect_error_mu);
+        if (connect_error.ok()) connect_error = s;
+        return;
+      }
+      std::uint64_t rng = config.seed * 0x9e3779b97f4a7c15ULL + t;
+      // Request j goes to connection j % concurrency; in open-loop mode
+      // its send slot is start + j/target_rps on the shared schedule.
+      std::size_t handled = 0;
+      const std::size_t share =
+          config.requests / concurrency +
+          (t < config.requests % concurrency ? 1 : 0);
+      for (std::size_t j = t; j < config.requests; j += concurrency) {
+        const std::string& line =
+            config.pool[next_rand(rng) % config.pool.size()];
+        clock::time_point measured_from = clock::now();
+        if (config.target_rps > 0.0) {
+          const auto slot =
+              start + std::chrono::duration_cast<clock::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(j) / config.target_rps));
+          std::this_thread::sleep_until(slot);
+          // Coordinated-omission-safe: latency counts from when the
+          // request SHOULD have been sent, so a stalled server inflates
+          // the tail instead of silently slowing the generator.
+          measured_from = slot;
+        }
+        if (!conn.send_line(line)) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          break;  // connection is dead; no point continuing this thread
+        }
+        sent.fetch_add(1, std::memory_order_relaxed);
+        std::string response;
+        if (!conn.recv_line(&response)) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        latency_ms.observe(std::chrono::duration<double, std::milli>(
+                               clock::now() - measured_from)
+                               .count());
+        auto tree = parse_json(response);
+        if (!tree.ok() || tree->kind() != JsonValue::Kind::Object) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        } else if (const JsonValue* okv = tree->find("ok");
+                   okv != nullptr && okv->kind() == JsonValue::Kind::Bool &&
+                   okv->as_bool()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++handled;
+        // Mid-run introspection probe: issued from one connection once
+        // half its share is done, while the other connections keep the
+        // server under load.
+        if (config.probe_statsz && t == 0 && handled == share / 2 + 1) {
+          std::string snapshot;
+          if (conn.send_line("{\"cmd\":\"statsz\"}") &&
+              conn.recv_line(&snapshot)) {
+            std::lock_guard<std::mutex> lock(statsz_mu);
+            statsz = std::move(snapshot);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+
+  if (sent.load() == 0) {
+    std::lock_guard<std::mutex> lock(connect_error_mu);
+    if (!connect_error.ok()) return connect_error;
+    return util::Status::unavailable("loadgen: no request was ever sent");
+  }
+
+  LoadgenReport report;
+  report.sent = sent.load();
+  report.ok = ok.load();
+  report.rejected = rejected.load();
+  report.errors = errors.load();
+  report.wall_seconds = wall_seconds;
+  report.achieved_rps =
+      wall_seconds > 0.0 ? static_cast<double>(report.sent) / wall_seconds
+                         : 0.0;
+  report.latency_ms = latency_ms.snapshot();
+  report.statsz = statsz;
+  return report;
+}
+
+#else  // !DIAGNET_SERVE_HAS_TCP
+
+util::StatusOr<LoadgenReport> run_loadgen(const LoadgenConfig&) {
+  return util::Status::unavailable(
+      "loadgen needs the POSIX TCP client, unavailable on this platform");
+}
+
+#endif  // DIAGNET_SERVE_HAS_TCP
+
+}  // namespace diagnet::serve

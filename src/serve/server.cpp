@@ -22,6 +22,7 @@
 #define DIAGNET_SERVE_HAS_TCP 1
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -39,6 +40,7 @@ using clock = std::chrono::steady_clock;
 /// line, or a pending future the writer thread must wait on.
 struct Outgoing {
   bool immediate = false;
+  bool immediate_is_error = true;  // false for admin-command answers
   std::string immediate_line;
   std::uint64_t id = 0;
   std::size_t top_k = 5;
@@ -51,7 +53,8 @@ struct Outgoing {
 SessionStats run_session(DiagnosisService& service,
                          const data::FeatureSpace& fs, std::istream& in,
                          std::ostream& out, std::size_t default_top_k,
-                         const std::atomic<bool>* stop_flag) {
+                         const std::atomic<bool>* stop_flag,
+                         const SessionHooks* hooks) {
   SessionStats stats;
 
   std::mutex mu;
@@ -76,7 +79,7 @@ SessionStats run_session(DiagnosisService& service,
       bool ok = true;
       if (next.immediate) {
         line = std::move(next.immediate_line);
-        ok = false;
+        ok = !next.immediate_is_error;
       } else {
         core::DiagnoseResponse response = next.future.get();
         const double latency_ms =
@@ -84,9 +87,10 @@ SessionStats run_session(DiagnosisService& service,
                                                       next.submitted)
                 .count();
         ok = response.ok();
-        line = ok ? format_response(next.id, response.diagnosis, fs,
-                                    next.top_k, latency_ms)
-                  : format_error(next.id, response.status);
+        line = ok ? format_response(next.id, response, fs, next.top_k,
+                                    latency_ms)
+                  : format_error(next.id, response.status,
+                                 response.trace.request_id);
       }
       out << line << '\n';
       out.flush();
@@ -105,16 +109,45 @@ SessionStats run_session(DiagnosisService& service,
     DIAGNET_SPAN("serve.request");
     DIAGNET_COUNT("serve.requests");
     Outgoing outgoing;
-    auto parsed = parse_request(line);
-    if (!parsed.ok()) {
+    // Each line is parsed once; an object carrying "cmd" is an in-band
+    // admin command, anything else follows the request schema.
+    auto tree = parse_json(line);
+    const JsonValue* cmd =
+        tree.ok() && tree->kind() == JsonValue::Kind::Object
+            ? tree->find("cmd")
+            : nullptr;
+    if (cmd != nullptr) {
       outgoing.immediate = true;
-      outgoing.immediate_line = format_error(0, parsed.status());
+      if (cmd->kind() != JsonValue::Kind::String) {
+        outgoing.immediate_line = format_error(
+            0, util::Status::invalid_argument("'cmd' must be a string"));
+      } else if (cmd->as_string() == "statsz") {
+        if (hooks != nullptr && hooks->statsz) {
+          outgoing.immediate_is_error = false;
+          outgoing.immediate_line = hooks->statsz();
+        } else {
+          outgoing.immediate_line = format_error(
+              0, util::Status::unavailable(
+                     "statsz is not available on this session"));
+        }
+      } else {
+        outgoing.immediate_line = format_error(
+            0, util::Status::invalid_argument("unknown cmd '" +
+                                              cmd->as_string() + "'"));
+      }
     } else {
-      outgoing.id = parsed->id;
-      outgoing.top_k = parsed->top_k == 0 ? default_top_k : parsed->top_k;
-      outgoing.submitted = clock::now();
-      outgoing.future =
-          service.submit(std::move(parsed->request), parsed->deadline_ms);
+      auto parsed = tree.ok() ? parse_request(*tree)
+                              : util::StatusOr<WireRequest>(tree.status());
+      if (!parsed.ok()) {
+        outgoing.immediate = true;
+        outgoing.immediate_line = format_error(0, parsed.status());
+      } else {
+        outgoing.id = parsed->id;
+        outgoing.top_k = parsed->top_k == 0 ? default_top_k : parsed->top_k;
+        outgoing.submitted = clock::now();
+        outgoing.future =
+            service.submit(std::move(parsed->request), parsed->deadline_ms);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -202,7 +235,9 @@ util::Status run_tcp_listener(DiagnosisService& service,
                               const data::FeatureSpace& fs,
                               std::uint16_t port,
                               std::size_t default_top_k,
-                              const std::atomic<bool>& stop_flag) {
+                              const std::atomic<bool>& stop_flag,
+                              std::atomic<std::uint16_t>* bound_port,
+                              const SessionHooks* hooks) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0)
     return util::Status::unavailable("tcp: socket() failed");
@@ -222,6 +257,7 @@ util::Status run_tcp_listener(DiagnosisService& service,
   }
   socklen_t addr_len = sizeof addr;
   ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  if (bound_port != nullptr) bound_port->store(ntohs(addr.sin_port));
   std::fprintf(stderr, "serve: listening on 127.0.0.1:%u\n",
                static_cast<unsigned>(ntohs(addr.sin_port)));
 
@@ -249,17 +285,22 @@ util::Status run_tcp_listener(DiagnosisService& service,
     if (ready == 0) continue;
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) continue;
+    // Nagle + the client's delayed ACK turns every small response line
+    // into a ~40ms stall; a line protocol wants its writes on the wire
+    // immediately.
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 #if defined(SO_NOSIGPIPE)
     ::setsockopt(conn, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
 #endif
     auto session = std::make_unique<TcpSession>(conn);
     TcpSession* raw = session.get();
     session->thread =
-        std::thread([&service, &fs, default_top_k, &stop_flag, raw] {
+        std::thread([&service, &fs, default_top_k, &stop_flag, hooks, raw] {
           FdStreambuf buf(raw->fd);
           std::istream in(&buf);
           std::ostream out(&buf);
-          run_session(service, fs, in, out, default_top_k, &stop_flag);
+          run_session(service, fs, in, out, default_top_k, &stop_flag,
+                      hooks);
           raw->done.store(true);
         });
     sessions.push_back(std::move(session));
@@ -281,7 +322,9 @@ util::Status run_tcp_listener(DiagnosisService& service,
 
 util::Status run_tcp_listener(DiagnosisService&, const data::FeatureSpace&,
                               std::uint16_t, std::size_t,
-                              const std::atomic<bool>&) {
+                              const std::atomic<bool>&,
+                              std::atomic<std::uint16_t>*,
+                              const SessionHooks*) {
   return util::Status::unavailable(
       "tcp transport is not available on this platform; use the stdio "
       "transport");

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -27,6 +28,14 @@ struct SessionStats {
   std::uint64_t errors = 0;     // non-OK responses among them
 };
 
+/// Optional per-session capabilities a transport exposes to in-band admin
+/// commands. A request line of {"cmd":"statsz"} answers with one
+/// statsz() line instead of being submitted as a diagnosis; sessions
+/// without hooks answer such lines with an unimplemented error.
+struct SessionHooks {
+  std::function<std::string()> statsz;  // one-line JSON snapshot
+};
+
 /// Run one stdio-style session to completion (EOF on `in`, or
 /// `stop_flag` becoming true between lines — e.g. from a SIGINT handler).
 /// Does NOT stop the service: the caller owns its lifetime, so several
@@ -34,17 +43,23 @@ struct SessionStats {
 SessionStats run_session(DiagnosisService& service,
                          const data::FeatureSpace& fs, std::istream& in,
                          std::ostream& out, std::size_t default_top_k = 5,
-                         const std::atomic<bool>* stop_flag = nullptr);
+                         const std::atomic<bool>* stop_flag = nullptr,
+                         const SessionHooks* hooks = nullptr);
 
 /// Loopback TCP listener: accepts connections on 127.0.0.1:`port` (0 =
-/// kernel-assigned; the chosen port is echoed on stderr) and runs one
-/// session per connection, all sharing `service`. Returns when
-/// `stop_flag` becomes true (checked between accepts) or on a fatal
-/// socket error. On non-POSIX builds returns unavailable.
+/// kernel-assigned; the chosen port is echoed on stderr and published
+/// through *bound_port when non-null — how tests and the load generator
+/// discover a kernel-assigned port) and runs one session per connection,
+/// all sharing `service`. Returns when `stop_flag` becomes true (checked
+/// between accepts) or on a fatal socket error. On non-POSIX builds
+/// returns unavailable.
 util::Status run_tcp_listener(DiagnosisService& service,
                               const data::FeatureSpace& fs,
                               std::uint16_t port,
                               std::size_t default_top_k,
-                              const std::atomic<bool>& stop_flag);
+                              const std::atomic<bool>& stop_flag,
+                              std::atomic<std::uint16_t>* bound_port =
+                                  nullptr,
+                              const SessionHooks* hooks = nullptr);
 
 }  // namespace diagnet::serve

@@ -24,10 +24,12 @@ ModelProvider::ModelProvider(std::shared_ptr<core::DiagNetModel> model)
 
 util::StatusOr<std::shared_ptr<ModelProvider>> ModelProvider::from_file(
     const std::string& path, const data::FeatureSpace& feature_space) {
-  auto loaded = core::try_load_model_file(path, feature_space);
+  core::ModelBundleInfo info;
+  auto loaded = core::try_load_model_file(path, feature_space, &info);
   if (!loaded.ok()) return loaded.status();
   auto provider = std::make_shared<ModelProvider>(
       std::shared_ptr<core::DiagNetModel>(std::move(loaded).value()));
+  provider->checksum_ = info.checksum;
   std::error_code ec;
   const auto mtime = fs::last_write_time(path, ec);
   if (!ec) {
@@ -52,12 +54,14 @@ void ModelProvider::swap(std::shared_ptr<core::DiagNetModel> next) {
 
 util::Status ModelProvider::reload_from(const std::string& path,
                                         const data::FeatureSpace& fs) {
-  auto loaded = core::try_load_model_file(path, fs);
+  core::ModelBundleInfo info;
+  auto loaded = core::try_load_model_file(path, fs, &info);
   if (!loaded.ok()) return loaded.status();
   std::error_code ec;
   const auto mtime = std::filesystem::last_write_time(path, ec);
   swap(std::move(loaded).value());
   std::lock_guard<std::mutex> lock(mu_);
+  checksum_ = info.checksum;
   if (!ec) {
     last_mtime_ = mtime;
     has_mtime_ = true;
@@ -97,6 +101,11 @@ std::uint64_t ModelProvider::generation() const {
   return generation_;
 }
 
+std::uint64_t ModelProvider::checksum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checksum_;
+}
+
 // ---------------------------------------------------------------------------
 // DiagnosisService
 
@@ -118,6 +127,8 @@ std::future<core::DiagnoseResponse> DiagnosisService::submit(
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = clock::now();
+  pending.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
   pending.has_deadline = deadline_ms > 0.0;  // NaN compares false: no deadline
   if (pending.has_deadline) {
     // Cap at ~10 years: the value is client-controlled, and an unbounded
@@ -137,6 +148,9 @@ std::future<core::DiagnoseResponse> DiagnosisService::submit(
   const auto reject = [&](util::Status status) {
     core::DiagnoseResponse response;
     response.status = std::move(status);
+    // Rejections carry the assigned id too, so a client-side log line can
+    // still be matched against server-side telemetry.
+    response.trace.request_id = pending.request_id;
     pending.promise.set_value(std::move(response));
     return std::move(future);
   };
@@ -186,6 +200,11 @@ DiagnosisService::Stats DiagnosisService::stats() const {
   return stats_;
 }
 
+std::size_t DiagnosisService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void DiagnosisService::dispatch_loop() {
   while (true) {
     std::vector<Pending> batch;
@@ -214,13 +233,19 @@ void DiagnosisService::dispatch_loop() {
       stats_.batches += 1;
       DIAGNET_GAUGE_SET("serve.queue_depth", queue_.size());
     }
-    run_batch(std::move(batch));
+    run_batch(std::move(batch), clock::now());
   }
 }
 
-void DiagnosisService::run_batch(std::vector<Pending> batch) {
+void DiagnosisService::run_batch(std::vector<Pending> batch,
+                                 clock::time_point formed) {
   DIAGNET_SPAN("serve.batch");
-  const auto now = clock::now();
+  in_flight_batches_.fetch_add(1, std::memory_order_relaxed);
+  struct InFlightGuard {
+    std::atomic<std::uint64_t>& counter;
+    ~InFlightGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  } in_flight_guard{in_flight_batches_};
+  const auto now = formed;
 
   // Deadline shedding: anything already past its deadline is answered
   // without occupying a batch slot or a network pass.
@@ -251,35 +276,62 @@ void DiagnosisService::run_batch(std::vector<Pending> batch) {
   // effect on the next batch, and shared ownership keeps this snapshot
   // alive until the batch completes.
   const std::shared_ptr<core::DiagNetModel> model = models_->current();
+  const std::uint64_t model_generation = models_->generation();
   core::BatchDiagnoserConfig batch_config;
   batch_config.batch_size = config_.max_batch;
   batch_config.pool = &pool_;
-  const core::BatchDiagnoser batcher(*model, batch_config);
 
   std::vector<core::DiagnoseRequest> requests;
   requests.reserve(live.size());
   for (Pending& pending : live)
     requests.push_back(std::move(pending.request));
 
+  const auto inference_start = clock::now();
   std::vector<core::DiagnoseResponse> responses;
-  try {
-    responses = batcher.run(requests);
-  } catch (const std::exception& e) {
-    // A whole-batch failure (programming error surfaced by REQUIRE) must
-    // still answer every caller — an online server cannot drop futures.
-    core::DiagnoseResponse failure;
-    failure.status = util::Status::internal(e.what());
-    responses.assign(live.size(), failure);
+  {
+    DIAGNET_SPAN("serve.batch.inference");
+    try {
+      const core::BatchDiagnoser batcher(*model, batch_config);
+      responses = batcher.run(requests);
+    } catch (const std::exception& e) {
+      // A whole-batch failure (programming error surfaced by REQUIRE) must
+      // still answer every caller — an online server cannot drop futures.
+      core::DiagnoseResponse failure;
+      failure.status = util::Status::internal(e.what());
+      responses.assign(live.size(), failure);
+    }
   }
+  const auto inference_end = clock::now();
+  const double inference_us =
+      std::chrono::duration<double, std::micro>(inference_end -
+                                                inference_start)
+          .count();
+  const double assembly_us =
+      std::chrono::duration<double, std::micro>(inference_start - formed)
+          .count();
+  DIAGNET_OBSERVE_TAIL("serve.inference_ms", inference_us / 1000.0);
 
-  const auto completion = clock::now();
+  DIAGNET_SPAN("serve.batch.write_back");
   std::uint64_t completed = 0;
   for (std::size_t i = 0; i < live.size(); ++i) {
-    const double latency_ms =
-        std::chrono::duration<double, std::milli>(completion -
-                                                  live[i].enqueued)
+    const auto stamp = clock::now();
+    core::RequestTrace& trace = responses[i].trace;
+    trace.request_id = live[i].request_id;
+    trace.queue_us =
+        std::chrono::duration<double, std::micro>(formed - live[i].enqueued)
             .count();
-    DIAGNET_OBSERVE("serve.latency_ms", latency_ms);
+    trace.assembly_us = assembly_us;
+    trace.inference_us = inference_us;
+    trace.write_back_us =
+        std::chrono::duration<double, std::micro>(stamp - inference_end)
+            .count();
+    trace.batch_size = live.size();
+    trace.model_generation = model_generation;
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(stamp - live[i].enqueued)
+            .count();
+    DIAGNET_OBSERVE_TAIL("serve.latency_ms", latency_ms);
+    DIAGNET_OBSERVE_TAIL("serve.queue_wait_ms", trace.queue_us / 1000.0);
     completed += responses[i].ok() ? 1 : 0;
     live[i].promise.set_value(std::move(responses[i]));
   }

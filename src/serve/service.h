@@ -27,6 +27,7 @@
 // never mixed across models within a batch.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -80,10 +81,17 @@ class ModelProvider {
   /// Generation counter: starts at 1, +1 per successful swap/reload.
   std::uint64_t generation() const;
 
+  /// FNV-1a payload checksum of the bundle behind current(), as recorded
+  /// by the v2 registry at load time — statsz exposes it so an operator
+  /// can verify which trained weights a process serves. 0 when the model
+  /// was handed in directly (no bundle ever loaded).
+  std::uint64_t checksum() const;
+
  private:
   mutable std::mutex mu_;
   std::shared_ptr<core::DiagNetModel> model_;
   std::uint64_t generation_ = 1;
+  std::uint64_t checksum_ = 0;
   std::filesystem::file_time_type last_mtime_{};
   bool has_mtime_ = false;
 };
@@ -132,6 +140,14 @@ class DiagnosisService {
   };
   Stats stats() const;
 
+  /// Live introspection for statsz: requests currently waiting for a
+  /// batch slot, and batches currently executing (0 or 1 with a single
+  /// dispatcher, but the contract does not promise that).
+  std::size_t queue_depth() const;
+  std::uint64_t in_flight_batches() const {
+    return in_flight_batches_.load(std::memory_order_relaxed);
+  }
+
   const ServiceConfig& config() const { return config_; }
 
  private:
@@ -140,11 +156,13 @@ class DiagnosisService {
     std::promise<core::DiagnoseResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  // max() = none
+    std::uint64_t request_id = 0;
     bool has_deadline = false;
   };
 
   void dispatch_loop();
-  void run_batch(std::vector<Pending> batch);
+  void run_batch(std::vector<Pending> batch,
+                 std::chrono::steady_clock::time_point formed);
 
   std::shared_ptr<ModelProvider> models_;
   ServiceConfig config_;
@@ -155,6 +173,10 @@ class DiagnosisService {
   std::deque<Pending> queue_;
   bool stopping_ = false;
   Stats stats_;
+  /// Request ids are assigned at submit() — including rejected requests,
+  /// so a reject in a client log still has a server-side identity.
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> in_flight_batches_{0};
 
   std::mutex stop_mu_;  // serialises the dispatcher join in stop()
   std::thread dispatcher_;

@@ -44,7 +44,10 @@ Status read_uint(const JsonValue& object, const char* field,
 util::StatusOr<WireRequest> parse_request(const std::string& line) {
   auto parsed = parse_json(line);
   if (!parsed.ok()) return parsed.status();
-  const JsonValue& object = *parsed;
+  return parse_request(*parsed);
+}
+
+util::StatusOr<WireRequest> parse_request(const JsonValue& object) {
   if (object.kind() != JsonValue::Kind::Object)
     return Status::invalid_argument("request must be a JSON object");
 
@@ -142,13 +145,100 @@ std::string format_response(std::uint64_t id,
   return out;
 }
 
-std::string format_error(std::uint64_t id, const util::Status& status) {
+std::string format_response(std::uint64_t id,
+                            const core::DiagnoseResponse& response,
+                            const data::FeatureSpace& fs, std::size_t top_k,
+                            double latency_ms) {
+  std::string out =
+      format_response(id, response.diagnosis, fs, top_k, latency_ms);
+  const core::RequestTrace& trace = response.trace;
+  if (trace.request_id == 0) return out;
+  // Splice the trace before the closing brace: the un-traced prefix stays
+  // byte-identical, which the positional stdio tests rely on.
+  out.pop_back();
+  char buf[32];
+  out += ",\"request_id\":" + std::to_string(trace.request_id);
+  out += ",\"trace\":{";
+  const auto field = [&](const char* name, double us, bool first = false) {
+    if (!first) out += ',';
+    out += '"';
+    out += name;
+    out += "\":";
+    std::snprintf(buf, sizeof buf, "%.1f", us);
+    out += buf;
+  };
+  field("queue_us", trace.queue_us, /*first=*/true);
+  field("assembly_us", trace.assembly_us);
+  field("inference_us", trace.inference_us);
+  field("write_back_us", trace.write_back_us);
+  out += ",\"batch_size\":" + std::to_string(trace.batch_size);
+  out += ",\"model_generation\":" + std::to_string(trace.model_generation);
+  out += "}}";
+  return out;
+}
+
+std::string format_error(std::uint64_t id, const util::Status& status,
+                         std::uint64_t request_id) {
   std::string out = "{\"id\":" + std::to_string(id) + ",\"ok\":false";
   out += ",\"code\":\"";
   out += util::status_code_name(status.code());
   out += "\",\"error\":\"";
   obs::append_json_escaped(out, status.message());
-  out += "\"}";
+  out += '"';
+  if (request_id != 0)
+    out += ",\"request_id\":" + std::to_string(request_id);
+  out += '}';
+  return out;
+}
+
+std::string format_request(const WireRequest& wire) {
+  char buf[32];
+  std::string out = "{";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  if (wire.id != 0) {
+    sep();
+    out += "\"id\":" + std::to_string(wire.id);
+  }
+  sep();
+  out += "\"features\":[";
+  for (std::size_t i = 0; i < wire.request.features.size(); ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof buf, "%.17g", wire.request.features[i]);
+    out += buf;
+  }
+  out += ']';
+  if (wire.request.service != 0) {
+    sep();
+    out += "\"service\":" + std::to_string(wire.request.service);
+  }
+  if (wire.request.use_general) {
+    sep();
+    out += "\"general\":true";
+  }
+  if (!wire.request.landmark_available.empty()) {
+    sep();
+    out += "\"landmarks\":[";
+    for (std::size_t i = 0; i < wire.request.landmark_available.size(); ++i) {
+      if (i > 0) out += ',';
+      out += wire.request.landmark_available[i] ? '1' : '0';
+    }
+    out += ']';
+  }
+  if (wire.deadline_ms > 0.0) {
+    sep();
+    std::snprintf(buf, sizeof buf, "%.17g", wire.deadline_ms);
+    out += "\"deadline_ms\":";
+    out += buf;
+  }
+  if (wire.top_k != 0) {
+    sep();
+    out += "\"top_k\":" + std::to_string(wire.top_k);
+  }
+  out += '}';
   return out;
 }
 

@@ -13,9 +13,18 @@
 // Success response:
 //   {"id":7,"ok":true,"causes":["dns_ber","..."],"cause_ids":[3,9],
 //    "scores":[0.41,0.17],"coarse_family":2,"w_unknown":0.12,
-//    "latency_ms":1.9}
+//    "latency_ms":1.9,"request_id":12345,
+//    "trace":{"queue_us":810.2,"assembly_us":14.0,"inference_us":950.7,
+//             "write_back_us":3.1,"batch_size":8,"model_generation":1}}
+// The request_id/trace fields appear only when the response passed
+// through a DiagnosisService (request_id != 0), and always AFTER
+// latency_ms so older positional parsers keep working.
 // Rejection/error response (Status-rendered, same codes the CLI prints):
-//   {"id":7,"ok":false,"code":"resource_exhausted","error":"queue full"}
+//   {"id":7,"ok":false,"code":"resource_exhausted","error":"queue full",
+//    "request_id":12346}
+//
+// In-band admin command (instead of a request line):
+//   {"cmd":"statsz"}   ->   one statsz JSON snapshot line (see statsz.h)
 #pragma once
 
 #include <cstdint>
@@ -23,6 +32,7 @@
 
 #include "core/diagnet.h"
 #include "data/feature_space.h"
+#include "serve/json.h"
 #include "util/status.h"
 
 namespace diagnet::serve {
@@ -41,13 +51,34 @@ struct WireRequest {
 /// still gets a response carrying its id.
 util::StatusOr<WireRequest> parse_request(const std::string& line);
 
+/// Same, from an already-parsed JSON object — the session layer parses
+/// each line once to peek at "cmd" (in-band admin commands) and hands the
+/// tree here rather than re-parsing the text.
+util::StatusOr<WireRequest> parse_request(const JsonValue& object);
+
+/// Render a request as one wire line (no trailing newline): the exact
+/// inverse of parse_request, shared by `diagnet mkrequests` and the load
+/// generator so every request producer speaks one dialect. Omits fields
+/// at their defaults.
+std::string format_request(const WireRequest& wire);
+
 /// Render a success response line (no trailing newline).
 std::string format_response(std::uint64_t id,
                             const core::Diagnosis& diagnosis,
                             const data::FeatureSpace& fs, std::size_t top_k,
                             double latency_ms);
 
-/// Render a rejection/error response line from a Status.
-std::string format_error(std::uint64_t id, const util::Status& status);
+/// Trace-carrying overload: identical prefix to the above, then appends
+/// "request_id" and the "trace" object when response.trace.request_id is
+/// non-zero (i.e. the response went through a DiagnosisService).
+std::string format_response(std::uint64_t id,
+                            const core::DiagnoseResponse& response,
+                            const data::FeatureSpace& fs, std::size_t top_k,
+                            double latency_ms);
+
+/// Render a rejection/error response line from a Status. request_id != 0
+/// appends the service-assigned id (rejections have one too).
+std::string format_error(std::uint64_t id, const util::Status& status,
+                         std::uint64_t request_id = 0);
 
 }  // namespace diagnet::serve

@@ -1,11 +1,13 @@
 #include "obs/obs.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
+#include <thread>
 
 #include "util/thread_pool.h"
 
@@ -232,6 +234,44 @@ TEST_F(ObsTest, HistogramReservoirStaysBoundedButCountsAll) {
   // earliest window.
   EXPECT_GT(snap.percentile(0.99),
             static_cast<double>(Histogram::kReservoirCap));
+}
+
+TEST_F(ObsTest, ConcurrentObserveVersusSnapshotKeepsInvariants) {
+  // The statsz admin surface snapshots histograms while serve worker
+  // threads are still recording into them; this is the race the suite
+  // sweeps under tsan/asan. Each snapshot must be internally consistent
+  // (count monotone, reservoir bounded, stats within observed range) and
+  // no observation may be lost by the end.
+  Histogram& hist = Registry::instance().histogram("test.race");
+  constexpr int kWriters = 4;
+  constexpr std::size_t kPerWriter = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&hist, &go, w] {
+      while (!go.load()) std::this_thread::yield();
+      for (std::size_t i = 0; i < kPerWriter; ++i)
+        hist.observe(1.0 + static_cast<double>((i + w) % 100));
+    });
+  }
+  go.store(true);
+  std::size_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto snap = hist.snapshot();
+    EXPECT_GE(snap.stats.count(), last_count);
+    last_count = snap.stats.count();
+    EXPECT_LE(snap.samples.size(), Histogram::kReservoirCap);
+    if (snap.stats.count() > 0) {
+      EXPECT_GE(snap.stats.min(), 1.0);
+      EXPECT_LE(snap.stats.max(), 100.0);
+      const double p50 = snap.percentile(0.5);
+      EXPECT_TRUE(p50 >= snap.stats.min() && p50 <= snap.stats.max());
+    }
+    std::this_thread::yield();
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(hist.snapshot().stats.count(), kWriters * kPerWriter);
 }
 
 #if !defined(DIAGNET_OBS_DISABLE)

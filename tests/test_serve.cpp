@@ -23,8 +23,12 @@
 #include "core/diagnet.h"
 #include "core/registry.h"
 #include "eval/pipeline.h"
+#include "obs/obs.h"
+#include "serve/json.h"
+#include "serve/loadgen.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "serve/statsz.h"
 #include "serve/wire.h"
 #include "util/status.h"
 
@@ -497,6 +501,269 @@ TEST(Server, StdioSessionAnswersInSubmissionOrder) {
       expected.substr(0, expected.find(",\"latency_ms\""));
   EXPECT_EQ(lines[0].substr(0, expected_prefix.size()), expected_prefix);
 }
+
+// ---------------------------------------------------------------------------
+// Observability: queue depth, reject counters, request ids, statsz
+
+/// Telemetry on for the scope of one test, registry zeroed on both ends
+/// so metric assertions cannot see another test's recordings.
+struct ScopedObs {
+  ScopedObs() {
+    obs::Registry::instance().reset_for_test();
+    obs::set_enabled(true);
+  }
+  ~ScopedObs() {
+    obs::set_enabled(false);
+    obs::Registry::instance().reset_for_test();
+  }
+};
+
+TEST(DiagnosisService, QueueDepthTracksStallAndDrain) {
+  ScopedObs scoped_obs;
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+  ASSERT_GE(indices.size(), 5u);
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  // The dispatcher parks until 8 requests arrive (or 10 s pass), so the
+  // 5 submissions below sit measurably in the queue.
+  config.max_batch = 8;
+  config.max_delay_us = 10'000'000;
+  serve::DiagnosisService service(provider, config);
+
+  EXPECT_EQ(service.queue_depth(), 0u);
+  std::vector<std::future<core::DiagnoseResponse>> futures;
+  for (std::size_t i = 0; i < 5; ++i)
+    futures.push_back(service.submit(request_for(indices[i])));
+  EXPECT_EQ(service.queue_depth(), 5u);
+  EXPECT_EQ(obs::Registry::instance().gauge("serve.queue_depth").value(),
+            5.0);
+
+  service.stop();  // releases the parked batch and drains
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_EQ(obs::Registry::instance().gauge("serve.queue_depth").value(),
+            0.0);
+}
+
+TEST(DiagnosisService, RejectCounterIncrementsOnQueueFull) {
+  ScopedObs scoped_obs;
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 10'000'000;
+  config.queue_capacity = 2;
+  serve::DiagnosisService service(provider, config);
+
+  std::vector<std::future<core::DiagnoseResponse>> accepted;
+  for (std::size_t i = 0; i < 2; ++i)
+    accepted.push_back(service.submit(request_for(indices[i])));
+  for (std::size_t i = 0; i < 3; ++i) {
+    const core::DiagnoseResponse response =
+        service.submit(request_for(indices[2 + i])).get();
+    EXPECT_FALSE(response.ok());
+    // Rejections are traceable too: the service assigned an id before
+    // admission control turned the request away.
+    EXPECT_NE(response.trace.request_id, 0u);
+  }
+  EXPECT_EQ(obs::Registry::instance().counter("serve.rejected").value(), 3u);
+  service.stop();
+  for (auto& future : accepted) EXPECT_TRUE(future.get().ok());
+}
+
+TEST(DiagnosisService, RequestIdsAreUniqueAndTracePhasesAreStamped) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 5'000;
+  serve::DiagnosisService service(provider, config);
+
+  constexpr std::size_t kRequests = 24;
+  std::vector<std::future<core::DiagnoseResponse>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i)
+    futures.push_back(service.submit(request_for(indices[i % indices.size()])));
+  service.stop();
+
+  std::vector<std::uint64_t> ids;
+  for (auto& future : futures) {
+    const core::DiagnoseResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status.to_string();
+    ids.push_back(response.trace.request_id);
+    EXPECT_NE(response.trace.request_id, 0u);
+    EXPECT_GE(response.trace.queue_us, 0.0);
+    EXPECT_GE(response.trace.assembly_us, 0.0);
+    EXPECT_GT(response.trace.inference_us, 0.0);
+    EXPECT_GE(response.trace.write_back_us, 0.0);
+    EXPECT_GE(response.trace.batch_size, 1u);
+    EXPECT_EQ(response.trace.model_generation, provider->generation());
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end())
+      << "service-assigned request ids must be unique";
+}
+
+TEST(Server, SessionEchoesClientIdAndCarriesTrace) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  serve::WireRequest wire;
+  wire.id = 11;
+  wire.request = request_for(indices[0]);
+  std::stringstream in;
+  in << serve::format_request(wire) << '\n';
+  wire.id = 12;
+  in << serve::format_request(wire) << '\n';
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::DiagnosisService service(provider);
+  std::stringstream out;
+  serve::run_session(service, p.feature_space(), in, out, 5);
+  service.stop();
+
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(out, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  // The client's correlation id comes back verbatim; the service-assigned
+  // request_id and trace ride after latency_ms.
+  EXPECT_NE(lines[0].find("\"id\":11,\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":12,\"ok\":true"), std::string::npos);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"request_id\":"), std::string::npos);
+    EXPECT_NE(line.find("\"trace\":{\"queue_us\":"), std::string::npos);
+    EXPECT_LT(line.find("\"latency_ms\":"), line.find("\"request_id\":"))
+        << "trace fields must come after latency_ms for positional parsers";
+  }
+}
+
+TEST(Server, InBandStatszAnswersWhileRequestsAreInFlight) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  // A provider loaded from a file carries the bundle checksum statsz
+  // surfaces; an in-memory provider would report checksum 0.
+  const std::string path = testing::TempDir() + "/diagnet_statsz_model.bin";
+  ASSERT_TRUE(core::try_save_model_file(p.diagnet(), path).ok());
+  auto provider_or = serve::ModelProvider::from_file(path, p.feature_space());
+  ASSERT_TRUE(provider_or.ok()) << provider_or.status().to_string();
+  auto provider = std::move(provider_or).value();
+  ASSERT_NE(provider->checksum(), 0u);
+
+  serve::ServiceConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 10'000'000;  // stall: requests stay queued
+  serve::DiagnosisService service(provider, config);
+  std::vector<std::future<core::DiagnoseResponse>> futures;
+  for (std::size_t i = 0; i < 3; ++i)
+    futures.push_back(service.submit(request_for(indices[i])));
+
+  const serve::StatszSource source{&service, provider.get(),
+                                   std::chrono::steady_clock::now()};
+  const std::string snapshot = serve::statsz_json(source);
+  auto tree = serve::parse_json(snapshot);
+  ASSERT_TRUE(tree.ok()) << tree.status().to_string() << "\n" << snapshot;
+  const serve::JsonValue* depth = tree->find("queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->as_number(), 3.0);
+  const serve::JsonValue* model = tree->find("model");
+  ASSERT_NE(model, nullptr);
+  const serve::JsonValue* checksum = model->find("checksum");
+  ASSERT_NE(checksum, nullptr);
+  EXPECT_EQ(checksum->as_string().substr(0, 2), "0x");
+  EXPECT_NE(checksum->as_string(), "0x0000000000000000");
+
+  // The same snapshot answers in-band over a session via SessionHooks.
+  serve::SessionHooks hooks;
+  hooks.statsz = [&source] { return serve::statsz_json(source); };
+  std::stringstream in;
+  in << "{\"cmd\":\"statsz\"}\n";
+  in << "{\"cmd\":\"no_such_cmd\"}\n";
+  std::stringstream out;
+  const serve::SessionStats stats = serve::run_session(
+      service, p.feature_space(), in, out, 5, nullptr, &hooks);
+  EXPECT_EQ(stats.responses, 2u);
+  EXPECT_EQ(stats.errors, 1u);  // only the unknown cmd is an error
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(out, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(serve::parse_json(lines[0]).ok());
+  EXPECT_NE(lines[0].find("\"queue_depth\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("invalid_argument"), std::string::npos);
+
+  // Without hooks the command degrades to a status line, not a crash.
+  std::stringstream in2("{\"cmd\":\"statsz\"}\n");
+  std::stringstream out2;
+  serve::run_session(service, p.feature_space(), in2, out2, 5);
+  EXPECT_NE(out2.str().find("unavailable"), std::string::npos);
+
+  service.stop();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(Server, LoadgenDrivesTcpListenerEndToEnd) {
+  auto& p = pipeline();
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+
+  auto provider = std::make_shared<serve::ModelProvider>(pipeline_model());
+  serve::ServiceConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 2'000;
+  serve::DiagnosisService service(provider, config);
+
+  const serve::StatszSource source{&service, provider.get(),
+                                   std::chrono::steady_clock::now()};
+  serve::SessionHooks hooks;
+  hooks.statsz = [&source] { return serve::statsz_json(source); };
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint16_t> bound_port{0};
+  std::thread listener([&] {
+    const util::Status status =
+        serve::run_tcp_listener(service, p.feature_space(), /*port=*/0, 5,
+                                stop, &bound_port, &hooks);
+    EXPECT_TRUE(status.ok()) << status.to_string();
+  });
+  while (bound_port.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  serve::LoadgenConfig loadgen;
+  loadgen.port = bound_port.load();
+  loadgen.requests = 40;
+  loadgen.concurrency = 2;
+  loadgen.seed = 99;
+  for (std::size_t i = 0; i < 4; ++i) {
+    serve::WireRequest wire;
+    wire.id = i + 1;
+    wire.request = request_for(indices[i]);
+    loadgen.pool.push_back(serve::format_request(wire));
+  }
+  const auto report = serve::run_loadgen(loadgen);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->sent, 40u);
+  EXPECT_EQ(report->ok, 40u);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->latency_ms.count, 40u);
+  EXPECT_GT(report->latency_ms.percentile(0.99), 0.0);
+  // The mid-run statsz probe answered with a parseable snapshot.
+  ASSERT_FALSE(report->statsz.empty());
+  auto probed = serve::parse_json(report->statsz);
+  ASSERT_TRUE(probed.ok()) << report->statsz;
+  EXPECT_NE(probed->find("queue_depth"), nullptr);
+
+  stop.store(true);
+  listener.join();
+  service.stop();
+}
+
+#endif  // __unix__ || __APPLE__
 
 }  // namespace
 }  // namespace diagnet

@@ -17,13 +17,20 @@
 //       Recall@k of the model over every faulty sample in the campaign.
 //
 //   diagnet serve --model model.bin [--port P] [--watch]
+//                 [--admin-port A] [--stats-interval-s S]
 //       Long-lived diagnosis service: line-delimited JSON requests over
 //       stdin/stdout (or loopback TCP with --port), dynamic micro-batching,
 //       bounded-queue admission control, and atomic model hot-swap.
+//       --admin-port serves GET /statsz (JSON) and /metrics (Prometheus);
+//       any session also answers the in-band {"cmd":"statsz"} line.
 //
 //   diagnet mkrequests --campaign campaign.csv --out requests.jsonl
 //       Turn campaign samples into serve request lines — the smoke-test
 //       and load-generation companion to `diagnet serve`.
+//
+//   diagnet loadgen --port P --campaign campaign.csv [--rps R]
+//       Drive a live serve TCP endpoint open- or closed-loop, measure
+//       client-side tail latency, and write BENCH_serve.json.
 //
 //   diagnet selfcheck [--seed N] [--iters K] [--suite substr]
 //                     [--corpus file]
@@ -55,8 +62,12 @@
 #include "eval/metrics.h"
 #include "netsim/simulator.h"
 #include "obs/obs.h"
+#include "obs/report.h"
+#include "serve/loadgen.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "serve/statsz.h"
+#include "serve/wire.h"
 #include "testkit/harness.h"
 #include "util/argspec.h"
 #include "util/table.h"
@@ -391,6 +402,10 @@ const util::ArgSpec kServeArgs[] = {
      "poll --model for newer bundles and hot-swap them atomically"},
     {"watch-interval-ms", util::ArgType::kUint, "500",
      "poll period for --watch"},
+    {"admin-port", util::ArgType::kUint, "0",
+     "loopback HTTP port for GET /statsz and /metrics (0 = off)"},
+    {"stats-interval-s", util::ArgType::kDouble, "0",
+     "print a periodic stats line to stderr (0 = off)"},
 };
 
 int cmd_serve(const util::ParsedArgs& args) {
@@ -399,8 +414,8 @@ int cmd_serve(const util::ParsedArgs& args) {
     std::cerr << "error: --max-batch and --queue-cap must be positive\n";
     return 1;
   }
-  if (args.uint("port") > 65535) {
-    std::cerr << "error: --port must be <= 65535\n";
+  if (args.uint("port") > 65535 || args.uint("admin-port") > 65535) {
+    std::cerr << "error: --port/--admin-port must be <= 65535\n";
     return 1;
   }
 
@@ -419,6 +434,20 @@ int cmd_serve(const util::ParsedArgs& args) {
   config.queue_capacity = args.uint("queue-cap");
   config.worker_threads = args.uint("threads");
   serve::DiagnosisService service(provider, config);
+
+  // A serving process records its own latency/throughput telemetry
+  // unconditionally — statsz without metrics would be an empty shell.
+  // DIAGNET_OBS=0 still force-disables everything.
+  obs::set_enabled(true);
+
+  serve::StatszSource statsz_source;
+  statsz_source.service = &service;
+  statsz_source.provider = provider.get();
+  statsz_source.start = std::chrono::steady_clock::now();
+  serve::SessionHooks hooks;
+  hooks.statsz = [&statsz_source] {
+    return serve::statsz_json(statsz_source);
+  };
 
   install_sigint_handler();
 
@@ -441,23 +470,61 @@ int cmd_serve(const util::ParsedArgs& args) {
     });
   }
 
+  // Auxiliary threads (admin HTTP listener, periodic stats line) stop on
+  // their own flag — set both on SIGINT *and* on a normal EOF drain.
+  std::atomic<bool> aux_stop{false};
+  std::thread admin;
+  util::Status admin_status;
+  if (args.uint("admin-port") != 0) {
+    admin = std::thread([&admin_status, &statsz_source, &args, &aux_stop] {
+      admin_status = serve::run_admin_listener(
+          statsz_source, static_cast<std::uint16_t>(args.uint("admin-port")),
+          aux_stop);
+      if (!admin_status.ok())
+        std::cerr << "serve: " << admin_status.message() << '\n';
+    });
+  }
+  std::thread stats_printer;
+  if (args.num("stats-interval-s") > 0) {
+    const auto interval = std::chrono::duration<double>(
+        args.num("stats-interval-s"));
+    stats_printer = std::thread([&service, interval, &aux_stop] {
+      auto next = std::chrono::steady_clock::now() + interval;
+      while (!aux_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(interval);
+        const serve::DiagnosisService::Stats s = service.stats();
+        std::cerr << "serve: stats accepted=" << s.accepted
+                  << " completed=" << s.completed << " rejected="
+                  << s.rejected << " shed=" << s.shed << " batches="
+                  << s.batches << " queue_depth=" << service.queue_depth()
+                  << '\n';
+      }
+    });
+  }
+
   const std::size_t top_k = args.uint("top-k");
   serve::SessionStats session_stats;
   util::Status listen_status;
   if (args.uint("port") != 0) {
     listen_status = serve::run_tcp_listener(
         service, fs, static_cast<std::uint16_t>(args.uint("port")), top_k,
-        g_interrupted);
+        g_interrupted, nullptr, &hooks);
   } else {
     std::cerr << "serve: reading line-JSON requests from stdin "
                  "(EOF or SIGINT drains and exits)\n";
     session_stats = serve::run_session(service, fs, std::cin, std::cout,
-                                       top_k, &g_interrupted);
+                                       top_k, &g_interrupted, &hooks);
   }
 
   service.stop();  // graceful drain: every accepted request is answered
   watch_stop.store(true);
+  aux_stop.store(true);
   if (watcher.joinable()) watcher.join();
+  if (admin.joinable()) admin.join();
+  if (stats_printer.joinable()) stats_printer.join();
 
   const serve::DiagnosisService::Stats stats = service.stats();
   std::cerr << "serve: drained — " << session_stats.requests
@@ -521,25 +588,17 @@ int cmd_mkrequests(const util::ParsedArgs& args) {
     std::cerr << "error: cannot open " << out << " for writing\n";
     return 1;
   }
-  char buffer[64];
   for (std::uint64_t i = 0; i < limit; ++i) {
     const data::Sample& sample =
         dataset.samples[eligible[i % eligible.size()]];
-    std::string line = "{\"id\":" + std::to_string(i + 1) +
-                       ",\"service\":" + std::to_string(sample.service);
-    if (deadline_ms > 0) {
-      std::snprintf(buffer, sizeof buffer, "%.17g", deadline_ms);
-      line += ",\"deadline_ms\":";
-      line += buffer;
-    }
-    line += ",\"features\":[";
-    for (std::size_t f = 0; f < sample.features.size(); ++f) {
-      if (f > 0) line += ',';
-      std::snprintf(buffer, sizeof buffer, "%.17g", sample.features[f]);
-      line += buffer;
-    }
-    line += "]}";
-    file << line << '\n';
+    // format_request is the inverse of the server's parse_request, so
+    // mkrequests and loadgen can never drift from the wire dialect.
+    serve::WireRequest wire;
+    wire.id = i + 1;
+    wire.request.features = sample.features;
+    wire.request.service = sample.service;
+    wire.deadline_ms = deadline_ms;
+    file << serve::format_request(wire) << '\n';
   }
   file.flush();
   if (!file) {
@@ -548,6 +607,159 @@ int cmd_mkrequests(const util::ParsedArgs& args) {
   }
   std::cout << "Wrote " << limit << " request(s) from " << eligible.size()
             << " sample(s) to " << out << '\n';
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// loadgen
+
+const util::ArgSpec kLoadgenArgs[] = {
+    {"port", util::ArgType::kUint, "0",
+     "TCP port of a live `diagnet serve --port` (required)"},
+    {"campaign", util::ArgType::kString, "campaign.csv",
+     "campaign CSV the request pool is drawn from"},
+    {"requests", util::ArgType::kUint, "1000",
+     "total requests to send across all connections"},
+    {"rps", util::ArgType::kDouble, "0",
+     "open-loop target rate (0 = closed loop at --concurrency)"},
+    {"concurrency", util::ArgType::kUint, "4", "parallel connections"},
+    {"pool", util::ArgType::kUint, "256",
+     "distinct request lines pre-built from the campaign"},
+    {"deadline-ms", util::ArgType::kDouble, "0",
+     "per-request deadline field (0 = none)"},
+    {"seed", util::ArgType::kUint, "1", "request-sampling seed"},
+    {"out", util::ArgType::kString, "BENCH_serve.json",
+     "benchmark report (JSON) path"},
+    {"no-statsz", util::ArgType::kFlag, "",
+     "skip the mid-run in-band statsz probe"},
+};
+
+int cmd_loadgen(const util::ParsedArgs& args) {
+  if (args.uint("port") == 0 || args.uint("port") > 65535) {
+    std::cerr << "error: --port must name a live serve TCP port\n";
+    return 1;
+  }
+  const netsim::Topology topology = netsim::default_topology();
+  const data::FeatureSpace fs(topology);
+  auto dataset_or = data::try_read_csv_file(args.str("campaign"), fs);
+  if (!dataset_or.ok()) {
+    std::cerr << "error: " << dataset_or.status().message() << '\n';
+    return 1;
+  }
+  const data::Dataset& dataset = dataset_or.value();
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < dataset.samples.size(); ++i)
+    if (dataset.samples[i].is_faulty()) eligible.push_back(i);
+  if (eligible.empty()) {
+    std::cerr << "error: no faulty samples in " << args.str("campaign")
+              << '\n';
+    return 1;
+  }
+
+  serve::LoadgenConfig config;
+  config.port = static_cast<std::uint16_t>(args.uint("port"));
+  config.requests = args.uint("requests");
+  config.target_rps = args.num("rps");
+  config.concurrency = args.uint("concurrency");
+  config.seed = args.uint("seed");
+  config.probe_statsz = !args.flag("no-statsz");
+  const std::size_t pool_size =
+      std::min<std::size_t>(std::max<std::uint64_t>(args.uint("pool"), 1),
+                            4096);
+  config.pool.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    const data::Sample& sample =
+        dataset.samples[eligible[i % eligible.size()]];
+    serve::WireRequest wire;
+    wire.id = i + 1;
+    wire.request.features = sample.features;
+    wire.request.service = sample.service;
+    wire.deadline_ms = args.num("deadline-ms");
+    config.pool.push_back(serve::format_request(wire));
+  }
+
+  std::cerr << "loadgen: driving 127.0.0.1:" << config.port << " with "
+            << config.requests << " request(s), "
+            << (config.target_rps > 0 ? "open loop" : "closed loop")
+            << ", concurrency " << config.concurrency << '\n';
+  auto report_or = serve::run_loadgen(config);
+  if (!report_or.ok()) {
+    std::cerr << "error: " << report_or.status().message() << '\n';
+    return 1;
+  }
+  const serve::LoadgenReport& report = report_or.value();
+  const auto& lat = report.latency_ms;
+
+  util::Table table({"metric", "value"});
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return std::string(buf);
+  };
+  table.add_row({"sent", std::to_string(report.sent)});
+  table.add_row({"ok", std::to_string(report.ok)});
+  table.add_row({"rejected", std::to_string(report.rejected)});
+  table.add_row({"errors", std::to_string(report.errors)});
+  table.add_row({"wall_seconds", num(report.wall_seconds)});
+  table.add_row({"achieved_rps", num(report.achieved_rps)});
+  table.add_row({"latency_p50_ms", num(lat.percentile(0.50))});
+  table.add_row({"latency_p90_ms", num(lat.percentile(0.90))});
+  table.add_row({"latency_p99_ms", num(lat.percentile(0.99))});
+  table.add_row({"latency_p999_ms", num(lat.percentile(0.999))});
+  table.add_row({"latency_max_ms", num(lat.max)});
+  std::cout << table.to_string();
+  if (!report.statsz.empty())
+    std::cout << "statsz (mid-run): " << report.statsz << '\n';
+
+  std::string json = "{\"bench\":\"serve\",";
+  json += obs::run_metadata_json();
+  char buf[64];
+  const auto field = [&](const char* name, double v) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    json += ",\"";
+    json += name;
+    json += "\":";
+    json += buf;
+  };
+  json += ",\"requests\":" + std::to_string(config.requests);
+  json += ",\"concurrency\":" + std::to_string(config.concurrency);
+  field("target_rps", config.target_rps);
+  json += ",\"sent\":" + std::to_string(report.sent);
+  json += ",\"ok\":" + std::to_string(report.ok);
+  json += ",\"rejected\":" + std::to_string(report.rejected);
+  json += ",\"errors\":" + std::to_string(report.errors);
+  field("wall_seconds", report.wall_seconds);
+  field("achieved_rps", report.achieved_rps);
+  json += ",\"latency_ms\":{";
+  std::snprintf(buf, sizeof buf, "%.6g", lat.mean());
+  json += "\"mean\":";
+  json += buf;
+  const auto pct = [&](const char* name, double q) {
+    std::snprintf(buf, sizeof buf, "%.6g", lat.percentile(q));
+    json += ",\"";
+    json += name;
+    json += "\":";
+    json += buf;
+  };
+  pct("p50", 0.50);
+  pct("p90", 0.90);
+  pct("p99", 0.99);
+  pct("p999", 0.999);
+  std::snprintf(buf, sizeof buf, "%.6g", lat.max);
+  json += ",\"max\":";
+  json += buf;
+  json += '}';
+  if (!report.statsz.empty()) json += ",\"statsz\":" + report.statsz;
+  json += "}\n";
+
+  std::ofstream out(args.str("out"), std::ios::trunc);
+  out << json;
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed writing " << args.str("out") << '\n';
+    return 1;
+  }
+  std::cout << "Wrote " << args.str("out") << '\n';
   return 0;
 }
 
@@ -574,6 +786,8 @@ const Command kCommands[] = {
      kServeArgs, cmd_serve},
     {"mkrequests", "turn campaign samples into serve request lines",
      kMkrequestsArgs, cmd_mkrequests},
+    {"loadgen", "drive a live serve TCP endpoint and report tail latency",
+     kLoadgenArgs, cmd_loadgen},
     {"selfcheck", "run the seeded property/differential/fuzz suites",
      kSelfcheckArgs, cmd_selfcheck},
 };
