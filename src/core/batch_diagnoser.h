@@ -3,13 +3,18 @@
 // Algorithm 1 score weighting, extensible-forest scoring, ensemble
 // blending — vectorised over N samples.
 //
-// Requests are grouped by (serving network, landmark mask) — a service's
-// specialised model when one exists, the general model otherwise — each
-// group is cut into batches of `batch_size` rows, and batches are processed
-// in parallel on a thread pool. Inside a batch the coarse network runs ONE
-// forward pass and ONE input-only backward pass for all rows (see
+// Requests are grouped by landmark mask, then by serving network — a
+// service's specialised model when one exists, the general model otherwise.
+// Each group is cut into batches of `batch_size` rows, and batches are
+// processed in parallel on a thread pool. Inside a batch the coarse network
+// runs ONE forward pass and ONE input-only backward pass for all rows (see
 // CoarseNet::backward_inputs); everything downstream of the attention step
-// is per-row.
+// is per-row. When the networks within a mask group share bit-identical
+// frozen LandPooling parameters (per-service heads fine-tuned with
+// --freeze-kernel), their requests share union batches: the pooling stage —
+// forward and backward — runs once per batch for ALL services and only the
+// cheap FC stacks fan out per head (core/attention.h,
+// compute_attention_shared_pooling).
 //
 // Exactness contract: run(requests)[i].diagnosis is bit-identical to
 // model.diagnose(requests[i]).diagnosis — every per-row computation (GEMM

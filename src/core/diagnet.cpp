@@ -107,6 +107,48 @@ bool DiagNetModel::has_specialized(std::size_t service) const {
   return specialized_.count(service) > 0;
 }
 
+std::vector<std::size_t> DiagNetModel::specialized_services() const {
+  std::vector<std::size_t> out;
+  out.reserve(specialized_.size());
+  for (const auto& [service, net] : specialized_) out.push_back(service);
+  return out;
+}
+
+void DiagNetModel::set_quantized(bool on) {
+  DIAGNET_REQUIRE_MSG(trained(), "train_general() first");
+  general_->set_quantized(on);
+  for (auto& [service, net] : specialized_) net->set_quantized(on);
+}
+
+bool DiagNetModel::quantized() const {
+  return trained() && general_->quantized();
+}
+
+util::Status DiagNetModel::adopt_specialized(std::size_t service,
+                                             DiagNetModel& donor) {
+  if (!trained() || !donor.trained())
+    return util::Status::failed_precondition(
+        "adopt_specialized needs two trained models");
+  const auto it = donor.specialized_.find(service);
+  if (it == donor.specialized_.end())
+    return util::Status::invalid_argument(
+        "donor bundle has no specialized head for service " +
+        std::to_string(service));
+  if (fs_->total() != donor.fs_->total() ||
+      fs_->landmark_count() != donor.fs_->landmark_count())
+    return util::Status::failed_precondition(
+        "donor bundle was built for a different feature space");
+  if (!it->second->shares_pooling_with(*general_))
+    return util::Status::failed_precondition(
+        "specialized head for service " + std::to_string(service) +
+        " does not share this model's frozen pooling kernel (fine-tune with "
+        "--freeze-kernel from the same general bundle)");
+  if (quantized()) it->second->set_quantized(true);
+  specialized_[service] = std::move(it->second);
+  donor.specialized_.erase(it);
+  return util::Status();
+}
+
 nn::CoarseNet& DiagNetModel::general_net() {
   DIAGNET_REQUIRE(trained());
   return *general_;

@@ -162,6 +162,23 @@ class DiagNetModel {
   /// response should carry (failed_precondition / invalid_argument).
   util::Status validate(const DiagnoseRequest& request) const;
 
+  /// Int8 inference for every FC stack — general and specialized (see
+  /// nn/quantized.h). Enabling is lossy: fp weights snap onto the int8
+  /// grid. Heads adopted later inherit the current setting.
+  void set_quantized(bool on);
+  bool quantized() const;
+
+  /// Move `donor`'s specialized head for `service` into this model — the
+  /// serving router uses this to merge per-service fine-tuned bundles into
+  /// one serving model. Fails unless the head was fine-tuned from the same
+  /// frozen representation (bit-identical LandPooling parameters and
+  /// matching feature space), which is what lets the batched engine share
+  /// pooling work across services. On success the donor loses the head.
+  util::Status adopt_specialized(std::size_t service, DiagNetModel& donor);
+
+  /// Services with a specialized head, ascending.
+  std::vector<std::size_t> specialized_services() const;
+
   bool trained() const { return general_ != nullptr; }
   bool has_specialized(std::size_t service) const;
   const data::FeatureSpace& feature_space() const { return *fs_; }

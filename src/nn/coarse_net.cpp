@@ -191,6 +191,61 @@ void CoarseNet::backward_inputs(const Matrix& grad_logits, Matrix* grad_land,
   if (grad_land) *grad_land = std::move(dland);
 }
 
+Matrix CoarseNet::forward_from_pooled(const Matrix& pooled,
+                                      const Matrix& local) {
+  DIAGNET_REQUIRE(pooled.cols() == local_offset_ &&
+                  local.cols() == config_.local_features &&
+                  pooled.rows() == local.rows());
+  Matrix x(pooled.rows(), local_offset_ + config_.local_features);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double* row = x.row_ptr(r);
+    std::copy(pooled.row_ptr(r), pooled.row_ptr(r) + pooled.cols(), row);
+    std::copy(local.row_ptr(r), local.row_ptr(r) + local.cols(),
+              row + local_offset_);
+  }
+  for (std::size_t i = 0; i < relu_.size(); ++i) {
+    x = fc_[i].forward(x);
+    x = relu_[i].forward(x);
+  }
+  return fc_.back().forward(x);
+}
+
+Matrix CoarseNet::backward_inputs_from_pooled(const Matrix& grad_logits,
+                                              Matrix* grad_local) {
+  Matrix g = fc_.back().backward_input(grad_logits);
+  for (std::size_t i = relu_.size(); i-- > 0;) {
+    g = relu_[i].backward(g);
+    g = fc_[i].backward_input(g);
+  }
+
+  Matrix grad_pooled(g.rows(), local_offset_);
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const double* row = g.row_ptr(r);
+    std::copy(row, row + local_offset_, grad_pooled.row_ptr(r));
+  }
+  if (grad_local) {
+    *grad_local = Matrix(g.rows(), config_.local_features);
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      const double* row = g.row_ptr(r) + local_offset_;
+      std::copy(row, row + config_.local_features, grad_local->row_ptr(r));
+    }
+  }
+  return grad_pooled;
+}
+
+void CoarseNet::set_quantized(bool on) {
+  for (Linear& layer : fc_) layer.set_quantized(on);
+}
+
+bool CoarseNet::quantized() const {
+  return !fc_.empty() && fc_.front().quantized();
+}
+
+bool CoarseNet::shares_pooling_with(const CoarseNet& other) const {
+  return local_offset_ == other.local_offset_ &&
+         pool_.same_parameters(other.pool_);
+}
+
 std::vector<Parameter*> CoarseNet::parameters() {
   std::vector<Parameter*> params = pool_.parameters();
   for (auto& layer : fc_) {

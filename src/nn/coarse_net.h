@@ -100,8 +100,35 @@ class CoarseNet {
   /// the service-specialisation split of paper §IV-F.
   void freeze_representation(bool frozen = true);
 
+  /// Int8 inference for the FC stack (the LandPooling kernel stays fp64 —
+  /// see nn/quantized.h). Enabling snaps the fp weights onto the int8 grid
+  /// so gradient attention differentiates the served function.
+  void set_quantized(bool on);
+  bool quantized() const;
+
+  /// True when this net's LandPooling computes bit-identical pooled rows to
+  /// `other`'s — the precondition for the serving router to share one
+  /// pooling pass across specialized heads.
+  bool shares_pooling_with(const CoarseNet& other) const;
+
+  /// FC-stack-only forward for the shared-pooling serving path: the caller
+  /// already pooled a (union) batch and hands this head its rows. Same
+  /// concat + FC math as forward(), with layer caches, so
+  /// backward_inputs_from_pooled() can follow. Per-row bits match a full
+  /// forward() of the same rows (the kernels' per-row group structure is
+  /// batch-size invariant).
+  Matrix forward_from_pooled(const Matrix& pooled, const Matrix& local);
+
+  /// Input-gradient backward matching forward_from_pooled: runs the FC
+  /// chain only and returns the gradient w.r.t. the pooled rows (the caller
+  /// scatters it into the union batch and runs one shared LandPooling
+  /// backward). grad_local, when non-null, receives the local-feature part.
+  Matrix backward_inputs_from_pooled(const Matrix& grad_logits,
+                                     Matrix* grad_local);
+
   const CoarseNetConfig& config() const { return config_; }
   LandPooling& pooling() { return pool_; }
+  const LandPooling& pooling() const { return pool_; }
 
   /// Deep copy (shares nothing) — used to derive specialised models from
   /// the general model.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/require.h"
 
 namespace diagnet::nn {
@@ -104,6 +105,7 @@ void LandPooling::pool_from_conv(const Matrix& mask,
                                  std::vector<double>& values,
                                  std::vector<std::size_t>& order) const {
   const std::size_t L = mask.cols();
+  const tensor::detail::Kernels& K = tensor::detail::active_kernels();
   out.resize(mask.rows(), out_features());
   for (std::size_t i = 0; i < mask.rows(); ++i) {
     // Pooling across available landmarks, per filter.
@@ -118,9 +120,9 @@ void LandPooling::pool_from_conv(const Matrix& mask,
       const std::size_t n = values.size();
       sort_slots(values, order);
 
-      double sum = 0.0;
-      for (double v : values) sum += v;
-      const double avg = sum / static_cast<double>(n);
+      // Dispatched reductions; route_grads recomputes avg the same way so
+      // forward and backward agree bit-for-bit on every kernel tier.
+      const double avg = K.reduce_sum(values.data(), n) / static_cast<double>(n);
 
       for (std::size_t o = 0; o < ops_.size(); ++o) {
         double v = 0.0;
@@ -135,11 +137,9 @@ void LandPooling::pool_from_conv(const Matrix& mask,
             v = avg;
             break;
           case PoolOp::Var: {
-            if (n >= 2) {
-              double m2 = 0.0;
-              for (double x : values) m2 += (x - avg) * (x - avg);
-              v = m2 / static_cast<double>(n - 1);
-            }
+            if (n >= 2)
+              v = K.reduce_sq_dev(values.data(), n, avg) /
+                  static_cast<double>(n - 1);
             break;
           }
           default: {
@@ -200,6 +200,7 @@ void LandPooling::route_grads(const Matrix& mask,
                               std::vector<std::size_t>& slot_lam) const {
   const std::size_t L = mask.cols();
   const std::size_t batch = mask.rows();
+  const tensor::detail::Kernels& K = tensor::detail::active_kernels();
 
   // Route pooled gradients into dF (per sample, landmark, filter).
   dconv.assign(batch * L * filters_, 0.0);
@@ -217,9 +218,9 @@ void LandPooling::route_grads(const Matrix& mask,
       const std::size_t n = values.size();
       sort_slots(values, order);
 
-      double sum = 0.0;
-      for (double v : values) sum += v;
-      const double avg = sum / static_cast<double>(n);
+      // Same dispatched reduction as pool_from_conv: the Var rule needs the
+      // forward's exact avg.
+      const double avg = K.reduce_sum(values.data(), n) / static_cast<double>(n);
 
       const auto d_at = [&](std::size_t slot) -> double& {
         return dconv[(i * L + slot_lam[slot]) * filters_ + j];
@@ -358,6 +359,47 @@ Matrix LandPooling::backward_input(const Matrix& grad_pooled) const {
     }
   }
   return dland;
+}
+
+Matrix LandPooling::backward_input_with(PoolContext& ctx,
+                                        const Matrix& grad_pooled) const {
+  DIAGNET_REQUIRE_MSG(ctx.mask != nullptr && grad_pooled.rows() == ctx.batch &&
+                          grad_pooled.cols() == out_features(),
+                      "backward shape mismatch (call ctx forward first)");
+  const Matrix& mask = *ctx.mask;
+  const std::size_t L = ctx.landmarks;
+  route_grads(mask, ctx.conv, grad_pooled, ctx.dconv, ctx.values, ctx.order,
+              ctx.slot_lam);
+
+  // dx[λ] = K^T · dF[λ] only, same per-row math as backward_input().
+  Matrix dland(ctx.batch, L * k_);
+  for (std::size_t i = 0; i < ctx.batch; ++i) {
+    for (std::size_t lam = 0; lam < L; ++lam) {
+      if (mask(i, lam) < 0.5) continue;
+      const double* df = ctx.dconv.data() + (i * L + lam) * filters_;
+      double* dx = dland.row_ptr(i) + lam * k_;
+      for (std::size_t j = 0; j < filters_; ++j) {
+        const double dfj = df[j];
+        if (dfj == 0.0) continue;
+        const double* kv = kernel_.value.row_ptr(j);
+        for (std::size_t t = 0; t < k_; ++t) dx[t] += dfj * kv[t];
+      }
+    }
+  }
+  return dland;
+}
+
+bool LandPooling::same_parameters(const LandPooling& other) const {
+  if (k_ != other.k_ || filters_ != other.filters_ || ops_ != other.ops_)
+    return false;
+  const Matrix& ka = kernel_.value;
+  const Matrix& kb = other.kernel_.value;
+  for (std::size_t r = 0; r < ka.rows(); ++r)
+    for (std::size_t c = 0; c < ka.cols(); ++c)
+      if (ka(r, c) != kb(r, c)) return false;
+  for (std::size_t c = 0; c < bias_.value.cols(); ++c)
+    if (bias_.value(0, c) != other.bias_.value(0, c)) return false;
+  return true;
 }
 
 }  // namespace diagnet::nn

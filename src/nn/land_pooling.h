@@ -90,6 +90,20 @@ class LandPooling {
   /// the inference path (gradient attention).
   Matrix backward_input(const Matrix& grad_pooled) const;
 
+  /// Input gradient against a ctx-forward: same math as backward_input(),
+  /// but reading the batch from `ctx` instead of the member caches. Rows
+  /// are fully independent, so a union batch pooled once and back-propped
+  /// once yields, per row, the same bits as pooling each sub-batch alone —
+  /// the property the shared-pooling serving path relies on.
+  Matrix backward_input_with(PoolContext& ctx, const Matrix& grad_pooled) const;
+
+  /// True when `other` computes the identical pooling function: same k,
+  /// filter count, operator bank, and bit-identical kernel/bias values.
+  /// Specialized heads fine-tuned with --freeze-kernel keep this true
+  /// against their donor, which is what lets the serving router share one
+  /// LandPooling pass across services.
+  bool same_parameters(const LandPooling& other) const;
+
   /// Workspace forward: same math as forward(), but all state goes into
   /// `ctx` and the pooled output into `out` (capacity-aware resize). Const,
   /// so training shards can share one layer.

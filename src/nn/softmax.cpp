@@ -3,21 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/require.h"
 
 namespace diagnet::nn {
 
 Matrix softmax(const Matrix& logits) {
   Matrix out = logits;
+  // Dispatched max/divide; both are exact under any evaluation order, so
+  // softmax produces identical bits on every kernel tier (the sum of
+  // exponentials stays sequential on purpose).
+  const tensor::detail::Kernels& K = tensor::detail::active_kernels();
   for (std::size_t r = 0; r < out.rows(); ++r) {
     double* row = out.row_ptr(r);
-    const double mx = *std::max_element(row, row + out.cols());
+    const double mx = K.reduce_max(row, out.cols());
     double sum = 0.0;
     for (std::size_t c = 0; c < out.cols(); ++c) {
       row[c] = std::exp(row[c] - mx);
       sum += row[c];
     }
-    for (std::size_t c = 0; c < out.cols(); ++c) row[c] /= sum;
+    K.scale_div(row, sum, out.cols());
   }
   return out;
 }
@@ -49,11 +54,12 @@ double softmax_cross_entropy_sum(const Matrix& logits,
   DIAGNET_REQUIRE(n == logits.rows());
   if (grad) grad->resize(logits.rows(), logits.cols());
   const std::size_t c = logits.cols();
+  const tensor::detail::Kernels& K = tensor::detail::active_kernels();
   double loss = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     DIAGNET_REQUIRE(labels[r] < c);
     const double* in = logits.row_ptr(r);
-    const double mx = *std::max_element(in, in + c);
+    const double mx = K.reduce_max(in, c);
     // One pass computes the exponentials (into the grad row when wanted)
     // and their sum; no per-row heap temporary.
     double sum = 0.0;

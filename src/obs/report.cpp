@@ -14,6 +14,7 @@
 #endif
 
 #include "obs/telemetry.h"
+#include "tensor/dispatch.h"
 #include "util/table.h"
 
 namespace diagnet::obs {
@@ -215,6 +216,10 @@ std::string run_metadata_json() {
   out += std::to_string(std::thread::hardware_concurrency());
   out += ",\"build_type\":\"";
   append_json_escaped(out, build_type);
+  out += "\",\"cpu_features\":\"";
+  append_json_escaped(out, tensor::cpu_features_string());
+  out += "\",\"kernel_tier\":\"";
+  append_json_escaped(out, tensor::active_kernel_tier_name());
   out += '"';
   return out;
 }

@@ -17,8 +17,9 @@ using clock = std::chrono::steady_clock;
 // ---------------------------------------------------------------------------
 // ModelProvider
 
-ModelProvider::ModelProvider(std::shared_ptr<core::DiagNetModel> model)
-    : model_(std::move(model)) {
+ModelProvider::ModelProvider(std::shared_ptr<core::DiagNetModel> model,
+                             std::uint64_t checksum)
+    : model_(std::move(model)), checksum_(checksum) {
   DIAGNET_REQUIRE_MSG(model_ != nullptr, "ModelProvider needs a model");
 }
 
@@ -48,6 +49,16 @@ void ModelProvider::swap(std::shared_ptr<core::DiagNetModel> next) {
   DIAGNET_REQUIRE_MSG(next != nullptr, "cannot swap in a null model");
   std::lock_guard<std::mutex> lock(mu_);
   model_ = std::move(next);
+  ++generation_;
+  DIAGNET_COUNT("serve.model_swaps");
+}
+
+void ModelProvider::swap(std::shared_ptr<core::DiagNetModel> next,
+                         std::uint64_t checksum) {
+  DIAGNET_REQUIRE_MSG(next != nullptr, "cannot swap in a null model");
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(next);
+  checksum_ = checksum;
   ++generation_;
   DIAGNET_COUNT("serve.model_swaps");
 }

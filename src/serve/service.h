@@ -51,7 +51,8 @@ namespace diagnet::serve {
 /// snapshot (one mutex-protected shared_ptr copy).
 class ModelProvider {
  public:
-  explicit ModelProvider(std::shared_ptr<core::DiagNetModel> model);
+  explicit ModelProvider(std::shared_ptr<core::DiagNetModel> model,
+                         std::uint64_t checksum = 0);
 
   /// Load the initial model from a registry bundle; remembers the file's
   /// mtime so a subsequent poll_and_reload() only fires on a newer write.
@@ -64,6 +65,12 @@ class ModelProvider {
   /// Atomically publish a new model. In-flight users of the old snapshot
   /// are unaffected (shared ownership keeps it alive).
   void swap(std::shared_ptr<core::DiagNetModel> next);
+
+  /// Publish a new model together with its payload checksum in one
+  /// generation bump — the router path, where the served model is merged
+  /// from several bundle files and the checksum is the combination the
+  /// caller computed over all of them.
+  void swap(std::shared_ptr<core::DiagNetModel> next, std::uint64_t checksum);
 
   /// Load a bundle through the v2 checksummed registry and swap it in.
   /// On any error (missing file, corrupt bundle, wrong deployment shape)

@@ -7,6 +7,7 @@
 
 #include "obs/report.h"
 #include "obs/telemetry.h"
+#include "tensor/dispatch.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define DIAGNET_SERVE_HAS_TCP 1
@@ -79,8 +80,25 @@ std::string statsz_json(const StatszSource& source) {
     out += ",\"model\":{";
     out += "\"generation\":" + std::to_string(source.provider->generation());
     out += ",\"checksum\":\"" + checksum_hex(source.provider->checksum());
-    out += "\"}";
+    out += "\"";
+    const auto model = source.provider->current();
+    out += ",\"quantized\":";
+    out += model != nullptr && model->quantized() ? "true" : "false";
+    if (model != nullptr) {
+      out += ",\"specialized_services\":[";
+      bool first = true;
+      for (const std::size_t s : model->specialized_services()) {
+        if (!first) out += ',';
+        out += std::to_string(s);
+        first = false;
+      }
+      out += ']';
+    }
+    out += '}';
   }
+  out += ",\"kernel\":{";
+  out += "\"tier\":\"" + std::string(tensor::active_kernel_tier_name());
+  out += "\",\"cpu\":\"" + tensor::cpu_features_string() + "\"}";
   out += ",\"metrics\":" + obs::metrics_to_json();
   out += '}';
   return out;
@@ -123,7 +141,20 @@ std::string statsz_prometheus(const StatszSource& source) {
     out += "# TYPE diagnet_model_info gauge\n";
     out += "diagnet_model_info{checksum=\"" +
            checksum_hex(source.provider->checksum()) + "\"} 1\n";
+    const auto model = source.provider->current();
+    emit("diagnet_model_quantized", "gauge",
+         model != nullptr && model->quantized() ? 1.0 : 0.0);
+    emit("diagnet_model_specialized_services", "gauge",
+         model != nullptr
+             ? static_cast<double>(model->specialized_services().size())
+             : 0.0);
   }
+  // Same info-metric idiom for the dispatched kernel tier: the tier and the
+  // probed CPU features ride as labels on a constant 1.
+  out += "# TYPE diagnet_kernel_info gauge\n";
+  out += "diagnet_kernel_info{tier=\"";
+  out += tensor::active_kernel_tier_name();
+  out += "\",cpu=\"" + tensor::cpu_features_string() + "\"} 1\n";
 
   obs::Registry& registry = obs::Registry::instance();
   for (const auto& [name, value] : registry.counters())

@@ -1,0 +1,124 @@
+#include "tensor/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/kernels.h"
+
+namespace diagnet::tensor {
+
+namespace {
+
+CpuFeatures probe_cpu() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+  f.neon = true;
+#endif
+  return f;
+}
+
+bool avx2_usable() {
+  const CpuFeatures& f = cpu_features();
+  // The AVX2 tier leans on FMA throughout; require both.
+  return f.avx2 && f.fma && detail::avx2_kernels() != nullptr;
+}
+
+KernelTier resolve_from_env() {
+  const char* env = std::getenv("DIAGNET_KERNEL");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    if (std::strcmp(env, "scalar") == 0) return KernelTier::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2_usable()) return KernelTier::kAvx2;
+      std::fprintf(stderr,
+                   "diagnet: DIAGNET_KERNEL=avx2 requested but this CPU/"
+                   "build has no avx2+fma; using scalar kernels\n");
+      return KernelTier::kScalar;
+    }
+    std::fprintf(stderr,
+                 "diagnet: unknown DIAGNET_KERNEL=\"%s\" (want scalar|"
+                 "avx2|auto); using auto\n",
+                 env);
+  }
+  return avx2_usable() ? KernelTier::kAvx2 : KernelTier::kScalar;
+}
+
+const detail::Kernels& table_for(KernelTier tier) {
+  if (tier == KernelTier::kAvx2) {
+    const detail::Kernels* t = detail::avx2_kernels();
+    if (t != nullptr) return *t;
+  }
+  return detail::scalar_kernels();
+}
+
+std::atomic<const detail::Kernels*>& active_slot() {
+  static std::atomic<const detail::Kernels*> slot{
+      &table_for(resolve_from_env())};
+  return slot;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe_cpu();
+  return f;
+}
+
+std::string cpu_features_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string out;
+  const auto add = [&](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (f.avx2) add("avx2");
+  if (f.fma) add("fma");
+  if (f.neon) add("neon");
+  return out.empty() ? "none" : out;
+}
+
+const char* kernel_tier_name(KernelTier tier) {
+  return tier == KernelTier::kAvx2 ? "avx2" : "scalar";
+}
+
+KernelTier active_kernel_tier() {
+  return active_slot().load(std::memory_order_relaxed) ==
+                 detail::avx2_kernels()
+             ? KernelTier::kAvx2
+             : KernelTier::kScalar;
+}
+
+const char* active_kernel_tier_name() {
+  return kernel_tier_name(active_kernel_tier());
+}
+
+bool kernel_tier_supported(KernelTier tier) {
+  return tier == KernelTier::kScalar || avx2_usable();
+}
+
+bool force_kernel_tier(KernelTier tier) {
+  if (!kernel_tier_supported(tier)) return false;
+  active_slot().store(&table_for(tier), std::memory_order_relaxed);
+  return true;
+}
+
+void reset_kernel_tier() {
+  active_slot().store(&table_for(resolve_from_env()),
+                      std::memory_order_relaxed);
+}
+
+namespace detail {
+
+const Kernels& active_kernels() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace diagnet::tensor

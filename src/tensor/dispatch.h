@@ -1,0 +1,58 @@
+// Runtime kernel dispatch: the tensor library ships two implementations of
+// its inner microkernels — a portable scalar/auto-vectorized tier and an
+// explicit AVX2+FMA tier — and picks one at process start by probing the
+// CPU, so a single release binary runs everywhere and still uses the wide
+// units where they exist (no -march dependence in release builds).
+//
+// Selection order:
+//   1. DIAGNET_KERNEL=scalar|avx2|auto (env). "avx2" on an unsupported CPU
+//      warns once on stderr and falls back to scalar rather than faulting.
+//   2. auto (default): avx2 when the CPU reports both AVX2 and FMA,
+//      otherwise scalar.
+//
+// Numerics policy: within one tier, every reduction order is fixed by the
+// kernel structure (ascending k, groups of four, fixed remainder), so the
+// batch-vs-single and thread-count bit-exactness contracts hold on either
+// tier. *Across* tiers results agree only to testkit oracle tolerance —
+// FMA changes rounding — which is why the tier is recorded in bench
+// metadata and /statsz.
+#pragma once
+
+#include <string>
+
+namespace diagnet::tensor {
+
+enum class KernelTier { kScalar = 0, kAvx2 = 1 };
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool neon = false;
+};
+
+/// What the CPU we are running on actually supports (probed once).
+const CpuFeatures& cpu_features();
+
+/// Comma-joined feature list for reports, e.g. "avx2,fma" or "none".
+std::string cpu_features_string();
+
+/// The tier the dispatched kernels currently run on.
+KernelTier active_kernel_tier();
+
+const char* kernel_tier_name(KernelTier tier);
+
+/// Short name of the active tier ("scalar" | "avx2").
+const char* active_kernel_tier_name();
+
+/// True when `tier` can run on this CPU (scalar always can).
+bool kernel_tier_supported(KernelTier tier);
+
+/// Force a specific tier (tests and per-tier benchmarks). Returns false —
+/// and changes nothing — when the CPU cannot run that tier. Not intended
+/// to race against in-flight kernels: call it between workloads.
+bool force_kernel_tier(KernelTier tier);
+
+/// Undo force_kernel_tier(): re-resolve from DIAGNET_KERNEL / auto.
+void reset_kernel_tier();
+
+}  // namespace diagnet::tensor

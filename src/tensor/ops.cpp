@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tensor/kernels.h"
 #include "util/require.h"
 #include "util/thread_pool.h"
 
@@ -9,10 +10,8 @@ namespace diagnet::tensor {
 
 namespace {
 
-// Below this many multiply-adds a GEMM runs the plain scalar loop: tiling
-// and pool dispatch cost more than they save on the small attention-path
-// shapes (single rows, 7-wide logits).
-constexpr std::size_t kSmallMacs = 1u << 15;
+using detail::Kernels;
+
 // Above this many multiply-adds the row loop fans out over the thread
 // pool. Chosen so one task is still a few hundred microseconds of work —
 // and high enough that the 16-row shard GEMMs of the data-parallel trainer
@@ -25,6 +24,9 @@ constexpr std::size_t kRowBlock = 32;
 // k-tile: a kKBlock x N panel of B (64 x 512 doubles = 256 KiB at the
 // coarse model's widest layer) is streamed against a block of C rows
 // before moving on, instead of re-streaming all of B for every row.
+// kKBlock is a multiple of the 4-wide unroll, so the fused-group
+// boundaries — and with them the reduction order — are the same whether a
+// row is walked tile-by-tile or in one pass.
 constexpr std::size_t kKBlock = 64;
 
 /// Run fn(block) over ceil(n / kRowBlock) fixed-size row blocks, in
@@ -42,9 +44,12 @@ void for_row_blocks(std::size_t n, std::size_t macs, const Fn& fn) {
 
 /// Tiled C(i, :) += A(i, :) · B for rows [r0, r1). The reduction order over
 /// kk for every output element is: k-tiles ascending, groups of four inside
-/// a tile, remainder one at a time — fixed by constants, not by threading.
-void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
-               std::size_t r1) {
+/// a tile, remainder one at a time — fixed by constants and by the active
+/// kernel tier, never by threading or the total row count. Every matrix
+/// shape takes this same path, so a row's bits depend only on its own
+/// contents (the batch-vs-single bit-exactness contract is structural).
+void gemm_rows(const Kernels& K, const Matrix& a, const Matrix& b,
+               Matrix& c, std::size_t r0, std::size_t r1) {
   const std::size_t k = a.cols(), n = b.cols();
   for (std::size_t kk0 = 0; kk0 < k; kk0 += kKBlock) {
     const std::size_t kk1 = std::min(k, kk0 + kKBlock);
@@ -52,31 +57,19 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
       double* ci = c.row_ptr(i);
       const double* ai = a.row_ptr(i);
       std::size_t kk = kk0;
-      for (; kk + 4 <= kk1; kk += 4) {
-        const double a0 = ai[kk], a1 = ai[kk + 1];
-        const double a2 = ai[kk + 2], a3 = ai[kk + 3];
-        const double* b0 = b.row_ptr(kk);
-        const double* b1 = b.row_ptr(kk + 1);
-        const double* b2 = b.row_ptr(kk + 2);
-        const double* b3 = b.row_ptr(kk + 3);
-#pragma omp simd
-        for (std::size_t j = 0; j < n; ++j)
-          ci[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-      }
-      for (; kk < kk1; ++kk) {
-        const double aik = ai[kk];
-        const double* bk = b.row_ptr(kk);
-#pragma omp simd
-        for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-      }
+      for (; kk + 4 <= kk1; kk += 4)
+        K.axpy4(ci, b.row_ptr(kk), b.row_ptr(kk + 1), b.row_ptr(kk + 2),
+                b.row_ptr(kk + 3), ai[kk], ai[kk + 1], ai[kk + 2],
+                ai[kk + 3], n);
+      for (; kk < kk1; ++kk) K.axpy1(ci, b.row_ptr(kk), ai[kk], n);
     }
   }
 }
 
 /// C(i, :) += Σ_kk A(kk, i) · B(kk, :) for output rows [r0, r1). Four B
 /// rows are fused per pass so each C row is loaded/stored k/4 times.
-void gemm_at_b_rows(const Matrix& a, const Matrix& b, Matrix& c,
-                    std::size_t r0, std::size_t r1) {
+void gemm_at_b_rows(const Kernels& K, const Matrix& a, const Matrix& b,
+                    Matrix& c, std::size_t r0, std::size_t r1) {
   const std::size_t k = a.rows(), n = b.cols();
   std::size_t kk = 0;
   for (; kk + 4 <= k; kk += 4) {
@@ -84,43 +77,25 @@ void gemm_at_b_rows(const Matrix& a, const Matrix& b, Matrix& c,
     const double* a1 = a.row_ptr(kk + 1);
     const double* a2 = a.row_ptr(kk + 2);
     const double* a3 = a.row_ptr(kk + 3);
-    const double* b0 = b.row_ptr(kk);
-    const double* b1 = b.row_ptr(kk + 1);
-    const double* b2 = b.row_ptr(kk + 2);
-    const double* b3 = b.row_ptr(kk + 3);
-    for (std::size_t i = r0; i < r1; ++i) {
-      const double x0 = a0[i], x1 = a1[i], x2 = a2[i], x3 = a3[i];
-      double* ci = c.row_ptr(i);
-#pragma omp simd
-      for (std::size_t j = 0; j < n; ++j)
-        ci[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
-    }
+    for (std::size_t i = r0; i < r1; ++i)
+      K.axpy4(c.row_ptr(i), b.row_ptr(kk), b.row_ptr(kk + 1),
+              b.row_ptr(kk + 2), b.row_ptr(kk + 3), a0[i], a1[i], a2[i],
+              a3[i], n);
   }
   for (; kk < k; ++kk) {
     const double* ak = a.row_ptr(kk);
-    const double* bk = b.row_ptr(kk);
-    for (std::size_t i = r0; i < r1; ++i) {
-      const double aki = ak[i];
-      double* ci = c.row_ptr(i);
-#pragma omp simd
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
-    }
+    for (std::size_t i = r0; i < r1; ++i)
+      K.axpy1(c.row_ptr(i), b.row_ptr(kk), ak[i], n);
   }
 }
 
-void gemm_a_bt_rows(const Matrix& a, const Matrix& b, Matrix& c,
-                    std::size_t r0, std::size_t r1) {
+void gemm_a_bt_rows(const Kernels& K, const Matrix& a, const Matrix& b,
+                    Matrix& c, std::size_t r0, std::size_t r1) {
   const std::size_t k = a.cols(), n = b.rows();
   for (std::size_t i = r0; i < r1; ++i) {
     const double* ai = a.row_ptr(i);
     double* ci = c.row_ptr(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* bj = b.row_ptr(j);
-      double s = 0.0;
-#pragma omp simd reduction(+ : s)
-      for (std::size_t kk = 0; kk < k; ++kk) s += ai[kk] * bj[kk];
-      ci[j] = s;
-    }
+    for (std::size_t j = 0; j < n; ++j) ci[j] = K.dot(ai, b.row_ptr(j), k);
   }
 }
 
@@ -130,50 +105,36 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
   DIAGNET_REQUIRE(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   c.resize_zero(m, n);
-  const std::size_t macs = m * k * n;
-  if (macs < kSmallMacs) {
-    // Scalar i-k-j loop: the inner j loop streams both B's row k and C's
-    // row i, which vectorises well and is overhead-free for small shapes.
-    for (std::size_t i = 0; i < m; ++i) {
-      double* ci = c.row_ptr(i);
-      const double* ai = a.row_ptr(i);
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double aik = ai[kk];
-        const double* bk = b.row_ptr(kk);
-#pragma omp simd
-        for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-      }
-    }
+  if (m == 0 || n == 0 || k == 0) return;  // C is already all zeros
+  const Kernels& K = detail::active_kernels();
+  if (m == 1) {
+    // Single-row fast path; the gemv kernel contract guarantees the same
+    // bits the tiled row loop would produce on this tier.
+    K.gemv(c.row_ptr(0), a.row_ptr(0), b.row_ptr(0), k, n, b.cols());
     return;
   }
+  const std::size_t macs = m * k * n;
   for_row_blocks(m, macs, [&](std::size_t blk) {
     const std::size_t r0 = blk * kRowBlock;
-    gemm_rows(a, b, c, r0, std::min(m, r0 + kRowBlock));
+    gemm_rows(K, a, b, c, r0, std::min(m, r0 + kRowBlock));
   });
+}
+
+void gemv(const Matrix& a, const Matrix& b, Matrix& c) {
+  DIAGNET_REQUIRE(a.rows() == 1 && a.cols() == b.rows());
+  gemm(a, b, c);
 }
 
 namespace {
 
 void gemm_at_b_impl(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (m == 0 || n == 0 || k == 0) return;  // accumulate nothing
+  const Kernels& K = detail::active_kernels();
   const std::size_t macs = m * k * n;
-  if (macs < kSmallMacs) {
-    // C(i, j) = sum_kk A(kk, i) * B(kk, j): stream rows of A and B together.
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double* ak = a.row_ptr(kk);
-      const double* bk = b.row_ptr(kk);
-      for (std::size_t i = 0; i < m; ++i) {
-        const double aki = ak[i];
-        double* ci = c.row_ptr(i);
-#pragma omp simd
-        for (std::size_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
-      }
-    }
-    return;
-  }
   for_row_blocks(m, macs, [&](std::size_t blk) {
     const std::size_t r0 = blk * kRowBlock;
-    gemm_at_b_rows(a, b, c, r0, std::min(m, r0 + kRowBlock));
+    gemm_at_b_rows(K, a, b, c, r0, std::min(m, r0 + kRowBlock));
   });
 }
 
@@ -194,42 +155,42 @@ void gemm_at_b_acc(const Matrix& a, const Matrix& b, Matrix& c) {
 void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& c) {
   DIAGNET_REQUIRE(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (k == 0) {
+    c.resize_zero(m, n);  // dot over an empty k is 0, not stale memory
+    return;
+  }
   c.resize(m, n);  // every element is overwritten; no zero-fill needed
+  if (m == 0 || n == 0) return;
+  const Kernels& K = detail::active_kernels();
   // C(i, j) = dot(A row i, B row j): both operands stream contiguously.
   for_row_blocks(m, m * k * n, [&](std::size_t blk) {
     const std::size_t r0 = blk * kRowBlock;
-    gemm_a_bt_rows(a, b, c, r0, std::min(m, r0 + kRowBlock));
+    gemm_a_bt_rows(K, a, b, c, r0, std::min(m, r0 + kRowBlock));
   });
 }
 
 void axpy(double alpha, const Matrix& a, Matrix& c) {
   DIAGNET_REQUIRE(a.same_shape(c));
-  const double* pa = a.data();
-  double* pc = c.data();
-  const std::size_t n = a.size();
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) pc[i] += alpha * pa[i];
+  if (a.size() == 0) return;
+  detail::active_kernels().axpy1(c.data(), a.data(), alpha, a.size());
 }
 
 void add_row_bias(Matrix& m, const Matrix& bias) {
   DIAGNET_REQUIRE(bias.rows() == 1 && bias.cols() == m.cols());
-  const double* b = bias.data();
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    double* row = m.row_ptr(r);
-#pragma omp simd
-    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += b[c];
-  }
+  if (m.cols() == 0) return;
+  const Kernels& K = detail::active_kernels();
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    K.axpy1(m.row_ptr(r), bias.data(), 1.0, m.cols());
 }
 
 namespace {
 
 void sum_rows_impl(const Matrix& grad, Matrix& out) {
+  if (grad.rows() == 0 || grad.cols() == 0) return;  // nothing to add
+  const Kernels& K = detail::active_kernels();
   double* o = out.data();
-  for (std::size_t r = 0; r < grad.rows(); ++r) {
-    const double* row = grad.row_ptr(r);
-#pragma omp simd
-    for (std::size_t c = 0; c < grad.cols(); ++c) o[c] += row[c];
-  }
+  for (std::size_t r = 0; r < grad.rows(); ++r)
+    K.axpy1(o, grad.row_ptr(r), 1.0, grad.cols());
 }
 
 }  // namespace
@@ -246,13 +207,8 @@ void sum_rows_acc(const Matrix& grad, Matrix& out) {
 
 double dot(const Matrix& a, const Matrix& b) {
   DIAGNET_REQUIRE(a.same_shape(b));
-  double s = 0.0;
-  const double* pa = a.data();
-  const double* pb = b.data();
-  const std::size_t n = a.size();
-#pragma omp simd reduction(+ : s)
-  for (std::size_t i = 0; i < n; ++i) s += pa[i] * pb[i];
-  return s;
+  if (a.size() == 0) return 0.0;
+  return detail::active_kernels().dot(a.data(), b.data(), a.size());
 }
 
 }  // namespace diagnet::tensor

@@ -2,12 +2,13 @@
 // everything a fully-connected layer's forward and backward passes need
 // without ever materialising a transpose.
 //
-// Above a flop threshold every GEMM switches from the plain scalar loop to
-// a cache-tiled kernel whose outer row loop fans out over the global
-// thread pool (util::parallel_for). Results are bit-identical regardless
-// of the worker count: each output row is produced entirely by one task,
-// and the per-row reduction order over k is fixed by the (constant) tile
-// and unroll geometry, never by the thread that happens to run it.
+// Every GEMM runs cache-tiled microkernels chosen at startup by
+// tensor::dispatch (scalar or AVX2+FMA — see dispatch.h); above a flop
+// threshold the outer row loop fans out over the global thread pool
+// (util::parallel_for). Results are bit-identical regardless of the worker
+// count: each output row is produced entirely by one task, and the per-row
+// reduction order over k is fixed by the (constant) tile and unroll
+// geometry and the active tier, never by the thread that runs it.
 #pragma once
 
 #include "tensor/matrix.h"
@@ -16,6 +17,11 @@ namespace diagnet::tensor {
 
 /// C = A (M x K) · B (K x N). C is resized/overwritten.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = a (1 x K) · B (K x N): the single-sample fast path. Serial, no
+/// tiling or pool dispatch, but the exact fused-group reduction order of
+/// gemm() — a row's bits never depend on which entry point computed it.
+void gemv(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A^T (K x M -> M x K view) · B. A is (K x M) in memory.
 void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& c);

@@ -13,6 +13,7 @@
 #include "testkit/differential.h"
 #include "testkit/fuzz.h"
 #include "testkit/invariants.h"
+#include "testkit/simd.h"
 #include "util/binary_io.h"
 
 namespace diagnet::testkit {
@@ -70,6 +71,8 @@ const std::vector<Suite>& all_suites() {
          check_landpool_grad(ctx);
        }},
       {"oracle.attention", check_attention_batch},
+      {"oracle.kernel_tiers", check_kernel_tiers},
+      {"oracle.quantize", check_quantize_roundtrip},
       {"invariant.permutation",
        [](CaseContext& ctx) {
          check_pooling_permutation(ctx);

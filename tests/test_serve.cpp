@@ -26,6 +26,7 @@
 #include "obs/obs.h"
 #include "serve/json.h"
 #include "serve/loadgen.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/statsz.h"
@@ -764,6 +765,228 @@ TEST(Server, LoadgenDrivesTcpListenerEndToEnd) {
 }
 
 #endif  // __unix__ || __APPLE__
+
+// ---------------------------------------------------------------------------
+// Per-service specialized-model router
+
+TEST(ModelRouter, ParseServiceModels) {
+  auto empty = serve::parse_service_models("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  auto specs = serve::parse_service_models("0:a.bin,3:b.bin");
+  ASSERT_TRUE(specs.ok()) << specs.status().to_string();
+  ASSERT_EQ(specs->size(), 2u);
+  EXPECT_EQ((*specs)[0].service, 0u);
+  EXPECT_EQ((*specs)[0].path, "a.bin");
+  EXPECT_EQ((*specs)[1].service, 3u);
+  EXPECT_EQ((*specs)[1].path, "b.bin");
+
+  EXPECT_FALSE(serve::parse_service_models("x:a.bin").ok());
+  EXPECT_FALSE(serve::parse_service_models("0:").ok());
+  EXPECT_FALSE(serve::parse_service_models(":a.bin").ok());
+  EXPECT_FALSE(serve::parse_service_models("0a.bin").ok());
+  EXPECT_FALSE(serve::parse_service_models("0:a.bin,0:b.bin").ok());
+  EXPECT_FALSE(serve::parse_service_models("0:a.bin,,1:b.bin").ok());
+  EXPECT_FALSE(serve::parse_service_models("99999999999999999999:a").ok());
+}
+
+/// Shared fixture material for the router tests: a general bundle on disk
+/// plus two per-service head bundles fine-tuned (on a truncated split, so
+/// their heads are bit-distinguishable from the general model's own) the
+/// way `diagnet train --freeze-kernel --service <id>` produces them.
+struct RouterBundles {
+  std::string general_path;
+  std::size_t service_a = 0, service_b = 0;
+  std::string head_a_path, head_b_path;
+};
+
+RouterBundles make_router_bundles(const std::string& tag) {
+  auto& p = pipeline();
+  RouterBundles b;
+  const std::string dir = testing::TempDir();
+  b.general_path = dir + "/router_general_" + tag + ".bin";
+  EXPECT_TRUE(core::try_save_model_file(p.diagnet(), b.general_path).ok());
+
+  // Two distinct services that actually occur in the faulty test set.
+  const auto& samples = p.split().test.samples;
+  const std::vector<std::size_t> indices = p.faulty_test_indices();
+  b.service_a = samples[indices[0]].service;
+  for (std::size_t idx : indices)
+    if (samples[idx].service != b.service_a) {
+      b.service_b = samples[idx].service;
+      break;
+    }
+  EXPECT_NE(b.service_a, b.service_b);
+
+  data::Dataset small_train = p.split().train;
+  small_train.samples.resize(small_train.samples.size() / 2);
+
+  const auto fine_tune = [&](std::size_t service, const std::string& path) {
+    auto donor = core::try_load_model_file(b.general_path, p.feature_space());
+    ASSERT_TRUE(donor.ok()) << donor.status().to_string();
+    (*donor)->specialize(service, small_train);
+    ASSERT_TRUE(core::try_save_model_file(**donor, path).ok());
+  };
+  b.head_a_path = dir + "/router_head_a_" + tag + ".bin";
+  b.head_b_path = dir + "/router_head_b_" + tag + ".bin";
+  fine_tune(b.service_a, b.head_a_path);
+  fine_tune(b.service_b, b.head_b_path);
+  return b;
+}
+
+TEST(ModelRouter, RoutesByServiceAcrossBundles) {
+  auto& p = pipeline();
+  const RouterBundles b = make_router_bundles("route");
+
+  serve::ModelRouter::Config config;
+  config.default_path = b.general_path;
+  config.services = {{b.service_a, b.head_a_path},
+                     {b.service_b, b.head_b_path}};
+  auto router_or = serve::ModelRouter::create(config, p.feature_space());
+  ASSERT_TRUE(router_or.ok()) << router_or.status().to_string();
+  auto router = std::move(router_or).value();
+
+  const std::vector<std::size_t> routed = router->services();
+  EXPECT_TRUE(std::find(routed.begin(), routed.end(), b.service_a) !=
+              routed.end());
+  EXPECT_TRUE(std::find(routed.begin(), routed.end(), b.service_b) !=
+              routed.end());
+  ASSERT_NE(router->provider(), nullptr);
+  EXPECT_EQ(router->provider()->generation(), 1u);
+  EXPECT_NE(router->provider()->checksum(), 0u);
+
+  // Per routed service: the merged model must answer with the donor
+  // bundle's head (bit-identical to diagnosing against the donor model
+  // directly), not the general bundle's own head for that service.
+  const auto check_routed = [&](std::size_t service,
+                                const std::string& head_path) {
+    const auto& samples = p.split().test.samples;
+    core::DiagnoseRequest request;
+    for (std::size_t idx : p.faulty_test_indices())
+      if (samples[idx].service == service) {
+        request = request_for(idx);
+        break;
+      }
+
+    auto donor = core::try_load_model_file(head_path, p.feature_space());
+    ASSERT_TRUE(donor.ok());
+    core::DiagnoseResponse want = (*donor)->diagnose(request);
+    ASSERT_TRUE(want.ok());
+
+    auto base = core::try_load_model_file(b.general_path, p.feature_space());
+    ASSERT_TRUE(base.ok());
+    core::DiagnoseResponse general = (*base)->diagnose(request);
+    ASSERT_TRUE(general.ok());
+    ASSERT_NE(want.diagnosis.scores, general.diagnosis.scores)
+        << "fine-tuned and general heads must be distinguishable";
+
+    core::DiagnoseResponse got =
+        router->provider()->current()->diagnose(request);
+    ASSERT_TRUE(got.ok()) << got.status.to_string();
+    expect_bit_identical(got.diagnosis, want.diagnosis);
+  };
+  check_routed(b.service_a, b.head_a_path);
+  check_routed(b.service_b, b.head_b_path);
+}
+
+TEST(ModelRouter, ReloadIsAllOrNothingAcrossBundles) {
+  auto& p = pipeline();
+  const RouterBundles b = make_router_bundles("reload");
+
+  serve::ModelRouter::Config config;
+  config.default_path = b.general_path;
+  config.services = {{b.service_a, b.head_a_path},
+                     {b.service_b, b.head_b_path}};
+  auto router_or = serve::ModelRouter::create(config, p.feature_space());
+  ASSERT_TRUE(router_or.ok()) << router_or.status().to_string();
+  auto router = std::move(router_or).value();
+  const std::uint64_t checksum_v1 = router->provider()->checksum();
+
+  const auto& samples = p.split().test.samples;
+  core::DiagnoseRequest request_a, request_b;
+  for (std::size_t idx : p.faulty_test_indices()) {
+    if (samples[idx].service == b.service_a) request_a = request_for(idx);
+    if (samples[idx].service == b.service_b) request_b = request_for(idx);
+  }
+  core::DiagnoseResponse before_a =
+      router->provider()->current()->diagnose(request_a);
+  core::DiagnoseResponse before_b =
+      router->provider()->current()->diagnose(request_b);
+  ASSERT_TRUE(before_a.ok() && before_b.ok());
+
+  // Unchanged files: a no-op poll.
+  util::Status status;
+  EXPECT_FALSE(router->poll_and_reload(&status));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(router->provider()->generation(), 1u);
+
+  // Corrupting ONE bundle must refuse the whole reload: the previous merge
+  // keeps serving every service (generations are atomic across bundles).
+  {
+    std::ofstream corrupt(b.head_a_path,
+                          std::ios::trunc | std::ios::binary);
+    corrupt << "not a model bundle";
+  }
+  std::filesystem::last_write_time(
+      b.head_a_path, std::filesystem::file_time_type::clock::now() +
+                         std::chrono::seconds(2));
+  EXPECT_FALSE(router->poll_and_reload(&status));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(router->provider()->generation(), 1u);
+  core::DiagnoseResponse during_a =
+      router->provider()->current()->diagnose(request_a);
+  ASSERT_TRUE(during_a.ok());
+  expect_bit_identical(during_a.diagnosis, before_a.diagnosis);
+
+  // A repaired bundle (re-fine-tuned on an even smaller split, so its head
+  // is distinguishable from v1) swaps the whole merge in one generation
+  // bump; the untouched service_b bundle keeps its bits.
+  {
+    data::Dataset tiny_train = p.split().train;
+    tiny_train.samples.resize(tiny_train.samples.size() / 4);
+    auto donor = core::try_load_model_file(b.general_path, p.feature_space());
+    ASSERT_TRUE(donor.ok());
+    (*donor)->specialize(b.service_a, tiny_train);
+    ASSERT_TRUE(core::try_save_model_file(**donor, b.head_a_path).ok());
+  }
+  std::filesystem::last_write_time(
+      b.head_a_path, std::filesystem::file_time_type::clock::now() +
+                         std::chrono::seconds(4));
+  EXPECT_TRUE(router->poll_and_reload(&status));
+  EXPECT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(router->provider()->generation(), 2u);
+  EXPECT_NE(router->provider()->checksum(), checksum_v1);
+
+  core::DiagnoseResponse after_a =
+      router->provider()->current()->diagnose(request_a);
+  core::DiagnoseResponse after_b =
+      router->provider()->current()->diagnose(request_b);
+  ASSERT_TRUE(after_a.ok() && after_b.ok());
+  EXPECT_NE(after_a.diagnosis.scores, before_a.diagnosis.scores)
+      << "service A must serve the repaired bundle after the swap";
+  expect_bit_identical(after_b.diagnosis, before_b.diagnosis);
+}
+
+TEST(ModelRouter, CreateFailsClosedOnBadBundle) {
+  auto& p = pipeline();
+  const std::string dir = testing::TempDir();
+  const std::string general_path = dir + "/router_badcreate_general.bin";
+  ASSERT_TRUE(core::try_save_model_file(p.diagnet(), general_path).ok());
+  const std::string bad_path = dir + "/router_badcreate_head.bin";
+  {
+    std::ofstream bad(bad_path, std::ios::trunc | std::ios::binary);
+    bad << "garbage";
+  }
+  serve::ModelRouter::Config config;
+  config.default_path = general_path;
+  config.services = {{0, bad_path}};
+  EXPECT_FALSE(serve::ModelRouter::create(config, p.feature_space()).ok());
+
+  // Missing file: same fail-closed behavior.
+  config.services = {{0, dir + "/does_not_exist.bin"}};
+  EXPECT_FALSE(serve::ModelRouter::create(config, p.feature_space()).ok());
+}
 
 }  // namespace
 }  // namespace diagnet

@@ -1,0 +1,124 @@
+// Runtime kernel dispatch (src/tensor/dispatch.*): tier probing and
+// forcing, the scalar-vs-avx2 differential over the testkit oracles, and
+// the zero-row/zero-col edge shapes of the dispatched ops. The property
+// suite here is the one the CI forced-tier sweep pins under asan.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tensor/dispatch.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tests/test_helpers.h"
+
+namespace diagnet {
+namespace {
+
+using tensor::KernelTier;
+
+/// Restores the env-resolved tier however a test exits.
+struct TierGuard {
+  ~TierGuard() { tensor::reset_kernel_tier(); }
+};
+
+TEST(SimdDispatch, ScalarTierAlwaysSupportedAndForcible) {
+  TierGuard guard;
+  EXPECT_TRUE(tensor::kernel_tier_supported(KernelTier::kScalar));
+  ASSERT_TRUE(tensor::force_kernel_tier(KernelTier::kScalar));
+  EXPECT_EQ(tensor::active_kernel_tier(), KernelTier::kScalar);
+  EXPECT_STREQ(tensor::active_kernel_tier_name(), "scalar");
+  EXPECT_STREQ(tensor::detail::active_kernels().name, "scalar");
+}
+
+TEST(SimdDispatch, ForcingAvx2FollowsCpuSupport) {
+  TierGuard guard;
+  const bool supported = tensor::kernel_tier_supported(KernelTier::kAvx2);
+  const KernelTier before = tensor::active_kernel_tier();
+  EXPECT_EQ(tensor::force_kernel_tier(KernelTier::kAvx2), supported);
+  if (supported) {
+    EXPECT_EQ(tensor::active_kernel_tier(), KernelTier::kAvx2);
+    EXPECT_STREQ(tensor::active_kernel_tier_name(), "avx2");
+    EXPECT_NE(tensor::detail::avx2_kernels(), nullptr);
+  } else {
+    // A refused force must change nothing.
+    EXPECT_EQ(tensor::active_kernel_tier(), before);
+  }
+}
+
+TEST(SimdDispatch, CpuFeaturesStringMatchesProbe) {
+  const std::string features = tensor::cpu_features_string();
+  EXPECT_FALSE(features.empty());
+  const tensor::CpuFeatures& cpu = tensor::cpu_features();
+  EXPECT_EQ(features.find("avx2") != std::string::npos, cpu.avx2);
+  if (!cpu.avx2 && !cpu.fma && !cpu.neon) {
+    EXPECT_EQ(features, "none");
+  }
+}
+
+TEST(SimdDispatch, TierNamesRoundTrip) {
+  EXPECT_STREQ(tensor::kernel_tier_name(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(tensor::kernel_tier_name(KernelTier::kAvx2), "avx2");
+}
+
+// The per-tier microkernel differential (axpy/gemv/dot/reductions vs
+// long-double references, bit-exactness contracts, zero-length spans).
+TEST(SimdDispatch, KernelTiersMatchOracles) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("oracle.kernel_tiers");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
+TEST(SimdDispatch, ZeroShapeGemmIsWellDefined) {
+  TierGuard guard;
+  for (const KernelTier tier : {KernelTier::kScalar, KernelTier::kAvx2}) {
+    if (!tensor::force_kernel_tier(tier)) continue;
+    // K == 0: a well-defined all-zero product, not UB.
+    const tensor::Matrix a0(3, 0), b0(0, 4);
+    tensor::Matrix c;
+    tensor::gemm(a0, b0, c);
+    ASSERT_EQ(c.rows(), 3u);
+    ASSERT_EQ(c.cols(), 4u);
+    for (std::size_t i = 0; i < c.rows(); ++i)
+      for (std::size_t j = 0; j < c.cols(); ++j) EXPECT_EQ(c(i, j), 0.0);
+
+    // M == 0 and N == 0 produce empty outputs of the right shape.
+    tensor::gemm(tensor::Matrix(0, 5), tensor::Matrix(5, 4), c);
+    EXPECT_EQ(c.rows(), 0u);
+    EXPECT_EQ(c.cols(), 4u);
+    tensor::gemm(tensor::Matrix(3, 5), tensor::Matrix(5, 0), c);
+    EXPECT_EQ(c.rows(), 3u);
+    EXPECT_EQ(c.cols(), 0u);
+
+    tensor::Matrix cv;
+    tensor::gemv(tensor::Matrix(1, 0), tensor::Matrix(0, 4), cv);
+    ASSERT_EQ(cv.rows(), 1u);
+    ASSERT_EQ(cv.cols(), 4u);
+    for (std::size_t j = 0; j < cv.cols(); ++j) EXPECT_EQ(cv(0, j), 0.0);
+  }
+}
+
+// Cross-tier GEMM agreement at the ops level: FMA only reorders rounding,
+// so a forced-scalar and forced-avx2 product must agree to sum tolerance.
+TEST(SimdDispatch, CrossTierGemmAgreesToTolerance) {
+  if (!tensor::kernel_tier_supported(KernelTier::kAvx2))
+    GTEST_SKIP() << "no avx2 tier on this CPU";
+  TierGuard guard;
+  const tensor::Matrix a = test::random_matrix(17, 61, 42);
+  const tensor::Matrix b = test::random_matrix(61, 23, 43);
+
+  ASSERT_TRUE(tensor::force_kernel_tier(KernelTier::kScalar));
+  tensor::Matrix c_scalar;
+  tensor::gemm(a, b, c_scalar);
+  ASSERT_TRUE(tensor::force_kernel_tier(KernelTier::kAvx2));
+  tensor::Matrix c_avx2;
+  tensor::gemm(a, b, c_avx2);
+
+  for (std::size_t i = 0; i < c_scalar.rows(); ++i)
+    for (std::size_t j = 0; j < c_scalar.cols(); ++j)
+      EXPECT_NEAR(c_scalar(i, j), c_avx2(i, j),
+                  1e-10 * std::max(std::abs(c_scalar(i, j)), 1.0));
+}
+
+}  // namespace
+}  // namespace diagnet

@@ -7,7 +7,10 @@
 //   diagnet train --campaign campaign.csv --out model.bin [--seed 42]
 //       Apply the paper's hidden-landmark split, train the general model,
 //       the per-service specialised heads and the auxiliary forest, and
-//       save the trained bundle.
+//       save the trained bundle. With --freeze-kernel --service N
+//       --from general.bin, instead fine-tune only service N's FC head on
+//       the frozen LandPooling kernel and save it as a head bundle for
+//       `serve --service-models`.
 //
 //   diagnet diagnose --campaign campaign.csv --model model.bin [--sample N]
 //       Load a trained model and print the ranked root causes for the
@@ -64,10 +67,12 @@
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "serve/loadgen.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "serve/service.h"
 #include "serve/statsz.h"
 #include "serve/wire.h"
+#include "tensor/dispatch.h"
 #include "testkit/harness.h"
 #include "util/argspec.h"
 #include "util/table.h"
@@ -154,6 +159,12 @@ const util::ArgSpec kTrainArgs[] = {
      "minibatch worker threads (0 = all cores; result is bit-identical)"},
     {"epochs", util::ArgType::kUint, "0",
      "cap training epochs (0 = paper defaults)"},
+    {"freeze-kernel", util::ArgType::kFlag, "",
+     "fine-tune only one service's FC head on a frozen LandPooling kernel"},
+    {"service", util::ArgType::kUint, "0",
+     "service id to specialise (with --freeze-kernel)"},
+    {"from", util::ArgType::kString, "",
+     "existing general bundle to fine-tune from (with --freeze-kernel)"},
 };
 
 int cmd_train(const util::ParsedArgs& args) {
@@ -178,6 +189,39 @@ int cmd_train(const util::ParsedArgs& args) {
   const data::DataSplit split = data::make_split(dataset, fs, split_config);
   std::cout << "Hidden-landmark split: " << split.train.size()
             << " train / " << split.test.size() << " test samples.\n";
+
+  // --freeze-kernel: load an already-trained bundle, freeze its shared
+  // LandPooling representation, and fine-tune only the FC head of one
+  // service. The saved bundle is a per-service head a serving router can
+  // merge back onto the general model (`serve --service-models id:path`);
+  // the frozen kernel guarantees the head shares the general model's
+  // pooling bit-for-bit, which is what lets the router batch them together.
+  if (args.flag("freeze-kernel")) {
+    const std::string from = args.str("from");
+    const std::size_t service = args.uint("service");
+    if (from.empty()) {
+      std::cerr << "error: --freeze-kernel requires --from <bundle>\n";
+      return 1;
+    }
+    auto model_or = core::try_load_model_file(from, fs);
+    if (!model_or.ok()) {
+      std::cerr << "error: " << model_or.status().message() << '\n';
+      return 1;
+    }
+    const auto model = std::move(model_or).value();
+    std::cout << "Fine-tuning FC head for service " << service
+              << " on frozen kernel from " << from << "...\n";
+    const auto history = model->specialize(service, split.train);
+    std::cout << "  specialised in " << (history.best_epoch + 1)
+              << " epoch(s) (" << util::fmt(history.wall_seconds, 1)
+              << " s)\n";
+    if (util::Status s = core::try_save_model_file(*model, out); !s.ok()) {
+      std::cerr << "error: " << s.message() << '\n';
+      return 1;
+    }
+    std::cout << "Saved specialised bundle to " << out << '\n';
+    return 0;
+  }
 
   core::DiagNetConfig config = core::DiagNetConfig::defaults();
   config.seed = seed;
@@ -277,6 +321,8 @@ int cmd_diagnose(const util::ParsedArgs& args) {
 const util::ArgSpec kEvaluateArgs[] = {
     {"campaign", util::ArgType::kString, "campaign.csv", "input campaign CSV"},
     {"model", util::ArgType::kString, "model.bin", "trained model bundle"},
+    {"quantize", util::ArgType::kFlag, "",
+     "int8-quantize the FC stacks before evaluating"},
 };
 
 int cmd_evaluate(const util::ParsedArgs& args) {
@@ -296,6 +342,7 @@ int cmd_evaluate(const util::ParsedArgs& args) {
     return 1;
   }
   const auto model = std::move(model_or).value();
+  if (args.flag("quantize")) model->set_quantized(true);
 
   // All faulty samples go through the batched diagnosis engine: one
   // network pass per batch instead of one forward+backward per sample.
@@ -398,6 +445,10 @@ const util::ArgSpec kServeArgs[] = {
      "worker threads for the batch engine"},
     {"top-k", util::ArgType::kUint, "5",
      "causes per response when the request does not say"},
+    {"service-models", util::ArgType::kString, "",
+     "comma-separated id:path specialised head bundles merged onto --model"},
+    {"quantize", util::ArgType::kFlag, "",
+     "serve int8-quantized FC stacks (fp32 LandPooling kernel)"},
     {"watch", util::ArgType::kFlag, "",
      "poll --model for newer bundles and hot-swap them atomically"},
     {"watch-interval-ms", util::ArgType::kUint, "500",
@@ -421,12 +472,46 @@ int cmd_serve(const util::ParsedArgs& args) {
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
-  auto provider_or = serve::ModelProvider::from_file(model_path, fs);
-  if (!provider_or.ok()) {
-    std::cerr << "error: " << provider_or.status().message() << '\n';
+  auto specs_or = serve::parse_service_models(args.str("service-models"));
+  if (!specs_or.ok()) {
+    std::cerr << "error: " << specs_or.status().message() << '\n';
     return 1;
   }
-  const auto provider = std::move(provider_or).value();
+
+  // With --service-models or --quantize the model is owned by a
+  // ModelRouter: it merges the general bundle with every per-service head
+  // and republishes the whole merge in one provider swap, so a reload can
+  // never mix bundle generations. Otherwise the plain single-file provider
+  // is used, exactly as before.
+  std::shared_ptr<serve::ModelProvider> provider;
+  std::shared_ptr<serve::ModelRouter> router;
+  if (!specs_or.value().empty() || args.flag("quantize")) {
+    serve::ModelRouter::Config router_config;
+    router_config.default_path = model_path;
+    router_config.services = std::move(specs_or).value();
+    router_config.quantize = args.flag("quantize");
+    auto router_or = serve::ModelRouter::create(router_config, fs);
+    if (!router_or.ok()) {
+      std::cerr << "error: " << router_or.status().message() << '\n';
+      return 1;
+    }
+    router = std::move(router_or).value();
+    provider = router->provider();
+    if (!router_config.services.empty())
+      std::cerr << "serve: merged " << router_config.services.size()
+                << " specialised head bundle(s) onto the general model ("
+                << router->services().size() << " routable service(s))\n";
+  } else {
+    auto provider_or = serve::ModelProvider::from_file(model_path, fs);
+    if (!provider_or.ok()) {
+      std::cerr << "error: " << provider_or.status().message() << '\n';
+      return 1;
+    }
+    provider = std::move(provider_or).value();
+  }
+  std::cerr << "serve: kernel tier " << tensor::active_kernel_tier_name()
+            << " (cpu " << tensor::cpu_features_string() << ')'
+            << (args.flag("quantize") ? ", int8 FC stacks" : "") << '\n';
 
   serve::ServiceConfig config;
   config.max_batch = args.uint("max-batch");
@@ -456,11 +541,18 @@ int cmd_serve(const util::ParsedArgs& args) {
   if (args.flag("watch")) {
     const auto interval =
         std::chrono::milliseconds(args.uint("watch-interval-ms"));
-    watcher = std::thread([&watch_stop, provider, model_path, interval, &fs] {
+    watcher = std::thread([&watch_stop, provider, router, model_path,
+                           interval, &fs] {
       while (!watch_stop.load()) {
         std::this_thread::sleep_for(interval);
         util::Status status;
-        if (provider->poll_and_reload(model_path, fs, &status))
+        // A router watches every merged bundle (general + heads) and
+        // republishes the full merge; the plain provider watches one file.
+        const bool swapped =
+            router != nullptr
+                ? router->poll_and_reload(&status)
+                : provider->poll_and_reload(model_path, fs, &status);
+        if (swapped)
           std::cerr << "serve: hot-swapped model (generation "
                     << provider->generation() << ")\n";
         else if (!status.ok())
