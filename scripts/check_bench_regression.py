@@ -2,16 +2,27 @@
 """Compare a fresh BENCH_micro_kernels.json against the committed baseline.
 
 Usage: check_bench_regression.py NEW.json [BASELINE.json]
+       check_bench_regression.py --serve BENCH_serve.json \
+           [--min-connected N] [--min-rps X] [--max-p99-ms Y]
 
-Fails (exit 1) when a throughput/speedup key regressed by more than
---threshold (default 20%), a timing key grew by more than the same factor,
-or the int8 accuracy gate (quantized_recall_delta <= 0.005) is violated.
+Default mode fails (exit 1) when a throughput/speedup key regressed by more
+than --threshold (default 20%), a timing key grew by more than the same
+factor, or the int8 accuracy gate (quantized_recall_delta <= 0.005) is
+violated.
 
 Skips cleanly (exit 0 with a message) when the two reports were measured
 on different hardware or build types — cross-machine numbers are not
 comparable, and CI runners change under us. Keys that are null/absent on
 either side are skipped individually (e.g. avx2 columns on a non-AVX2
 host, train_speedup_4t on a single-core host).
+
+--serve mode gates one loadgen report (BENCH_serve.json) on absolute SLOs
+instead of a baseline diff: zero transport errors, every request answered,
+at least --min-connected concurrent connections actually opened, achieved
+RPS at or above --min-rps, client-side p99 at or below --max-p99-ms, and —
+when the report's embedded mid-run statsz probe carries a "reactor"
+section — zero reactor-level errors (slow-reader closes, over-capacity
+refusals, oversized lines).
 """
 
 import argparse
@@ -55,6 +66,65 @@ def load(path):
         return json.load(fh)
 
 
+def check_serve(report, args):
+    """Absolute-SLO gate over one loadgen report (see module docstring)."""
+    failures = []
+
+    sent, ok = report.get("sent", 0), report.get("ok", 0)
+    errors = report.get("errors")
+    if errors != 0:
+        failures.append(f"errors: {errors!r} (must be exactly 0)")
+    if report.get("rejected", 0) != 0:
+        failures.append(
+            f"rejected: {report.get('rejected')!r} (must be exactly 0)"
+        )
+    if sent == 0 or ok != sent:
+        failures.append(f"ok/sent: {ok}/{sent} (every request must succeed)")
+
+    connected = report.get("connected", 0)
+    if connected < args.min_connected:
+        failures.append(
+            f"connected: {connected} below the floor {args.min_connected}"
+        )
+
+    rps = report.get("achieved_rps", 0.0)
+    if rps < args.min_rps:
+        failures.append(
+            f"achieved_rps: {rps:.1f} below the floor {args.min_rps:.1f}"
+        )
+
+    p99 = report.get("latency_ms", {}).get("p99")
+    if not isinstance(p99, (int, float)) or p99 <= 0.0:
+        failures.append(f"latency_ms.p99: {p99!r} (missing or non-positive)")
+    elif p99 > args.max_p99_ms:
+        failures.append(
+            f"latency_ms.p99: {p99:.2f} ms over the {args.max_p99_ms:.2f} ms SLO"
+        )
+
+    # The mid-run statsz probe rode in-band through the serving path; when
+    # the epoll listener answered it, its reactor section must report zero
+    # serving failures (client protocol mistakes are counted separately).
+    reactor = report.get("statsz", {}).get("reactor")
+    if reactor is not None:
+        rerrors = reactor.get("errors")
+        if rerrors != 0:
+            failures.append(
+                f"statsz.reactor.errors: {rerrors!r} (must be exactly 0)"
+            )
+
+    if failures:
+        print(f"serve-slo: FAIL ({len(failures)} gates):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        "serve-slo: OK "
+        f"(connected={connected}, rps={rps:.1f}, p99={p99:.2f} ms, "
+        f"errors=0{', reactor errors=0' if reactor is not None else ''})"
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new", help="freshly generated BENCH json")
@@ -73,7 +143,34 @@ def main():
         default=0.20,
         help="fractional regression that fails the check (default 0.20)",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="treat NEW as a loadgen BENCH_serve.json and gate on absolute "
+        "SLOs instead of a baseline diff",
+    )
+    parser.add_argument(
+        "--min-connected",
+        type=int,
+        default=0,
+        help="--serve: minimum concurrent connections actually opened",
+    )
+    parser.add_argument(
+        "--min-rps",
+        type=float,
+        default=0.0,
+        help="--serve: minimum achieved requests per second",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=float("inf"),
+        help="--serve: client-side p99 latency SLO in milliseconds",
+    )
     args = parser.parse_args()
+
+    if args.serve:
+        return check_serve(load(args.new), args)
 
     new = load(args.new)
     base = load(args.baseline)

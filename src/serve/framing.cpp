@@ -1,0 +1,76 @@
+#include "serve/framing.h"
+
+#include <cstring>
+
+namespace diagnet::serve {
+
+void LineFramer::feed(const char* data, std::size_t n) {
+  if (overflowed_ || n == 0) return;
+  const std::size_t old_size = buffer_.size();
+  buffer_.append(data, n);
+  // Track where the unterminated tail begins by scanning only the new
+  // chunk for its last newline (never re-scanning old bytes).
+  const void* last_nl = nullptr;
+  for (std::size_t i = n; i > 0; --i) {
+    if (data[i - 1] == '\n') {
+      last_nl = data + (i - 1);
+      break;
+    }
+  }
+  if (last_nl != nullptr) {
+    tail_start_ = old_size +
+                  static_cast<std::size_t>(static_cast<const char*>(last_nl) -
+                                           data) +
+                  1;
+  }
+  // Overflow is judged on the unterminated tail only: every complete line
+  // already in the buffer stays deliverable, so a pipelined burst whose
+  // *last* line is oversized still gets answers for the earlier ones.
+  if (buffer_.size() - tail_start_ > max_line_bytes_) {
+    overflowed_ = true;
+    // Drop the partial oversized tail; keep the complete lines before it.
+    buffer_.resize(tail_start_);
+    if (scanned_ > buffer_.size()) scanned_ = buffer_.size();
+  }
+}
+
+bool LineFramer::next(std::string* line) {
+  const char* base = buffer_.data();
+  const char* found = static_cast<const char*>(
+      std::memchr(base + scanned_, '\n', buffer_.size() - scanned_));
+  if (found == nullptr) {
+    scanned_ = buffer_.size();
+    // Compact once the dead prefix dominates, so a long-lived connection
+    // does not keep every byte it ever sent.
+    if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+      buffer_.erase(0, consumed_);
+      scanned_ -= consumed_;
+      tail_start_ -= consumed_;
+      consumed_ = 0;
+    }
+    return false;
+  }
+  const std::size_t pos = static_cast<std::size_t>(found - base);
+  if (pos - consumed_ > max_line_bytes_) {
+    // A terminated-but-oversized line (possible when the whole line arrived
+    // inside one feed chunk): same sticky overflow as an unterminated one.
+    overflowed_ = true;
+    buffer_.clear();
+    consumed_ = 0;
+    scanned_ = 0;
+    tail_start_ = 0;
+    return false;
+  }
+  line->assign(buffer_, consumed_, pos - consumed_);
+  consumed_ = pos + 1;
+  scanned_ = pos + 1;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+    scanned_ = 0;
+    tail_start_ = 0;
+  }
+  return true;
+}
+
+}  // namespace diagnet::serve

@@ -1,8 +1,11 @@
 #include "serve/loadgen.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
 
@@ -11,8 +14,10 @@
 #if defined(__unix__) || defined(__APPLE__)
 #define DIAGNET_SERVE_HAS_TCP 1
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #else
@@ -27,7 +32,7 @@ namespace {
 
 using clock = std::chrono::steady_clock;
 
-/// splitmix64: deterministic per-thread pool sampling.
+/// splitmix64: deterministic per-connection pool sampling.
 std::uint64_t next_rand(std::uint64_t& state) {
   state += 0x9e3779b97f4a7c15ULL;
   std::uint64_t z = state;
@@ -36,78 +41,335 @@ std::uint64_t next_rand(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-/// One connected client: line-oriented send/receive over a socket.
-class Connection {
+/// One request awaiting its response on a connection. Responses arrive in
+/// submission order per connection, so matching is FIFO.
+struct InFlight {
+  clock::time_point measured_from{};
+  bool is_statsz = false;
+};
+
+/// One multiplexed client connection.
+struct ClientConn {
+  int fd = -1;
+  std::size_t index = 0;      // global connection index
+  std::uint64_t rng = 0;
+  std::string inbuf;
+  std::string outbuf;         // partial non-blocking sends
+  std::size_t out_off = 0;
+  std::deque<InFlight> in_flight;
+  std::size_t next_j = 0;     // next global request index (step = conns)
+  std::size_t handled = 0;    // responses fully received
+  std::size_t share = 0;      // total requests this connection will send
+  std::size_t issued = 0;     // requests sent so far
+  bool statsz_sent = false;
+  bool dead = false;
+
+  bool done() const {
+    return dead || (issued >= share && in_flight.empty() &&
+                    out_off >= outbuf.size());
+  }
+};
+
+/// Blocking connect with retries until the deadline — the benchmark
+/// script starts server and loadgen concurrently, and a 10k-connection
+/// burst can also overrun the listener backlog transiently.
+util::Status connect_one(std::uint16_t port, clock::time_point deadline,
+                         int* out_fd) {
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return util::Status::unavailable("loadgen: socket()");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      *out_fd = fd;
+      return {};
+    }
+    ::close(fd);
+    if (clock::now() >= deadline)
+      return util::Status::unavailable(
+          "loadgen: cannot connect to 127.0.0.1:" + std::to_string(port));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+/// Shared, mutex-merged result sinks for the worker threads.
+struct Sinks {
+  std::mutex mu;
+  obs::LogLinearHistogram latency_ms;
+  std::uint64_t sent = 0, ok = 0, rejected = 0, errors = 0, connected = 0;
+  std::string statsz;
+  util::Status connect_error;  // first connect failure, if any
+};
+
+class Worker {
  public:
-  ~Connection() {
-    if (fd_ >= 0) ::close(fd_);
-  }
+  Worker(const LoadgenConfig& config, std::size_t total_conns,
+         clock::time_point start, Sinks& sinks)
+      : config_(config),
+        total_conns_(total_conns),
+        start_(start),
+        sinks_(sinks) {}
 
-  /// Connect with retries until the deadline — the benchmark script
-  /// starts server and loadgen concurrently, so the listener may not be
-  /// up on the first attempt.
-  util::Status connect(std::uint16_t port, double timeout_s) {
-    const auto deadline =
-        clock::now() + std::chrono::duration<double>(timeout_s);
-    while (true) {
-      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (fd_ < 0) return util::Status::unavailable("loadgen: socket()");
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(port);
-      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                    sizeof addr) == 0) {
-        const int one = 1;
-        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        return {};
+  void add_connection(std::size_t index) { indices_.push_back(index); }
+
+  void run() {
+    const auto connect_deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(
+                               config_.connect_timeout_s));
+    conns_.reserve(indices_.size());
+    for (const std::size_t index : indices_) {
+      ClientConn conn;
+      conn.index = index;
+      conn.rng = config_.seed * 0x9e3779b97f4a7c15ULL + index;
+      conn.next_j = index;
+      conn.share = config_.requests / total_conns_ +
+                   (index < config_.requests % total_conns_ ? 1 : 0);
+      int fd = -1;
+      if (util::Status s = connect_one(config_.port, connect_deadline, &fd);
+          !s.ok()) {
+        std::lock_guard<std::mutex> lock(sinks_.mu);
+        if (sinks_.connect_error.ok()) sinks_.connect_error = s;
+        conn.dead = true;
+      } else {
+        conn.fd = fd;
+        ++connected_;
       }
-      ::close(fd_);
-      fd_ = -1;
-      if (clock::now() >= deadline)
-        return util::Status::unavailable(
-            "loadgen: cannot connect to 127.0.0.1:" + std::to_string(port));
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      conns_.push_back(std::move(conn));
     }
-  }
 
-  bool send_line(const std::string& line) {
-    std::string framed = line;
-    framed += '\n';
-    const char* data = framed.data();
-    std::size_t left = framed.size();
-    while (left > 0) {
-#if defined(MSG_NOSIGNAL)
-      const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
-#else
-      const ssize_t n = ::write(fd_, data, left);
-#endif
-      if (n <= 0) return false;
-      data += n;
-      left -= static_cast<std::size_t>(n);
-    }
-    return true;
-  }
+    // Closed loop: prime one request per connection; further sends are
+    // triggered by responses. Open loop: sends are triggered by slots.
+    if (config_.target_rps <= 0.0)
+      for (ClientConn& conn : conns_)
+        if (!conn.dead && conn.issued < conn.share) issue(conn);
 
-  bool recv_line(std::string* line) {
-    line->clear();
+    std::vector<pollfd> pfds;
+    std::vector<ClientConn*> pfd_owner;
     while (true) {
-      const std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        line->assign(buffer_, 0, nl);
-        buffer_.erase(0, nl + 1);
-        return true;
+      bool all_done = true;
+      clock::time_point next_slot = clock::time_point::max();
+      const clock::time_point now = clock::now();
+      for (ClientConn& conn : conns_) {
+        if (conn.done()) continue;
+        all_done = false;
+        if (config_.target_rps > 0.0)
+          while (conn.issued < conn.share && slot_of(conn.next_j) <= now)
+            issue(conn);
+        if (conn.done()) continue;
+        if (config_.target_rps > 0.0 && conn.issued < conn.share)
+          next_slot = std::min(next_slot, slot_of(conn.next_j));
       }
-      char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<std::size_t>(n));
+      if (all_done) break;
+
+      pfds.clear();
+      pfd_owner.clear();
+      for (ClientConn& conn : conns_) {
+        if (conn.dead || conn.fd < 0 || conn.done()) continue;
+        short events = 0;
+        if (!conn.in_flight.empty()) events |= POLLIN;
+        if (conn.out_off < conn.outbuf.size()) events |= POLLOUT;
+        if (events == 0) continue;
+        pfds.push_back(pollfd{conn.fd, events, 0});
+        pfd_owner.push_back(&conn);
+      }
+
+      int timeout_ms = 100;
+      if (next_slot != clock::time_point::max()) {
+        const auto until =
+            std::chrono::duration_cast<std::chrono::milliseconds>(next_slot -
+                                                                  now)
+                .count();
+        timeout_ms = static_cast<int>(std::clamp<long long>(until, 0, 100));
+      }
+      if (pfds.empty()) {
+        // Nothing readable/writable, only future slots: sleep to the next.
+        if (timeout_ms > 0)
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(timeout_ms));
+        continue;
+      }
+      const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                               timeout_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents == 0) continue;
+        ClientConn& conn = *pfd_owner[i];
+        if (pfds[i].revents & POLLOUT) flush(conn);
+        if (!conn.dead && (pfds[i].revents & (POLLIN | POLLHUP)))
+          drain(conn);
+      }
     }
+
+    std::lock_guard<std::mutex> lock(sinks_.mu);
+    sinks_.sent += sent_;
+    sinks_.ok += ok_;
+    sinks_.rejected += rejected_;
+    sinks_.errors += errors_;
+    sinks_.connected += connected_;
+    for (ClientConn& conn : conns_)
+      if (conn.fd >= 0) ::close(conn.fd);
+    if (!statsz_.empty()) sinks_.statsz = std::move(statsz_);
+    for (const double v : latency_samples_) sinks_.latency_ms.observe(v);
   }
 
  private:
-  int fd_ = -1;
-  std::string buffer_;
+  clock::time_point slot_of(std::size_t j) const {
+    return start_ + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(j) / config_.target_rps));
+  }
+
+  void fail(ClientConn& conn) {
+    if (conn.dead) return;
+    conn.dead = true;
+    ++errors_;
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+    }
+  }
+
+  /// Queue one scheduled request (and possibly the statsz probe) on the
+  /// connection's outbuf and try to push it to the socket.
+  void issue(ClientConn& conn) {
+    const std::string& line =
+        config_.pool[next_rand(conn.rng) % config_.pool.size()];
+    InFlight flight;
+    flight.measured_from = config_.target_rps > 0.0
+                               ? slot_of(conn.next_j)
+                               : clock::now();
+    conn.outbuf += line;
+    conn.outbuf += '\n';
+    conn.in_flight.push_back(flight);
+    ++sent_;
+    ++conn.issued;
+    conn.next_j += total_conns_;
+    // Mid-run introspection probe: issued from connection 0 once half its
+    // share is out, while every other connection keeps the load up.
+    if (config_.probe_statsz && conn.index == 0 && !conn.statsz_sent &&
+        conn.issued >= conn.share / 2 + 1) {
+      conn.statsz_sent = true;
+      conn.outbuf += "{\"cmd\":\"statsz\"}\n";
+      InFlight probe;
+      probe.is_statsz = true;
+      conn.in_flight.push_back(probe);
+    }
+    flush(conn);
+  }
+
+  void flush(ClientConn& conn) {
+    while (conn.out_off < conn.outbuf.size()) {
+#if defined(MSG_NOSIGNAL)
+      const ssize_t n =
+          ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+                 conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+#else
+      const ssize_t n = ::write(conn.fd, conn.outbuf.data() + conn.out_off,
+                                conn.outbuf.size() - conn.out_off);
+#endif
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else {
+        fail(conn);
+        return;
+      }
+    }
+    if (conn.out_off == conn.outbuf.size()) {
+      conn.outbuf.clear();
+      conn.out_off = 0;
+    } else if (conn.out_off > 4096 &&
+               conn.out_off * 2 > conn.outbuf.size()) {
+      conn.outbuf.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+  }
+
+  void drain(ClientConn& conn) {
+    char chunk[8192];
+    while (true) {
+      const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+      if (n > 0) {
+        conn.inbuf.append(chunk, static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < sizeof chunk) break;
+      } else if (n == 0) {
+        fail(conn);
+        return;
+      } else if (errno == EINTR) {
+        continue;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else {
+        fail(conn);
+        return;
+      }
+    }
+    std::size_t from = 0;
+    while (true) {
+      const std::size_t nl = conn.inbuf.find('\n', from);
+      if (nl == std::string::npos) break;
+      handle_response(conn, conn.inbuf.substr(from, nl - from));
+      from = nl + 1;
+      if (conn.dead) return;
+    }
+    if (from > 0) conn.inbuf.erase(0, from);
+  }
+
+  void handle_response(ClientConn& conn, const std::string& response) {
+    if (conn.in_flight.empty()) {
+      // A response with no outstanding request is a protocol violation.
+      fail(conn);
+      return;
+    }
+    const InFlight flight = conn.in_flight.front();
+    conn.in_flight.pop_front();
+    if (flight.is_statsz) {
+      statsz_ = response;
+      return;
+    }
+    latency_samples_.push_back(std::chrono::duration<double, std::milli>(
+                                   clock::now() - flight.measured_from)
+                                   .count());
+    auto tree = parse_json(response);
+    if (!tree.ok() || tree->kind() != JsonValue::Kind::Object) {
+      ++errors_;
+    } else if (const JsonValue* okv = tree->find("ok");
+               okv != nullptr && okv->kind() == JsonValue::Kind::Bool &&
+               okv->as_bool()) {
+      ++ok_;
+    } else {
+      ++rejected_;
+    }
+    ++conn.handled;
+    // Closed loop: one response unlocks the next request.
+    if (config_.target_rps <= 0.0 && conn.issued < conn.share) issue(conn);
+  }
+
+  const LoadgenConfig& config_;
+  const std::size_t total_conns_;
+  const clock::time_point start_;
+  Sinks& sinks_;
+
+  std::vector<std::size_t> indices_;
+  std::vector<ClientConn> conns_;
+  std::vector<double> latency_samples_;
+  std::uint64_t sent_ = 0, ok_ = 0, rejected_ = 0, errors_ = 0,
+                connected_ = 0;
+  std::string statsz_;
 };
 
 }  // namespace
@@ -120,110 +382,48 @@ util::StatusOr<LoadgenReport> run_loadgen(const LoadgenConfig& config) {
   if (config.concurrency == 0)
     return util::Status::invalid_argument(
         "loadgen: concurrency must be > 0");
-  const std::size_t concurrency =
-      std::min(config.concurrency, config.requests);
-
-  obs::LogLinearHistogram latency_ms;
-  std::atomic<std::uint64_t> sent{0}, ok{0}, rejected{0}, errors{0};
-  std::mutex statsz_mu;
-  std::string statsz;
-  std::mutex connect_error_mu;
-  util::Status connect_error;
-
-  const auto start = clock::now();
-  std::vector<std::thread> workers;
-  workers.reserve(concurrency);
-  for (std::size_t t = 0; t < concurrency; ++t) {
-    workers.emplace_back([&, t] {
-      Connection conn;
-      if (util::Status s =
-              conn.connect(config.port, config.connect_timeout_s);
-          !s.ok()) {
-        std::lock_guard<std::mutex> lock(connect_error_mu);
-        if (connect_error.ok()) connect_error = s;
-        return;
-      }
-      std::uint64_t rng = config.seed * 0x9e3779b97f4a7c15ULL + t;
-      // Request j goes to connection j % concurrency; in open-loop mode
-      // its send slot is start + j/target_rps on the shared schedule.
-      std::size_t handled = 0;
-      const std::size_t share =
-          config.requests / concurrency +
-          (t < config.requests % concurrency ? 1 : 0);
-      for (std::size_t j = t; j < config.requests; j += concurrency) {
-        const std::string& line =
-            config.pool[next_rand(rng) % config.pool.size()];
-        clock::time_point measured_from = clock::now();
-        if (config.target_rps > 0.0) {
-          const auto slot =
-              start + std::chrono::duration_cast<clock::duration>(
-                          std::chrono::duration<double>(
-                              static_cast<double>(j) / config.target_rps));
-          std::this_thread::sleep_until(slot);
-          // Coordinated-omission-safe: latency counts from when the
-          // request SHOULD have been sent, so a stalled server inflates
-          // the tail instead of silently slowing the generator.
-          measured_from = slot;
-        }
-        if (!conn.send_line(line)) {
-          errors.fetch_add(1, std::memory_order_relaxed);
-          break;  // connection is dead; no point continuing this thread
-        }
-        sent.fetch_add(1, std::memory_order_relaxed);
-        std::string response;
-        if (!conn.recv_line(&response)) {
-          errors.fetch_add(1, std::memory_order_relaxed);
-          break;
-        }
-        latency_ms.observe(std::chrono::duration<double, std::milli>(
-                               clock::now() - measured_from)
-                               .count());
-        auto tree = parse_json(response);
-        if (!tree.ok() || tree->kind() != JsonValue::Kind::Object) {
-          errors.fetch_add(1, std::memory_order_relaxed);
-        } else if (const JsonValue* okv = tree->find("ok");
-                   okv != nullptr && okv->kind() == JsonValue::Kind::Bool &&
-                   okv->as_bool()) {
-          ok.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          rejected.fetch_add(1, std::memory_order_relaxed);
-        }
-        ++handled;
-        // Mid-run introspection probe: issued from one connection once
-        // half its share is done, while the other connections keep the
-        // server under load.
-        if (config.probe_statsz && t == 0 && handled == share / 2 + 1) {
-          std::string snapshot;
-          if (conn.send_line("{\"cmd\":\"statsz\"}") &&
-              conn.recv_line(&snapshot)) {
-            std::lock_guard<std::mutex> lock(statsz_mu);
-            statsz = std::move(snapshot);
-          }
-        }
-      }
-    });
+  const std::size_t conns = std::min(config.concurrency, config.requests);
+  std::size_t threads = config.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::clamp<std::size_t>(hw == 0 ? 2 : hw, 1, 8);
   }
-  for (std::thread& worker : workers) worker.join();
+  threads = std::min(threads, conns);
+
+  Sinks sinks;
+  const auto start = clock::now();
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t)
+    workers.push_back(std::make_unique<Worker>(config, conns, start, sinks));
+  for (std::size_t c = 0; c < conns; ++c)
+    workers[c % threads]->add_connection(c);
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (auto& worker : workers)
+    pool.emplace_back([&worker] { worker->run(); });
+  for (std::thread& thread : pool) thread.join();
   const double wall_seconds =
       std::chrono::duration<double>(clock::now() - start).count();
 
-  if (sent.load() == 0) {
-    std::lock_guard<std::mutex> lock(connect_error_mu);
-    if (!connect_error.ok()) return connect_error;
+  if (sinks.sent == 0) {
+    if (!sinks.connect_error.ok()) return sinks.connect_error;
     return util::Status::unavailable("loadgen: no request was ever sent");
   }
 
   LoadgenReport report;
-  report.sent = sent.load();
-  report.ok = ok.load();
-  report.rejected = rejected.load();
-  report.errors = errors.load();
+  report.connected = sinks.connected;
+  report.sent = sinks.sent;
+  report.ok = sinks.ok;
+  report.rejected = sinks.rejected;
+  report.errors = sinks.errors;
   report.wall_seconds = wall_seconds;
   report.achieved_rps =
       wall_seconds > 0.0 ? static_cast<double>(report.sent) / wall_seconds
                          : 0.0;
-  report.latency_ms = latency_ms.snapshot();
-  report.statsz = statsz;
+  report.latency_ms = sinks.latency_ms.snapshot();
+  report.statsz = std::move(sinks.statsz);
   return report;
 }
 

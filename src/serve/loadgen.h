@@ -13,7 +13,15 @@
 //    slots on a fixed schedule shared across connections, and latency is
 //    measured from the *scheduled* time, not the actual send: a server
 //    that falls behind sees queueing delay counted against it
-//    (coordinated-omission-safe, per Gil Tene's critique).
+//    (coordinated-omission-safe, per Gil Tene's critique). Sends are
+//    pipelined: a connection whose earlier request has no response yet
+//    still sends at its slot, and responses are matched FIFO per
+//    connection (the server answers in submission order).
+//
+// Connections are multiplexed: `threads` poll()-driven workers share the
+// `concurrency` non-blocking sockets, so holding 10k+ concurrent
+// connections against the epoll listener costs a handful of client
+// threads, not 10k of them.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +38,7 @@ struct LoadgenConfig {
   std::size_t requests = 1000;  // total requests across all connections
   double target_rps = 0.0;      // 0 = closed loop
   std::size_t concurrency = 4;  // parallel connections
+  std::size_t threads = 0;      // poll workers; 0 = auto (≤ 8)
   std::uint64_t seed = 1;       // request-pool sampling
   /// Pre-formatted request lines (format_request output, no newline).
   /// Sampled with replacement, deterministically from `seed`.
@@ -41,6 +50,7 @@ struct LoadgenConfig {
 };
 
 struct LoadgenReport {
+  std::uint64_t connected = 0;  // connections actually opened
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;        // ok:true wire responses
   std::uint64_t rejected = 0;  // ok:false wire responses (queue full, ...)

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -275,13 +276,21 @@ util::Status run_tcp_listener(DiagnosisService& service,
   };
 
   while (!stop_flag.load()) {
-    // Poll with a timeout so the stop flag is honoured between accepts,
-    // and reap finished sessions each tick — a long-lived server must not
-    // accumulate joinable threads across short-lived connections.
+    // Poll with a short timeout so the stop flag is honoured between
+    // accepts, and reap finished sessions each tick — a long-lived server
+    // must not accumulate joinable threads (or their fds) across
+    // short-lived connections.
     pollfd pfd{listener, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 200);
+    const int ready = ::poll(&pfd, 1, 100);
     reap_finished();
-    if (ready < 0) break;
+    DIAGNET_GAUGE_SET("serve.tcp_sessions",
+                      static_cast<double>(sessions.size()));
+    if (ready < 0) {
+      // A signal (SIGINT forwarded to every thread, a debugger attach)
+      // interrupts poll with EINTR; that must not tear down the listener.
+      if (errno == EINTR) continue;
+      break;
+    }
     if (ready == 0) continue;
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) continue;
@@ -315,6 +324,8 @@ util::Status run_tcp_listener(DiagnosisService& service,
     session->thread.join();
     ::close(session->fd);
   }
+  sessions.clear();
+  DIAGNET_GAUGE_SET("serve.tcp_sessions", 0.0);
   return {};
 }
 

@@ -133,13 +133,13 @@ DiagnosisService::DiagnosisService(std::shared_ptr<ModelProvider> models,
 
 DiagnosisService::~DiagnosisService() { stop(); }
 
-std::future<core::DiagnoseResponse> DiagnosisService::submit(
-    core::DiagnoseRequest request, double deadline_ms) {
+DiagnosisService::Pending DiagnosisService::make_pending(
+    core::DiagnoseRequest request, double deadline_ms,
+    std::uint64_t request_id) {
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = clock::now();
-  pending.request_id =
-      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.request_id = request_id;
   pending.has_deadline = deadline_ms > 0.0;  // NaN compares false: no deadline
   if (pending.has_deadline) {
     // Cap at ~10 years: the value is client-controlled, and an unbounded
@@ -153,32 +153,54 @@ std::future<core::DiagnoseResponse> DiagnosisService::submit(
   } else {
     pending.deadline = clock::time_point::max();
   }
+  return pending;
+}
+
+std::future<core::DiagnoseResponse> DiagnosisService::submit(
+    core::DiagnoseRequest request, double deadline_ms) {
+  Pending pending =
+      make_pending(std::move(request), deadline_ms,
+                   next_request_id_.fetch_add(1, std::memory_order_relaxed));
   std::future<core::DiagnoseResponse> future =
       pending.promise.get_future();
+  enqueue(std::move(pending));
+  return future;
+}
 
+void DiagnosisService::submit(core::DiagnoseRequest request,
+                              double deadline_ms, Completion done) {
+  Pending pending =
+      make_pending(std::move(request), deadline_ms,
+                   next_request_id_.fetch_add(1, std::memory_order_relaxed));
+  pending.done = std::move(done);
+  enqueue(std::move(pending));
+}
+
+void DiagnosisService::enqueue(Pending pending) {
   const auto reject = [&](util::Status status) {
     core::DiagnoseResponse response;
     response.status = std::move(status);
     // Rejections carry the assigned id too, so a client-side log line can
     // still be matched against server-side telemetry.
     response.trace.request_id = pending.request_id;
-    pending.promise.set_value(std::move(response));
-    return std::move(future);
+    pending.resolve(std::move(response));
   };
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stopping_) {
     lock.unlock();
     DIAGNET_COUNT("serve.rejected");
-    return reject(util::Status::unavailable("server is stopping"));
+    reject(util::Status::unavailable("server is stopping"));
+    return;
   }
   if (queue_.size() >= config_.queue_capacity) {
     ++stats_.rejected;
     lock.unlock();
     DIAGNET_COUNT("serve.rejected");
-    return reject(util::Status::resource_exhausted(
+    reject(util::Status::resource_exhausted(
         "queue full (" + std::to_string(config_.queue_capacity) +
         " requests waiting)"));
+    return;
   }
   ++stats_.accepted;
   queue_.push_back(std::move(pending));
@@ -186,7 +208,6 @@ std::future<core::DiagnoseResponse> DiagnosisService::submit(
   lock.unlock();
   DIAGNET_COUNT("serve.accepted");
   cv_.notify_one();
-  return future;
 }
 
 void DiagnosisService::stop() {
@@ -268,7 +289,8 @@ void DiagnosisService::run_batch(std::vector<Pending> batch,
       core::DiagnoseResponse response;
       response.status = util::Status::deadline_exceeded(
           "deadline passed before dispatch");
-      pending.promise.set_value(std::move(response));
+      response.trace.request_id = pending.request_id;
+      pending.resolve(std::move(response));
       ++shed;
       continue;
     }
@@ -344,7 +366,7 @@ void DiagnosisService::run_batch(std::vector<Pending> batch,
     DIAGNET_OBSERVE_TAIL("serve.latency_ms", latency_ms);
     DIAGNET_OBSERVE_TAIL("serve.queue_wait_ms", trace.queue_us / 1000.0);
     completed += responses[i].ok() ? 1 : 0;
-    live[i].promise.set_value(std::move(responses[i]));
+    live[i].resolve(std::move(responses[i]));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

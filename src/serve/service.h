@@ -131,6 +131,17 @@ class DiagnosisService {
   std::future<core::DiagnoseResponse> submit(core::DiagnoseRequest request,
                                              double deadline_ms = 0.0);
 
+  /// Callback flavour for event-loop transports (the epoll reactor): the
+  /// same admission/shedding/batching semantics, but completion is
+  /// delivered by invoking `done` exactly once instead of through a
+  /// future. `done` runs on the dispatcher thread for batched results and
+  /// shed deadlines, or synchronously on the caller's thread for
+  /// immediate rejections (queue full, stopping) — it must be cheap,
+  /// non-throwing, and must not call back into this service.
+  using Completion = std::function<void(core::DiagnoseResponse)>;
+  void submit(core::DiagnoseRequest request, double deadline_ms,
+              Completion done);
+
   /// Graceful drain: stop admitting, complete every accepted request,
   /// join the dispatcher. Idempotent; safe from any thread (including a
   /// signal-triggered watcher, but not the dispatcher itself).
@@ -161,12 +172,23 @@ class DiagnosisService {
   struct Pending {
     core::DiagnoseRequest request;
     std::promise<core::DiagnoseResponse> promise;
+    Completion done;  // when set, delivery bypasses the promise
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  // max() = none
     std::uint64_t request_id = 0;
     bool has_deadline = false;
+
+    void resolve(core::DiagnoseResponse&& response) {
+      if (done)
+        done(std::move(response));
+      else
+        promise.set_value(std::move(response));
+    }
   };
 
+  static Pending make_pending(core::DiagnoseRequest request,
+                              double deadline_ms, std::uint64_t request_id);
+  void enqueue(Pending pending);
   void dispatch_loop();
   void run_batch(std::vector<Pending> batch,
                  std::chrono::steady_clock::time_point formed);

@@ -76,6 +76,29 @@ std::string statsz_json(const StatszSource& source) {
            std::to_string(source.service->config().max_batch);
     out += '}';
   }
+  if (source.reactor != nullptr) {
+    const ReactorStats r = source.reactor->stats();
+    out += ",\"reactor\":{";
+    out += "\"loops\":" + std::to_string(source.reactor->config().loops);
+    out += ",\"open_connections\":" + std::to_string(r.active);
+    out += ",\"accepted\":" + std::to_string(r.accepted);
+    out += ",\"closed\":" + std::to_string(r.closed);
+    out += ",\"requests\":" + std::to_string(r.requests);
+    out += ",\"responses\":" + std::to_string(r.responses);
+    out += ",\"buffered_bytes\":" + std::to_string(r.buffered_bytes);
+    out += ",\"idle_timeouts\":" + std::to_string(r.idle_timeouts);
+    out += ",\"backpressure_stalls\":" +
+           std::to_string(r.backpressure_stalls);
+    out += ",\"slow_reader_closes\":" +
+           std::to_string(r.slow_reader_closes);
+    out += ",\"over_capacity\":" + std::to_string(r.over_capacity);
+    out += ",\"oversized_lines\":" + std::to_string(r.oversized_lines);
+    out += ",\"protocol_errors\":" + std::to_string(r.protocol_errors);
+    // The serving-SLO rollup: reactor-level failures only (not client
+    // mistakes); the CI loadgen gate asserts this stays 0.
+    out += ",\"errors\":" + std::to_string(r.errors());
+    out += '}';
+  }
   if (source.provider != nullptr) {
     out += ",\"model\":{";
     out += "\"generation\":" + std::to_string(source.provider->generation());
@@ -132,6 +155,35 @@ std::string statsz_prometheus(const StatszSource& source) {
          static_cast<double>(stats.completed));
     emit("diagnet_serve_batches_total", "counter",
          static_cast<double>(stats.batches));
+  }
+  if (source.reactor != nullptr) {
+    const ReactorStats r = source.reactor->stats();
+    emit("diagnet_reactor_open_connections", "gauge",
+         static_cast<double>(r.active));
+    emit("diagnet_reactor_buffered_bytes", "gauge",
+         static_cast<double>(r.buffered_bytes));
+    emit("diagnet_reactor_accepted_total", "counter",
+         static_cast<double>(r.accepted));
+    emit("diagnet_reactor_closed_total", "counter",
+         static_cast<double>(r.closed));
+    emit("diagnet_reactor_requests_total", "counter",
+         static_cast<double>(r.requests));
+    emit("diagnet_reactor_responses_total", "counter",
+         static_cast<double>(r.responses));
+    emit("diagnet_reactor_idle_timeouts_total", "counter",
+         static_cast<double>(r.idle_timeouts));
+    emit("diagnet_reactor_backpressure_stalls_total", "counter",
+         static_cast<double>(r.backpressure_stalls));
+    emit("diagnet_reactor_slow_reader_closes_total", "counter",
+         static_cast<double>(r.slow_reader_closes));
+    emit("diagnet_reactor_over_capacity_total", "counter",
+         static_cast<double>(r.over_capacity));
+    emit("diagnet_reactor_oversized_lines_total", "counter",
+         static_cast<double>(r.oversized_lines));
+    emit("diagnet_reactor_protocol_errors_total", "counter",
+         static_cast<double>(r.protocol_errors));
+    emit("diagnet_reactor_errors_total", "counter",
+         static_cast<double>(r.errors()));
   }
   if (source.provider != nullptr) {
     emit("diagnet_model_generation", "gauge",

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/reactor.h"
 #include "serve/service.h"
 #include "util/status.h"
 
@@ -35,6 +36,7 @@ struct StatszSource {
   DiagnosisService* service = nullptr;    // may be null (fields omitted)
   ModelProvider* provider = nullptr;      // may be null (fields omitted)
   std::chrono::steady_clock::time_point start{};  // process serve start
+  const Reactor* reactor = nullptr;       // epoll listener (fields omitted)
 };
 
 /// One-line JSON snapshot (no trailing newline).

@@ -1,14 +1,18 @@
 #include "testkit/fuzz.h"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/diagnet.h"
 #include "core/registry.h"
 #include "data/io.h"
+#include "serve/framing.h"
+#include "serve/wire.h"
 #include "testkit/gen.h"
 #include "util/binary_io.h"
 #include "util/require.h"
@@ -270,6 +274,203 @@ void check_binary_io_fuzz(CaseContext& ctx) {
       // Clean rejection is one of the two allowed outcomes.
     }
     ctx.check(true, "corrupt primitive stream handled without a crash");
+  }
+}
+
+namespace {
+
+/// Whole-line reference parse: the lines a getline loop would deliver for
+/// *terminated* input. The unterminated tail is excluded on purpose — the
+/// incremental framer must hold it back until its newline arrives.
+std::vector<std::string> split_lines(const std::string& bytes) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i] == '\n') {
+      out.emplace_back(bytes, start, i - start);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Pop every currently-complete line out of `framer`.
+std::vector<std::string> pop_all(serve::LineFramer& framer) {
+  std::vector<std::string> out;
+  std::string line;
+  while (framer.next(&line)) out.push_back(line);
+  return out;
+}
+
+/// One adversarial wire line (no terminator): a valid request rendered by
+/// format_request, a garbage line salted with NUL and '\r' bytes, or an
+/// empty line — the three shapes a hostile client can interleave.
+std::string random_wire_line(util::Rng& rng) {
+  switch (rng.uniform_index(4)) {
+    case 0:
+      return std::string();  // empty lines must frame and pass through
+    case 1: {                // binary garbage, NULs and CRs included
+      std::string line(1 + rng.uniform_index(40), '\0');
+      for (char& chr : line) {
+        do {
+          chr = static_cast<char>(rng.uniform_index(256));
+        } while (chr == '\n');
+      }
+      return line;
+    }
+    default: {  // a well-formed request over the tiny deployment
+      serve::WireRequest wire;
+      wire.id = rng.next_u64() % 1000;
+      wire.request.features.resize(tiny_world_space().total());
+      for (double& f : wire.request.features) f = rng.normal();
+      return serve::format_request(wire);
+    }
+  }
+}
+
+}  // namespace
+
+void check_wire_framing_fuzz(CaseContext& ctx) {
+  util::Rng& rng = ctx.rng;
+
+  // Case 1: random adversarial stream, fed in random-sized chunks, must
+  // frame byte-identically to whole-line parsing — with a random
+  // unterminated tail held back, not delivered.
+  ctx.begin_case();
+  {
+    std::string stream;
+    const std::size_t lines = 1 + rng.uniform_index(12);
+    for (std::size_t i = 0; i < lines; ++i)
+      stream += random_wire_line(rng) + "\n";
+    std::string tail;  // maybe leave a partial line dangling
+    if (rng.bernoulli(0.5)) {
+      tail = random_wire_line(rng);
+      stream += tail;
+    }
+    const std::vector<std::string> expected = split_lines(stream);
+
+    serve::LineFramer framer;
+    std::vector<std::string> got;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n =
+          std::min(stream.size() - off,
+                   static_cast<std::size_t>(1 + rng.uniform_index(17)));
+      framer.feed(stream.data() + off, n);
+      off += n;
+      for (auto& line : pop_all(framer)) got.push_back(std::move(line));
+    }
+    ctx.check(!framer.overflowed(), "normal-length stream never overflows");
+    ctx.check(got == expected, "chunked framing == whole-line parsing");
+    ctx.check_eq(framer.buffered(), tail.size(),
+                 "unterminated tail held back, not delivered");
+  }
+
+  // Case 2: one small stream split at EVERY byte boundary (two chunks);
+  // each split must produce the identical line sequence.
+  ctx.begin_case();
+  {
+    std::string stream;
+    for (std::size_t i = 0; i < 3; ++i)
+      stream += random_wire_line(rng) + "\n";
+    const std::vector<std::string> expected = split_lines(stream);
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+      serve::LineFramer framer;
+      std::vector<std::string> got;
+      framer.feed(stream.data(), cut);
+      for (auto& line : pop_all(framer)) got.push_back(std::move(line));
+      framer.feed(stream.data() + cut, stream.size() - cut);
+      for (auto& line : pop_all(framer)) got.push_back(std::move(line));
+      if (got != expected) {
+        ctx.fail("split at byte " + std::to_string(cut) +
+                 " changed the framed lines");
+        return;
+      }
+    }
+    ctx.check(true, "every two-chunk split framed identically");
+  }
+
+  // Case 3: interleaved partial requests across many connections — each
+  // framer sees its own stream in fragments, round-robin with the others,
+  // and must be unaffected by the interleaving.
+  ctx.begin_case();
+  {
+    const std::size_t conns = 2 + rng.uniform_index(6);
+    std::vector<std::string> streams(conns);
+    std::vector<std::vector<std::string>> expected(conns);
+    std::vector<serve::LineFramer> framers(conns);
+    std::vector<std::vector<std::string>> got(conns);
+    std::vector<std::size_t> offsets(conns, 0);
+    for (std::size_t c = 0; c < conns; ++c) {
+      const std::size_t lines = 1 + rng.uniform_index(6);
+      for (std::size_t i = 0; i < lines; ++i)
+        streams[c] += random_wire_line(rng) + "\n";
+      expected[c] = split_lines(streams[c]);
+    }
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t c = 0; c < conns; ++c) {
+        if (offsets[c] >= streams[c].size()) continue;
+        const std::size_t n = std::min(
+            streams[c].size() - offsets[c],
+            static_cast<std::size_t>(1 + rng.uniform_index(9)));
+        framers[c].feed(streams[c].data() + offsets[c], n);
+        offsets[c] += n;
+        for (auto& line : pop_all(framers[c]))
+          got[c].push_back(std::move(line));
+        progress = true;
+      }
+    }
+    for (std::size_t c = 0; c < conns; ++c) {
+      if (got[c] != expected[c]) {
+        ctx.fail("interleaving corrupted connection " + std::to_string(c));
+        return;
+      }
+    }
+    ctx.check(true, "interleaved framers stayed independent");
+  }
+
+  // Case 4: the length cap. An unterminated run past max_line_bytes makes
+  // the framer sticky-overflowed; lines completed beforehand stay
+  // poppable, and nothing fed afterwards is ever delivered.
+  ctx.begin_case();
+  {
+    const std::size_t cap = 16 + rng.uniform_index(48);
+    serve::LineFramer framer(cap);
+    framer.feed("ok\n");
+    const std::string big(cap + 1 + rng.uniform_index(64), 'x');
+    std::size_t off = 0;  // dribble the oversized line in small chunks
+    while (off < big.size()) {
+      const std::size_t n = std::min(
+          big.size() - off, static_cast<std::size_t>(1 + rng.uniform_index(7)));
+      framer.feed(big.data() + off, n);
+      off += n;
+    }
+    ctx.check(framer.overflowed(), "cap crossing flips overflowed()");
+    std::string line;
+    ctx.check(framer.next(&line) && line == "ok",
+              "line completed before the overflow stays poppable");
+    ctx.check(!framer.next(&line), "no line after the overflow");
+    framer.feed("\nlate\n");  // terminator + a fresh line: still dead
+    ctx.check(!framer.next(&line) && framer.overflowed(),
+              "overflow is sticky; later feeds are ignored");
+  }
+
+  // Case 5: an oversized line that IS terminated must still trip the cap
+  // (a '\n' does not amnesty a line the reader refused to buffer).
+  ctx.begin_case();
+  {
+    const std::size_t cap = 16;
+    serve::LineFramer framer(cap);
+    const std::string big(cap + 1 + rng.uniform_index(32), 'y');
+    framer.feed("first\n" + big + "\nsecond\n");
+    std::string line;
+    ctx.check(framer.next(&line) && line == "first",
+              "line before the oversized one still frames");
+    ctx.check(!framer.next(&line),
+              "nothing after the oversized line is delivered");
+    ctx.check(framer.overflowed(), "terminated oversized line trips the cap");
   }
 }
 

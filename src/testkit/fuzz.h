@@ -40,5 +40,11 @@ void check_campaign_fuzz(CaseContext& ctx);
 /// binary_io: exact roundtrip on clean streams; corrupt streams (incl.
 /// hostile length fields) throw instead of over-allocating or crashing.
 void check_binary_io_fuzz(CaseContext& ctx);
+/// serve/framing.h under adversarial streams: chunk splits at every byte
+/// boundary, embedded NUL/CR bytes, interleaved partial requests across
+/// many framers, and oversized lines — the framed line sequence is always
+/// byte-identical to whole-line ('\n'-split) parsing, and the length cap
+/// is enforced stickily.
+void check_wire_framing_fuzz(CaseContext& ctx);
 
 }  // namespace diagnet::testkit::fuzz

@@ -89,6 +89,7 @@ const std::vector<Suite>& all_suites() {
       {"fuzz.binary_io", fuzz::check_binary_io_fuzz},
       {"fuzz.bundle", fuzz::check_bundle_fuzz},
       {"fuzz.campaign", fuzz::check_campaign_fuzz},
+      {"fuzz.wire_framing", fuzz::check_wire_framing_fuzz},
   };
   return suites;
 }

@@ -1,0 +1,267 @@
+#include "testkit/reactor_sim.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/diagnet.h"
+#include "serve/wire.h"
+#include "testkit/gen.h"
+#include "util/require.h"
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace diagnet::testkit {
+
+namespace {
+
+/// Cached tiny serving fixture: one simulated world and one small trained
+/// model, built on first use and shared by every ReactorSim in the
+/// process (training even the minimal model takes a moment). Same shape
+/// as the fuzz fixture, but the live model rather than its bundle bytes.
+struct SimFixture {
+  gen::TinyWorld world;
+  std::shared_ptr<core::DiagNetModel> model;
+  std::vector<std::size_t> faulty;  // sample indices with a primary cause
+
+  SimFixture() : world(/*seed=*/4242, /*nominal=*/40, /*fault=*/60) {
+    core::DiagNetConfig config;
+    config.coarse.filters = 4;
+    config.coarse.hidden = {16, 8};
+    config.trainer.max_epochs = 2;
+    config.trainer.batch_size = 32;
+    config.trainer.patience = 2;
+    config.specialization.max_epochs = 1;
+    config.auxiliary.n_estimators = 3;
+    config.auxiliary.tree.max_depth = 4;
+    config.seed = 4242;
+
+    model = std::make_shared<core::DiagNetModel>(world.fs, config);
+    model->train_general(world.dataset);
+
+    for (std::size_t i = 0; i < world.dataset.samples.size(); ++i)
+      if (world.dataset.samples[i].is_faulty()) faulty.push_back(i);
+    DIAGNET_REQUIRE(!faulty.empty());
+  }
+};
+
+SimFixture& fixture() {
+  static SimFixture fx;
+  return fx;
+}
+
+}  // namespace
+
+std::shared_ptr<core::DiagNetModel> tiny_serving_model() {
+  return fixture().model;
+}
+
+const data::FeatureSpace& tiny_serving_space() { return fixture().world.fs; }
+
+std::size_t tiny_faulty_count() { return fixture().faulty.size(); }
+
+std::string tiny_request_line(std::size_t index, std::uint64_t id,
+                              double deadline_ms) {
+  const SimFixture& fx = fixture();
+  const data::Sample& sample =
+      fx.world.dataset.samples[fx.faulty[index % fx.faulty.size()]];
+  serve::WireRequest wire;
+  wire.id = id;
+  wire.request.features = sample.features;
+  wire.request.service = sample.service;
+  wire.deadline_ms = deadline_ms;
+  return serve::format_request(wire);
+}
+
+// ---------------------------------------------------------------------------
+// SimConn
+
+SimConn::SimConn(SimConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      consumed_(std::exchange(other.consumed_, 0)),
+      saw_eof_(std::exchange(other.saw_eof_, false)) {}
+
+SimConn& SimConn::operator=(SimConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    consumed_ = std::exchange(other.consumed_, 0);
+    saw_eof_ = std::exchange(other.saw_eof_, false);
+  }
+  return *this;
+}
+
+SimConn::~SimConn() { close(); }
+
+bool SimConn::next_line(std::string* line) {
+  const std::size_t pos = buffer_.find('\n', consumed_);
+  if (pos == std::string::npos) {
+    if (consumed_ > 0) {  // compact so drained bytes do not pile up
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    return false;
+  }
+  if (line != nullptr) line->assign(buffer_, consumed_, pos - consumed_);
+  consumed_ = pos + 1;
+  return true;
+}
+
+bool SimConn::closed_and_empty() const {
+  return saw_eof_ && buffer_.find('\n', consumed_) == std::string::npos;
+}
+
+#if defined(__linux__)
+
+bool SimConn::send(const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;  // pipe full; the remainder is intentionally dropped
+    return false;   // reactor closed its end (EPIPE/ECONNRESET/...)
+  }
+  return true;
+}
+
+bool SimConn::drain() {
+  if (fd_ < 0) return false;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return !saw_eof_;
+    saw_eof_ = true;  // 0 = orderly EOF; any other error counts as closed
+    return false;
+  }
+}
+
+void SimConn::shrink_buffers(int bytes) {
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
+void SimConn::finish_writing() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void SimConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+#else  // !__linux__ — the sim needs the epoll reactor; stub the socket ops.
+
+bool SimConn::send(const std::string&) { return false; }
+bool SimConn::drain() { return false; }
+void SimConn::shrink_buffers(int) {}
+void SimConn::finish_writing() {}
+void SimConn::close() { fd_ = -1; }
+
+#endif
+
+// ---------------------------------------------------------------------------
+// ReactorSim
+
+ReactorSim::ReactorSim(ReactorSimOptions options)
+    : options_(std::move(options)) {
+  provider_ = std::make_shared<serve::ModelProvider>(fixture().model);
+  serve::ServiceConfig sc;
+  sc.max_delay_us = options_.max_delay_us;
+  sc.queue_capacity = options_.queue_capacity;
+  sc.worker_threads = 1;
+  service_ = std::make_unique<serve::DiagnosisService>(provider_, sc);
+  hooks_.statsz = [this] { return statsz_payload; };
+  loop_ = std::make_unique<serve::ReactorLoop>(
+      *service_, fixture().world.fs, options_.reactor, &hooks_, clock_.fn());
+}
+
+ReactorSim::~ReactorSim() {
+  // The service must drain before the loop dies: in-flight completions
+  // hold the completion queue alive (shared_ptr), but stopping first
+  // keeps the shutdown ordering boring.
+  service_->stop();
+}
+
+SimConn ReactorSim::connect() {
+#if defined(__linux__)
+  int fds[2];
+  DIAGNET_REQUIRE(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+  SimConn client(fds[1]);
+  if (options_.socket_buffer_bytes > 0) {
+    client.shrink_buffers(options_.socket_buffer_bytes);
+    int bytes = options_.socket_buffer_bytes;
+    ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+    ::setsockopt(fds[0], SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+  }
+  // Client side is non-blocking so drain()/send() never hang a test.
+  {
+    const int flags = ::fcntl(fds[1], F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fds[1], F_SETFL, flags | O_NONBLOCK);
+  }
+  const util::Status adopted = loop_->adopt(fds[0]);
+  DIAGNET_REQUIRE(adopted.ok());
+  pump();  // process the adoption inbox so the connection is live
+  return client;
+#else
+  return SimConn();
+#endif
+}
+
+int ReactorSim::pump(int timeout_ms) { return loop_->poll_once(timeout_ms); }
+
+int ReactorSim::pump_until_idle(int max_passes) {
+  int passes = 0;
+  while (passes < max_passes) {
+    ++passes;
+    if (loop_->poll_once(0) == 0) break;
+  }
+  return passes;
+}
+
+bool ReactorSim::wait_line(SimConn& conn, std::string* line, int max_passes) {
+  for (int pass = 0; pass < max_passes; ++pass) {
+    if (conn.next_line(line)) return true;
+    const bool open = conn.drain();
+    if (conn.next_line(line)) return true;
+    if (!open) return false;  // EOF with no further complete line
+    // Blocking pass: parks in epoll_wait, woken by readiness or by the
+    // completion queue's eventfd — never a sleep.
+    loop_->poll_once(50);
+  }
+  return false;
+}
+
+std::string ReactorSim::request_line(std::size_t index, std::uint64_t id,
+                                     double deadline_ms) const {
+  return tiny_request_line(index, id, deadline_ms);
+}
+
+std::size_t ReactorSim::faulty_samples() const {
+  return fixture().faulty.size();
+}
+
+const data::FeatureSpace& ReactorSim::fs() const {
+  return fixture().world.fs;
+}
+
+}  // namespace diagnet::testkit

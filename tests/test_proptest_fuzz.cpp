@@ -33,6 +33,13 @@ TEST(PropFuzz, CampaignCsvSurvivesCorruption) {
   EXPECT_GE(result.cases, 100u) << testkit::describe(result);
 }
 
+TEST(PropFuzz, WireFramingMatchesWholeLineParsing) {
+  const testkit::SuiteResult result =
+      test::run_property_suite("fuzz.wire_framing");
+  EXPECT_TRUE(result.ok()) << testkit::describe(result);
+  EXPECT_GE(result.cases, 100u) << testkit::describe(result);
+}
+
 // The harness must turn a failing property into a failure report whose
 // message embeds the reproducing --seed/--iters pair (the same contract the
 // injected-divergence drill relies on).

@@ -46,9 +46,11 @@
 // once and shared — the same hand-off the paper's analysis service does
 // with its clients.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <memory>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -67,6 +69,7 @@
 #include "obs/obs.h"
 #include "obs/report.h"
 #include "serve/loadgen.h"
+#include "serve/reactor.h"
 #include "serve/router.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -435,6 +438,19 @@ const util::ArgSpec kServeArgs[] = {
     {"model", util::ArgType::kString, "model.bin", "trained bundle to serve"},
     {"port", util::ArgType::kUint, "0",
      "loopback TCP port (0 = line-JSON over stdin/stdout)"},
+    {"listener", util::ArgType::kString, "epoll",
+     "TCP transport: 'epoll' (event-loop reactor, default) or 'threads' "
+     "(one thread per connection)"},
+    {"loops", util::ArgType::kUint, "1",
+     "epoll event-loop threads (loop 0 accepts and deals round-robin)"},
+    {"max-conns", util::ArgType::kUint, "100000",
+     "connection cap; accepts beyond it get one error line (epoll only)"},
+    {"idle-timeout-s", util::ArgType::kDouble, "0",
+     "close connections with no traffic for this long (0 = never; epoll "
+     "only)"},
+    {"max-line-bytes", util::ArgType::kUint, "1048576",
+     "request-line length cap before the connection is closed (epoll "
+     "only)"},
     {"max-batch", util::ArgType::kUint, "64",
      "max requests fused into one batch"},
     {"max-delay-us", util::ArgType::kUint, "2000",
@@ -468,6 +484,16 @@ int cmd_serve(const util::ParsedArgs& args) {
   if (args.uint("port") > 65535 || args.uint("admin-port") > 65535) {
     std::cerr << "error: --port/--admin-port must be <= 65535\n";
     return 1;
+  }
+  std::string listener = args.str("listener");
+  if (listener != "epoll" && listener != "threads") {
+    std::cerr << "error: --listener must be 'epoll' or 'threads'\n";
+    return 1;
+  }
+  if (listener == "epoll" && !serve::reactor_supported()) {
+    std::cerr << "serve: epoll is unavailable on this platform; falling "
+                 "back to --listener threads\n";
+    listener = "threads";
   }
 
   const netsim::Topology topology = netsim::default_topology();
@@ -534,6 +560,25 @@ int cmd_serve(const util::ParsedArgs& args) {
     return serve::statsz_json(statsz_source);
   };
 
+  const std::size_t top_k = args.uint("top-k");
+  // Built up front (and registered with statsz before the admin listener
+  // thread starts) so a scrape never races the transport choice below.
+  std::unique_ptr<serve::Reactor> reactor;
+  if (args.uint("port") != 0 && listener == "epoll") {
+    serve::ReactorConfig reactor_config;
+    reactor_config.loops = std::max<std::size_t>(args.uint("loops"), 1);
+    reactor_config.max_connections =
+        std::max<std::size_t>(args.uint("max-conns"), 1);
+    reactor_config.max_line_bytes =
+        std::max<std::size_t>(args.uint("max-line-bytes"), 1);
+    reactor_config.idle_timeout = std::chrono::milliseconds(
+        static_cast<std::int64_t>(args.num("idle-timeout-s") * 1000.0));
+    reactor_config.default_top_k = top_k;
+    reactor = std::make_unique<serve::Reactor>(service, fs, reactor_config,
+                                               &hooks);
+    statsz_source.reactor = reactor.get();
+  }
+
   install_sigint_handler();
 
   std::atomic<bool> watch_stop{false};
@@ -597,10 +642,17 @@ int cmd_serve(const util::ParsedArgs& args) {
     });
   }
 
-  const std::size_t top_k = args.uint("top-k");
   serve::SessionStats session_stats;
   util::Status listen_status;
-  if (args.uint("port") != 0) {
+  if (reactor != nullptr) {
+    listen_status = reactor->listen(
+        static_cast<std::uint16_t>(args.uint("port")));
+    if (listen_status.ok()) listen_status = reactor->run(g_interrupted);
+    const serve::ReactorStats rstats = reactor->stats();
+    session_stats.requests = rstats.requests;
+    session_stats.responses = rstats.responses;
+    session_stats.errors = rstats.protocol_errors;
+  } else if (args.uint("port") != 0) {
     listen_status = serve::run_tcp_listener(
         service, fs, static_cast<std::uint16_t>(args.uint("port")), top_k,
         g_interrupted, nullptr, &hooks);
@@ -714,7 +766,10 @@ const util::ArgSpec kLoadgenArgs[] = {
      "total requests to send across all connections"},
     {"rps", util::ArgType::kDouble, "0",
      "open-loop target rate (0 = closed loop at --concurrency)"},
-    {"concurrency", util::ArgType::kUint, "4", "parallel connections"},
+    {"concurrency", util::ArgType::kUint, "4",
+     "concurrent connections (multiplexed over --threads workers)"},
+    {"threads", util::ArgType::kUint, "0",
+     "poll worker threads driving the connections (0 = auto)"},
     {"pool", util::ArgType::kUint, "256",
      "distinct request lines pre-built from the campaign"},
     {"deadline-ms", util::ArgType::kDouble, "0",
@@ -753,6 +808,7 @@ int cmd_loadgen(const util::ParsedArgs& args) {
   config.requests = args.uint("requests");
   config.target_rps = args.num("rps");
   config.concurrency = args.uint("concurrency");
+  config.threads = args.uint("threads");
   config.seed = args.uint("seed");
   config.probe_statsz = !args.flag("no-statsz");
   const std::size_t pool_size =
@@ -788,6 +844,7 @@ int cmd_loadgen(const util::ParsedArgs& args) {
     std::snprintf(buf, sizeof buf, "%.3f", v);
     return std::string(buf);
   };
+  table.add_row({"connected", std::to_string(report.connected)});
   table.add_row({"sent", std::to_string(report.sent)});
   table.add_row({"ok", std::to_string(report.ok)});
   table.add_row({"rejected", std::to_string(report.rejected)});
@@ -816,6 +873,7 @@ int cmd_loadgen(const util::ParsedArgs& args) {
   json += ",\"requests\":" + std::to_string(config.requests);
   json += ",\"concurrency\":" + std::to_string(config.concurrency);
   field("target_rps", config.target_rps);
+  json += ",\"connected\":" + std::to_string(report.connected);
   json += ",\"sent\":" + std::to_string(report.sent);
   json += ",\"ok\":" + std::to_string(report.ok);
   json += ",\"rejected\":" + std::to_string(report.rejected);
