@@ -78,9 +78,10 @@ int main() {
                                               : GravOnly;
 
     const auto special =
-        model.diagnose(sample.features, sample.service, all_landmarks);
+        model.diagnose({sample.features, sample.service, false, all_landmarks})
+            .diagnosis;
     const auto general =
-        model.diagnose_general(sample.features, all_landmarks);
+        model.diagnose({sample.features, 0, true, all_landmarks}).diagnosis;
 
     const std::size_t top_general = general.ranking.front();
     const std::size_t top_special = special.ranking.front();

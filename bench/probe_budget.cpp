@@ -48,8 +48,10 @@ int main() {
         if (!fs.is_landmark_feature(sample.primary_cause) ||
             probed[fs.landmark_of(sample.primary_cause)])
           ++cause_probed;
-        auto diagnosis = pipeline.diagnet().diagnose(sample.features,
-                                                     sample.service, probed);
+        auto diagnosis =
+            pipeline.diagnet()
+                .diagnose({sample.features, sample.service, false, probed})
+                .diagnosis;
         for (std::size_t r = 0; r < 5; ++r) {
           if (diagnosis.ranking[r] == sample.primary_cause) {
             ++hit5;

@@ -1,0 +1,116 @@
+// Scaling bench for the streaming campaign path: runs the event-driven
+// client-mode generator (netsim::EventEngine + FlowModel) through a
+// ChunkedWriter into a scratch directory and reports clients/s, samples/s
+// and peak RSS. The CI gate (scripts/check_bench_regression.py --simulate)
+// enforces a throughput floor and an RSS ceiling on the emitted
+// BENCH_simulate.json, pinning the "bounded memory at any campaign size"
+// property of the streaming sink.
+//
+//   ./simulate_scale [clients]         default 20000, scaled by
+//                                      DIAGNET_BENCH_SCALE
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "data/campaign_stream.h"
+#include "data/generator.h"
+#include "netsim/simulator.h"
+#include "obs/obs.h"
+
+int main(int argc, char** argv) {
+  using namespace diagnet;
+  using clock = std::chrono::steady_clock;
+
+  std::uint64_t clients = 20000;
+  if (argc > 1) clients = std::strtoull(argv[1], nullptr, 10);
+  clients = static_cast<std::uint64_t>(static_cast<double>(clients) *
+                                       bench::bench_scale());
+  if (clients == 0) clients = 1;
+
+  obs::init_from_env();
+  std::cout << util::banner("DiagNet reproduction — streaming simulation");
+  std::cout << "Streaming a " << clients
+            << "-client event-driven campaign through the chunked sink.\n\n";
+
+  netsim::Simulator sim = netsim::Simulator::make_default(42);
+  sim.calibrate_qoe();
+  const data::FeatureSpace fs(sim.topology());
+
+  data::CampaignConfig campaign;
+  campaign.seed = 42 ^ 0xca3fULL;
+  campaign.clients = clients;
+  campaign.duration_hours = 24.0;
+
+  std::error_code ec;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path(ec) / "diagnet_simulate_scale";
+  std::filesystem::remove_all(dir, ec);
+
+  const auto start = clock::now();
+  data::ChunkedWriter sink(dir.string());
+  const auto stats = data::stream_campaign(sim, fs, campaign, sink);
+  const double wall_seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  if (!stats.ok()) {
+    std::cerr << "error: " << stats.status().message() << '\n';
+    return 1;
+  }
+
+  std::uintmax_t bytes_on_disk = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+    bytes_on_disk += entry.file_size(ec);
+  std::filesystem::remove_all(dir, ec);
+
+  const double clients_per_s =
+      static_cast<double>(clients) / wall_seconds;
+  const double samples_per_s =
+      static_cast<double>(stats->samples) / wall_seconds;
+  std::printf(
+      "%llu clients -> %llu samples (%llu faulty, %llu degraded) in %.2f s\n"
+      "  %.0f clients/s, %.0f samples/s, %.1f MiB on disk, peak RSS %.1f "
+      "MiB\n",
+      static_cast<unsigned long long>(clients),
+      static_cast<unsigned long long>(stats->samples),
+      static_cast<unsigned long long>(stats->faulty),
+      static_cast<unsigned long long>(stats->degraded), wall_seconds,
+      clients_per_s, samples_per_s,
+      static_cast<double>(bytes_on_disk) / (1024.0 * 1024.0),
+      static_cast<double>(obs::peak_rss_kib()) / 1024.0);
+
+  const char* out_dir = std::getenv("DIAGNET_BENCH_OUT");
+  const std::string path = (out_dir && *out_dir ? std::string(out_dir) + "/"
+                                                : std::string()) +
+                           "BENCH_simulate.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] failed to write " << path << '\n';
+    return 1;
+  }
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return std::string(buf);
+  };
+  out << "{\n"
+      << "  \"bench\": \"simulate\",\n"
+      << "  \"metadata\": {" << obs::run_metadata_json() << "},\n"
+      << "  \"clients\": " << clients << ",\n"
+      << "  \"samples\": " << stats->samples << ",\n"
+      << "  \"faulty\": " << stats->faulty << ",\n"
+      << "  \"degraded\": " << stats->degraded << ",\n"
+      << "  \"wall_seconds\": " << num(wall_seconds) << ",\n"
+      << "  \"clients_per_s\": " << num(clients_per_s) << ",\n"
+      << "  \"samples_per_s\": " << num(samples_per_s) << ",\n"
+      << "  \"bytes_on_disk\": " << bytes_on_disk << ",\n"
+      << "  \"peak_rss_kib\": " << obs::peak_rss_kib() << "\n"
+      << "}\n";
+  std::cerr << "[bench] report written to " << path << '\n';
+  return 0;
+}

@@ -66,8 +66,10 @@ int main(int argc, char** argv) {
     double w_sum = 0.0;
     for (std::size_t idx : known_idx) {
       const data::Sample& sample = pipeline.split().test.samples[idx];
-      auto diagnosis = pipeline.diagnet().diagnose(
-          sample.features, sample.service, *fleet.available);
+      auto diagnosis = pipeline.diagnet()
+                           .diagnose({sample.features, sample.service, false,
+                                      *fleet.available})
+                           .diagnosis;
       w_sum += diagnosis.w_unknown;
       for (std::size_t r = 0; r < 5; ++r) {
         if (diagnosis.ranking[r] == sample.primary_cause) {

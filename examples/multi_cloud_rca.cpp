@@ -56,9 +56,11 @@ int main(int argc, char** argv) {
     const data::Sample& sample = pipeline.split().test.samples[idx];
     if (!shown.insert(sample.coarse_label).second) continue;
 
-    auto diagnosis = pipeline.diagnet().diagnose(
-        sample.features, sample.service,
-        pipeline.split().test.landmark_available);
+    auto diagnosis =
+        pipeline.diagnet()
+            .diagnose({sample.features, sample.service, false,
+                       pipeline.split().test.landmark_available})
+            .diagnosis;
     std::cout << "  ["
               << pipeline.simulator().services()[sample.service].name
               << " from " << fs.topology().region(sample.client_region).code

@@ -51,8 +51,13 @@ int main(int argc, char** argv) {
   std::cout << "Ground truth cause: " << fs.name(sample.primary_cause)
             << "\n\n";
 
-  auto diagnosis = pipeline.diagnet().diagnose(sample.features, sample.service,
-                                               test.landmark_available);
+  core::DiagnoseResponse response = pipeline.diagnet().diagnose(
+      {sample.features, sample.service, false, test.landmark_available});
+  if (!response.ok()) {
+    std::cerr << "diagnosis failed: " << response.status.message() << '\n';
+    return 1;
+  }
+  const core::Diagnosis& diagnosis = response.diagnosis;
 
   util::Table table({"rank", "root cause", "score", "family"});
   for (std::size_t r = 0; r < 5; ++r) {

@@ -80,10 +80,12 @@ int main(int argc, char** argv) {
   for (const data::Sample& sample : split.test.samples) {
     if (sample.service != new_service || !sample.is_faulty()) continue;
     ++n;
-    auto general = model.diagnose_general(sample.features,
-                                          split.test.landmark_available);
-    auto special = model.diagnose(sample.features, new_service,
-                                  split.test.landmark_available);
+    core::DiagnoseRequest request{sample.features, new_service, false,
+                                  split.test.landmark_available};
+    request.use_general = true;
+    auto general = model.diagnose(request).diagnosis;
+    request.use_general = false;
+    auto special = model.diagnose(request).diagnosis;
     for (std::size_t r = 0; r < 5; ++r) {
       if (general.ranking[r] == sample.primary_cause) {
         ++hit5_general;

@@ -4,6 +4,8 @@
 Usage: check_bench_regression.py NEW.json [BASELINE.json]
        check_bench_regression.py --serve BENCH_serve.json \
            [--min-connected N] [--min-rps X] [--max-p99-ms Y]
+       check_bench_regression.py --simulate BENCH_simulate.json \
+           [--min-clients-per-s X] [--max-peak-rss-mib Y]
 
 Default mode fails (exit 1) when a throughput/speedup key regressed by more
 than --threshold (default 20%), a timing key grew by more than the same
@@ -23,6 +25,12 @@ RPS at or above --min-rps, client-side p99 at or below --max-p99-ms, and —
 when the report's embedded mid-run statsz probe carries a "reactor"
 section — zero reactor-level errors (slow-reader closes, over-capacity
 refusals, oversized lines).
+
+--simulate mode gates one streaming-simulation report (BENCH_simulate.json,
+emitted by bench/simulate_scale) on absolute SLOs: the campaign produced
+samples, generation throughput at or above --min-clients-per-s, and peak
+RSS at or below --max-peak-rss-mib — the "bounded memory at any campaign
+size" property of the chunked sink.
 """
 
 import argparse
@@ -125,6 +133,46 @@ def check_serve(report, args):
     return 0
 
 
+def check_simulate(report, args):
+    """Absolute-SLO gate over one simulate_scale report."""
+    failures = []
+
+    clients = report.get("clients", 0)
+    samples = report.get("samples", 0)
+    if clients <= 0 or samples <= 0:
+        failures.append(
+            f"clients/samples: {clients}/{samples} (campaign produced nothing)"
+        )
+
+    cps = report.get("clients_per_s", 0.0)
+    if not isinstance(cps, (int, float)) or cps < args.min_clients_per_s:
+        failures.append(
+            f"clients_per_s: {cps!r} below the floor "
+            f"{args.min_clients_per_s:.1f}"
+        )
+
+    rss_kib = report.get("peak_rss_kib")
+    if not isinstance(rss_kib, (int, float)) or rss_kib <= 0:
+        failures.append(f"peak_rss_kib: {rss_kib!r} (missing or non-positive)")
+    elif rss_kib > args.max_peak_rss_mib * 1024.0:
+        failures.append(
+            f"peak_rss_kib: {rss_kib / 1024.0:.1f} MiB over the "
+            f"{args.max_peak_rss_mib:.1f} MiB ceiling"
+        )
+
+    if failures:
+        print(f"simulate-slo: FAIL ({len(failures)} gates):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        "simulate-slo: OK "
+        f"(clients={clients}, samples={samples}, "
+        f"clients_per_s={cps:.0f}, peak_rss={rss_kib / 1024.0:.1f} MiB)"
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new", help="freshly generated BENCH json")
@@ -167,10 +215,30 @@ def main():
         default=float("inf"),
         help="--serve: client-side p99 latency SLO in milliseconds",
     )
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help="treat NEW as a BENCH_simulate.json and gate on absolute "
+        "throughput/RSS SLOs instead of a baseline diff",
+    )
+    parser.add_argument(
+        "--min-clients-per-s",
+        type=float,
+        default=0.0,
+        help="--simulate: minimum simulated clients per second",
+    )
+    parser.add_argument(
+        "--max-peak-rss-mib",
+        type=float,
+        default=float("inf"),
+        help="--simulate: peak RSS ceiling in MiB",
+    )
     args = parser.parse_args()
 
     if args.serve:
         return check_serve(load(args.new), args)
+    if args.simulate:
+        return check_simulate(load(args.new), args)
 
     new = load(args.new)
     base = load(args.baseline)

@@ -70,8 +70,10 @@ VisitOutcome ClientAgent::visit(std::size_t service, double time_hours,
   bool any = false;
   for (bool c : coverage) any |= c;
   DIAGNET_REQUIRE_MSG(any, "degraded visit before any probe epoch");
-  outcome.diagnosis =
-      model_->diagnose(window_.snapshot(), service, coverage);
+  core::DiagnoseResponse response =
+      model_->diagnose({window_.snapshot(), service, false, coverage});
+  response.status.throw_if_error();
+  outcome.diagnosis = std::move(response.diagnosis);
   return outcome;
 }
 

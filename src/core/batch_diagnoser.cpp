@@ -237,23 +237,4 @@ std::vector<DiagnoseResponse> BatchDiagnoser::run(
   return results;
 }
 
-std::vector<Diagnosis> BatchDiagnoser::diagnose_all(
-    const std::vector<DiagnosisRequest>& requests,
-    const std::vector<bool>& landmark_available) const {
-  std::vector<DiagnoseRequest> owned(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    DIAGNET_REQUIRE(requests[i].features != nullptr);
-    owned[i].features = *requests[i].features;
-    owned[i].service = requests[i].service;
-    owned[i].landmark_available = landmark_available;
-  }
-  std::vector<DiagnoseResponse> responses = run(owned);
-  std::vector<Diagnosis> out(responses.size());
-  for (std::size_t i = 0; i < responses.size(); ++i) {
-    responses[i].status.throw_if_error();
-    out[i] = std::move(responses[i].diagnosis);
-  }
-  return out;
-}
-
 }  // namespace diagnet::core

@@ -33,13 +33,6 @@
 
 namespace diagnet::core {
 
-/// Deprecated non-owning request type, kept for existing callers of
-/// diagnose_all(). New code should use core::DiagnoseRequest.
-struct DiagnosisRequest {
-  const std::vector<double>* features = nullptr;
-  std::size_t service = 0;
-};
-
 struct BatchDiagnoserConfig {
   /// Rows per coarse-network forward/backward pass.
   std::size_t batch_size = 64;
@@ -63,13 +56,6 @@ class BatchDiagnoser {
   /// Status response without poisoning the rest of the batch.
   std::vector<DiagnoseResponse> run(
       const std::vector<DiagnoseRequest>& requests) const;
-
-  /// Deprecated forwarding overload over the non-owning request type: all
-  /// requests share one landmark availability mask; any per-request
-  /// failure throws (the historic behaviour). New code should call run().
-  std::vector<Diagnosis> diagnose_all(
-      const std::vector<DiagnosisRequest>& requests,
-      const std::vector<bool>& landmark_available) const;
 
   const BatchDiagnoserConfig& config() const { return config_; }
 

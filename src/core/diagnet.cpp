@@ -199,29 +199,6 @@ DiagnoseResponse DiagNetModel::diagnose(const DiagnoseRequest& request) {
   return response;
 }
 
-Diagnosis DiagNetModel::diagnose(const std::vector<double>& raw_features,
-                                 std::size_t service,
-                                 const std::vector<bool>& landmark_available) {
-  DIAGNET_REQUIRE_MSG(trained(), "train_general() first");
-  [[maybe_unused]] const auto t0 = std::chrono::steady_clock::now();
-  Diagnosis diagnosis =
-      diagnose_with(service_net(service), raw_features, landmark_available);
-  // The end-to-end per-sample latency the paper quotes as 45 ms (§IV-G).
-  [[maybe_unused]] const double latency_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - t0)
-          .count();
-  DIAGNET_OBSERVE("diagnose.latency_ms", latency_ms);
-  return diagnosis;
-}
-
-Diagnosis DiagNetModel::diagnose_general(
-    const std::vector<double>& raw_features,
-    const std::vector<bool>& landmark_available) {
-  DIAGNET_REQUIRE_MSG(trained(), "train_general() first");
-  return diagnose_with(*general_, raw_features, landmark_available);
-}
-
 Diagnosis DiagNetModel::diagnose_with(
     nn::CoarseNet& net, const std::vector<double>& raw_features,
     const std::vector<bool>& landmark_available) {

@@ -129,20 +129,6 @@ class DiagNetModel {
   /// request.use_general), and returns the ranked diagnosis.
   DiagnoseResponse diagnose(const DiagnoseRequest& request);
 
-  /// Deprecated loose-parameter overload; forwards to the request API.
-  /// `landmark_available` is the inference-time fleet (usually all true —
-  /// more landmarks than during training is the extensibility case).
-  /// Kept so existing callers compile; new code should build a
-  /// DiagnoseRequest. Throws where the request API returns a Status.
-  Diagnosis diagnose(const std::vector<double>& raw_features,
-                     std::size_t service,
-                     const std::vector<bool>& landmark_available);
-
-  /// Deprecated: always through the general model (Fig. 10 compares the
-  /// two). Equivalent to a DiagnoseRequest with use_general = true.
-  Diagnosis diagnose_general(const std::vector<double>& raw_features,
-                             const std::vector<bool>& landmark_available);
-
   /// Coarse fault-family probabilities only (Fig. 7 evaluates these).
   std::vector<double> coarse_predict(const std::vector<double>& raw_features,
                                      std::size_t service,

@@ -89,40 +89,4 @@ util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model_file(
   return try_load_model(is, fs, info);
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated throwing forwarders.
-
-namespace {
-[[noreturn]] void throw_status(const util::Status& status) {
-  // The untrained-save contract predates Status and is pinned by tests:
-  // programming errors stay logic_error, everything else runtime_error.
-  if (status.code() == util::StatusCode::kFailedPrecondition)
-    throw std::logic_error(status.message());
-  throw std::runtime_error(status.message());
-}
-}  // namespace
-
-void save_model(const DiagNetModel& model, std::ostream& os) {
-  if (util::Status s = try_save_model(model, os); !s.ok()) throw_status(s);
-}
-
-void save_model_file(const DiagNetModel& model, const std::string& path) {
-  if (util::Status s = try_save_model_file(model, path); !s.ok())
-    throw_status(s);
-}
-
-std::unique_ptr<DiagNetModel> load_model(std::istream& is,
-                                         const data::FeatureSpace& fs) {
-  auto result = try_load_model(is, fs);
-  if (!result.ok()) throw_status(result.status());
-  return std::move(result).value();
-}
-
-std::unique_ptr<DiagNetModel> load_model_file(const std::string& path,
-                                              const data::FeatureSpace& fs) {
-  auto result = try_load_model_file(path, fs);
-  if (!result.ok()) throw_status(result.status());
-  return std::move(result).value();
-}
-
 }  // namespace diagnet::core

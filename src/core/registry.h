@@ -12,7 +12,7 @@
 // shape mismatches come back as util::Status (data_loss / not_found /
 // invalid_argument) instead of a zoo of exception types, so the CLI's
 // `error:` exit and the serving subsystem's hot-swap-refusal path render
-// the same object. The historic throwing names remain as thin forwarders.
+// the same object.
 #pragma once
 
 #include <iosfwd>
@@ -51,14 +51,5 @@ util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model(
 util::StatusOr<std::unique_ptr<DiagNetModel>> try_load_model_file(
     const std::string& path, const data::FeatureSpace& fs,
     ModelBundleInfo* info = nullptr);
-
-/// Deprecated throwing forwarders (std::runtime_error / std::logic_error)
-/// over the Status API, kept so existing callers compile unchanged.
-void save_model(const DiagNetModel& model, std::ostream& os);
-void save_model_file(const DiagNetModel& model, const std::string& path);
-std::unique_ptr<DiagNetModel> load_model(std::istream& is,
-                                         const data::FeatureSpace& fs);
-std::unique_ptr<DiagNetModel> load_model_file(const std::string& path,
-                                              const data::FeatureSpace& fs);
 
 }  // namespace diagnet::core

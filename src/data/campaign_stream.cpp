@@ -1,0 +1,379 @@
+#include "data/campaign_stream.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "data/io.h"
+#include "util/binary_io.h"
+
+namespace diagnet::data {
+
+namespace {
+
+// "DGNETCMP" — distinct from the model registry's magic so a model bundle
+// fed to the campaign reader (or vice versa) fails loudly.
+constexpr std::uint64_t kIndexMagic = 0x44474e4554434d50ULL;
+constexpr std::uint64_t kIndexVersion = 1;
+constexpr char kIndexName[] = "campaign.idx";
+
+std::string shard_path(const std::string& dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "shard-%05zu.bin", index);
+  return dir + "/" + name;
+}
+
+void encode_sample(const Sample& sample, util::BinaryWriter& writer) {
+  writer.write_doubles(sample.features);
+  writer.write_u64(sample.client_region);
+  writer.write_u64(sample.service);
+  writer.write_double(sample.time_hours);
+  writer.write_double(sample.page_load_ms);
+  writer.write_bool(sample.qoe_degraded);
+  writer.write_u64(sample.injected.size());
+  for (const netsim::FaultSpec& fault : sample.injected) {
+    writer.write_u64(static_cast<std::uint64_t>(fault.family));
+    writer.write_u64(fault.region);
+    writer.write_double(fault.magnitude);
+  }
+  writer.write_indices(sample.true_causes);
+  writer.write_u64(sample.primary_cause);
+  writer.write_u64(static_cast<std::uint64_t>(sample.coarse_label));
+}
+
+// Throws std::runtime_error on malformed bytes (BinaryReader's contract);
+// the chunk loader turns that into data_loss.
+Sample decode_sample(util::BinaryReader& reader, std::size_t feature_count) {
+  Sample sample;
+  sample.features = reader.read_doubles();
+  if (sample.features.size() != feature_count)
+    throw std::runtime_error("sample feature count mismatch");
+  sample.client_region = reader.read_u64();
+  sample.service = reader.read_u64();
+  sample.time_hours = reader.read_double();
+  sample.page_load_ms = reader.read_double();
+  sample.qoe_degraded = reader.read_bool();
+  const std::uint64_t injected = reader.read_u64();
+  if (injected > 64) throw std::runtime_error("implausible fault count");
+  for (std::uint64_t f = 0; f < injected; ++f) {
+    netsim::FaultSpec fault;
+    fault.family = static_cast<netsim::FaultFamily>(reader.read_u64());
+    fault.region = reader.read_u64();
+    fault.magnitude = reader.read_double();
+    sample.injected.push_back(fault);
+  }
+  sample.true_causes = reader.read_indices();
+  sample.primary_cause = reader.read_u64();
+  sample.coarse_label = static_cast<netsim::FaultFamily>(reader.read_u64());
+  return sample;
+}
+
+}  // namespace
+
+// --- DatasetSink -----------------------------------------------------------
+
+util::Status DatasetSink::begin(const FeatureSpace& fs,
+                                const std::vector<bool>& landmark_available) {
+  (void)fs;
+  dataset_ = Dataset{};
+  dataset_.landmark_available = landmark_available;
+  return {};
+}
+
+util::Status DatasetSink::append(const Sample& sample) {
+  dataset_.samples.push_back(sample);
+  return {};
+}
+
+// --- ChunkedWriter ---------------------------------------------------------
+
+ChunkedWriter::ChunkedWriter(std::string dir, ChunkedWriterConfig config)
+    : dir_(std::move(dir)), config_(config) {
+  if (config_.chunk_size == 0) config_.chunk_size = 4096;
+  if (config_.samples_per_shard == 0) config_.samples_per_shard = 262144;
+}
+
+util::Status ChunkedWriter::begin(const FeatureSpace& fs,
+                                  const std::vector<bool>& landmark_available) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    return util::Status::internal("cannot create campaign directory " + dir_ +
+                                  ": " + ec.message());
+  // Drop any previous seal so a half-written campaign is never mistaken for
+  // a complete one.
+  std::filesystem::remove(dir_ + "/" + kIndexName, ec);
+
+  feature_count_ = fs.total();
+  landmark_available_ = landmark_available;
+  begun_ = true;
+  return open_shard(0);
+}
+
+util::Status ChunkedWriter::open_shard(std::size_t index) {
+  shard_.close();
+  shard_.clear();
+  const std::string path = shard_path(dir_, index);
+  shard_.open(path, std::ios::binary | std::ios::trunc);
+  if (!shard_)
+    return util::Status::internal("cannot open campaign shard " + path);
+  shard_index_ = index;
+  shard_samples_ = 0;
+  return {};
+}
+
+util::Status ChunkedWriter::flush_chunk() {
+  if (chunk_samples_ == 0) return {};
+  const std::string bytes = chunk_.str();
+  ChunkEntry entry;
+  entry.samples = chunk_samples_;
+  entry.bytes = bytes.size();
+  entry.checksum = util::fnv1a64(bytes.data(), bytes.size());
+  chunks_.push_back(entry);
+  shard_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!shard_)
+    return util::Status::internal("write failed on campaign shard " +
+                                  shard_path(dir_, shard_index_));
+  chunk_.str({});
+  chunk_.clear();
+  chunk_samples_ = 0;
+  return {};
+}
+
+util::Status ChunkedWriter::append(const Sample& sample) {
+  if (!begun_)
+    return util::Status::failed_precondition(
+        "ChunkedWriter::append before begin()");
+  if (sample.features.size() != feature_count_)
+    return util::Status::invalid_argument(
+        "sample feature count does not match the campaign's feature space");
+
+  util::BinaryWriter writer(chunk_);
+  encode_sample(sample, writer);
+  ++chunk_samples_;
+  ++shard_samples_;
+  ++total_samples_;
+
+  if (chunk_samples_ == config_.chunk_size ||
+      shard_samples_ == config_.samples_per_shard) {
+    if (util::Status s = flush_chunk(); !s.ok()) return s;
+  }
+  if (shard_samples_ == config_.samples_per_shard)
+    return open_shard(shard_index_ + 1);
+  return {};
+}
+
+util::Status ChunkedWriter::finish() {
+  if (!begun_)
+    return util::Status::failed_precondition(
+        "ChunkedWriter::finish before begin()");
+  if (util::Status s = flush_chunk(); !s.ok()) return s;
+  shard_.close();
+
+  std::ostringstream payload_os;
+  util::BinaryWriter payload(payload_os);
+  payload.write_u64(feature_count_);
+  payload.write_u64(landmark_available_.size());
+  for (const bool available : landmark_available_)
+    payload.write_bool(available);
+  payload.write_u64(config_.chunk_size);
+  payload.write_u64(config_.samples_per_shard);
+  payload.write_u64(total_samples_);
+  payload.write_u64(chunks_.size());
+  for (const ChunkEntry& chunk : chunks_) {
+    payload.write_u64(chunk.samples);
+    payload.write_u64(chunk.bytes);
+    payload.write_u64(chunk.checksum);
+  }
+  const std::string bytes = payload_os.str();
+
+  const std::string index_path = dir_ + "/" + kIndexName;
+  std::ofstream os(index_path, std::ios::binary | std::ios::trunc);
+  if (!os)
+    return util::Status::internal("cannot open campaign index " + index_path);
+  util::BinaryWriter writer(os);
+  writer.write_u64(kIndexMagic);
+  writer.write_u64(kIndexVersion);
+  writer.write_u64(util::fnv1a64(bytes.data(), bytes.size()));
+  writer.write_string(bytes);
+  os.flush();
+  if (!os)
+    return util::Status::internal("write failed on campaign index " +
+                                  index_path);
+  return {};
+}
+
+// --- ChunkedReader ---------------------------------------------------------
+
+util::StatusOr<ChunkedReader> ChunkedReader::open(const std::string& dir,
+                                                  const FeatureSpace& fs) {
+  const std::string index_path = dir + "/" + kIndexName;
+  std::ifstream is(index_path, std::ios::binary);
+  if (!is)
+    return util::Status::not_found(
+        "no " + index_path +
+        " — not a chunked campaign directory (or the writer never sealed it)");
+
+  ChunkedReader reader;
+  reader.dir_ = dir;
+  try {
+    util::BinaryReader header(is);
+    header.expect_u64(kIndexMagic, "campaign index magic");
+    header.expect_u64(kIndexVersion, "campaign index version");
+    const std::uint64_t checksum = header.read_u64();
+    const std::string bytes = header.read_string();
+    if (util::fnv1a64(bytes.data(), bytes.size()) != checksum)
+      return util::Status::data_loss("campaign index checksum mismatch in " +
+                                     index_path);
+
+    std::istringstream payload_is(bytes);
+    util::BinaryReader payload(payload_is);
+    reader.feature_count_ = payload.read_u64();
+    const std::uint64_t landmarks = payload.read_u64();
+    if (landmarks > 4096)
+      return util::Status::data_loss("implausible landmark count in " +
+                                     index_path);
+    reader.landmark_available_.resize(landmarks);
+    for (std::uint64_t lam = 0; lam < landmarks; ++lam)
+      reader.landmark_available_[lam] = payload.read_bool();
+    payload.read_u64();  // chunk_size: informational for readers
+    reader.samples_per_shard_ = payload.read_u64();
+    reader.total_samples_ = payload.read_u64();
+    const std::uint64_t chunk_count = payload.read_u64();
+    reader.chunks_.reserve(chunk_count);
+    std::uint64_t indexed = 0;
+    for (std::uint64_t c = 0; c < chunk_count; ++c) {
+      ChunkEntry entry;
+      entry.samples = payload.read_u64();
+      entry.bytes = payload.read_u64();
+      entry.checksum = payload.read_u64();
+      indexed += entry.samples;
+      reader.chunks_.push_back(entry);
+    }
+    if (indexed != reader.total_samples_ || reader.samples_per_shard_ == 0)
+      return util::Status::data_loss(
+          "campaign index is internally inconsistent in " + index_path);
+  } catch (const std::exception& e) {
+    return util::Status::data_loss("corrupt campaign index " + index_path +
+                                   ": " + e.what());
+  }
+
+  if (reader.feature_count_ != fs.total())
+    return util::Status::invalid_argument(
+        "campaign in " + dir + " was written for a different feature space");
+  return reader;
+}
+
+util::Status ChunkedReader::load_chunk() {
+  const ChunkEntry& chunk = chunks_[chunk_index_];
+
+  if (!shard_open_ || shard_samples_read_ == samples_per_shard_) {
+    const std::size_t index = shard_open_ ? shard_index_ + 1 : 0;
+    const std::string path = shard_path(dir_, index);
+    shard_.close();
+    shard_.clear();
+    shard_.open(path, std::ios::binary);
+    if (!shard_)
+      return util::Status::data_loss("missing campaign shard " + path);
+    shard_open_ = true;
+    shard_index_ = index;
+    shard_samples_read_ = 0;
+  }
+
+  std::string bytes(chunk.bytes, '\0');
+  shard_.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<std::uint64_t>(shard_.gcount()) != chunk.bytes)
+    return util::Status::data_loss(
+        "campaign shard " + shard_path(dir_, shard_index_) +
+        " is truncated (chunk " + std::to_string(chunk_index_) + ")");
+  if (util::fnv1a64(bytes.data(), bytes.size()) != chunk.checksum)
+    return util::Status::data_loss(
+        "checksum mismatch in chunk " + std::to_string(chunk_index_) +
+        " of campaign shard " + shard_path(dir_, shard_index_) +
+        " — the campaign data is corrupted");
+
+  decoded_.clear();
+  decoded_.reserve(chunk.samples);
+  try {
+    std::istringstream is(bytes);
+    util::BinaryReader reader(is);
+    for (std::uint64_t s = 0; s < chunk.samples; ++s)
+      decoded_.push_back(decode_sample(reader, feature_count_));
+  } catch (const std::exception& e) {
+    return util::Status::data_loss("corrupt sample in chunk " +
+                                   std::to_string(chunk_index_) + ": " +
+                                   e.what());
+  }
+  decoded_pos_ = 0;
+  shard_samples_read_ += chunk.samples;
+  ++chunk_index_;
+  return {};
+}
+
+util::Status ChunkedReader::next(Sample* sample, bool* eof) {
+  *eof = false;
+  while (decoded_pos_ == decoded_.size()) {
+    if (chunk_index_ == chunks_.size()) {
+      *eof = true;
+      return {};
+    }
+    if (util::Status s = load_chunk(); !s.ok()) return s;
+  }
+  *sample = std::move(decoded_[decoded_pos_]);
+  ++decoded_pos_;
+  return {};
+}
+
+// --- Whole-campaign loaders ------------------------------------------------
+
+util::StatusOr<Dataset> try_read_chunked(const std::string& dir,
+                                         const FeatureSpace& fs) {
+  auto reader_or = ChunkedReader::open(dir, fs);
+  if (!reader_or.ok()) return reader_or.status();
+  ChunkedReader reader = std::move(reader_or).value();
+
+  Dataset dataset;
+  dataset.landmark_available = reader.landmark_available();
+  dataset.samples.reserve(reader.size());
+  Sample sample;
+  bool eof = false;
+  for (;;) {
+    if (util::Status s = reader.next(&sample, &eof); !s.ok()) return s;
+    if (eof) break;
+    dataset.samples.push_back(std::move(sample));
+  }
+  return dataset;
+}
+
+util::StatusOr<Dataset> try_read_campaign(const std::string& path,
+                                          const FeatureSpace& fs) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec))
+    return try_read_chunked(path, fs);
+  return try_read_csv_file(path, fs);
+}
+
+util::StatusOr<std::vector<bool>> for_each_campaign_sample(
+    const std::string& path, const FeatureSpace& fs,
+    const std::function<void(const Sample&)>& fn) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    auto reader_or = ChunkedReader::open(path, fs);
+    if (!reader_or.ok()) return reader_or.status();
+    ChunkedReader reader = std::move(reader_or).value();
+    Sample sample;
+    bool eof = false;
+    for (;;) {
+      if (util::Status s = reader.next(&sample, &eof); !s.ok()) return s;
+      if (eof) break;
+      fn(sample);
+    }
+    return reader.landmark_available();
+  }
+  auto dataset_or = try_read_csv_file(path, fs);
+  if (!dataset_or.ok()) return dataset_or.status();
+  for (const Sample& sample : dataset_or.value().samples) fn(sample);
+  return dataset_or.value().landmark_available;
+}
+
+}  // namespace diagnet::data

@@ -1,7 +1,11 @@
 #include "data/generator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
+#include "netsim/event_engine.h"
+#include "netsim/flow_model.h"
 #include "util/require.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -15,6 +19,7 @@ using netsim::ClientCondition;
 using netsim::ClientProfile;
 using netsim::FaultFamily;
 using netsim::FaultSpec;
+using netsim::PathProvider;
 using netsim::Simulator;
 
 constexpr FaultFamily kInjectable[] = {
@@ -33,157 +38,463 @@ FaultSpec draw_fault(const std::vector<std::size_t>& regions,
   return fault;
 }
 
-/// Median page-load time of `draws` replays under exactly `faults`.
-double median_plt(const Simulator& sim, std::size_t service,
-                  const ClientProfile& client, double time_hours,
-                  const ActiveFaults& faults, std::size_t draws,
-                  util::Rng rng) {
+/// Median page-load time of `draws` replays under exactly `faults`,
+/// measured through `paths` (the base model classically, the flow model in
+/// client mode).
+double median_plt(const Simulator& sim, const PathProvider& paths,
+                  std::size_t service, const ClientProfile& client,
+                  double time_hours, const ActiveFaults& faults,
+                  std::size_t draws, util::Rng rng) {
   const ClientCondition condition =
       ClientCondition::from_faults(faults, client.region);
   std::vector<double> plts;
   plts.reserve(draws);
   for (std::size_t d = 0; d < draws; ++d)
-    plts.push_back(
-        sim.visit(service, client, condition, time_hours, faults, rng));
+    plts.push_back(sim.visit(service, paths, client, condition, time_hours,
+                             faults, rng));
   return util::percentile(std::move(plts), 0.5);
+}
+
+/// The config's index sets with the paper defaults filled in.
+struct ResolvedConfig {
+  std::vector<std::size_t> fault_regions;
+  std::vector<std::size_t> client_regions;
+  std::vector<std::size_t> services;
+};
+
+ResolvedConfig resolve(const Simulator& sim, const CampaignConfig& config) {
+  ResolvedConfig resolved;
+
+  resolved.fault_regions = config.fault_regions;
+  if (resolved.fault_regions.empty())
+    resolved.fault_regions = netsim::default_fault_regions(sim.topology());
+
+  resolved.client_regions = config.active_client_regions;
+  if (resolved.client_regions.empty()) {
+    resolved.client_regions.resize(sim.topology().region_count());
+    for (std::size_t r = 0; r < resolved.client_regions.size(); ++r)
+      resolved.client_regions[r] = r;
+  }
+
+  resolved.services = config.services;
+  if (resolved.services.empty()) {
+    resolved.services.resize(sim.services().size());
+    for (std::size_t s = 0; s < resolved.services.size(); ++s)
+      resolved.services[s] = s;
+  }
+  return resolved;
+}
+
+/// Probe every landmark and the local host, writing the feature vector.
+void fill_features(const Simulator& sim, const PathProvider& paths,
+                   const FeatureSpace& fs, const ClientProfile& client,
+                   const ClientCondition& condition, Sample& sample,
+                   util::Rng& rng) {
+  sample.features.resize(fs.total());
+  const auto probes = sim.probe_landmarks(paths, client, condition,
+                                          sample.time_hours,
+                                          sample.injected, rng);
+  for (std::size_t lam = 0; lam < probes.size(); ++lam) {
+    sample.features[fs.landmark_feature(lam, Metric::Latency)] =
+        probes[lam].latency_ms;
+    sample.features[fs.landmark_feature(lam, Metric::Jitter)] =
+        probes[lam].jitter_ms;
+    sample.features[fs.landmark_feature(lam, Metric::Loss)] =
+        probes[lam].loss_ratio;
+    sample.features[fs.landmark_feature(lam, Metric::DownBw)] =
+        probes[lam].down_mbps;
+    sample.features[fs.landmark_feature(lam, Metric::UpBw)] =
+        probes[lam].up_mbps;
+  }
+  const auto local =
+      sim.measure_local(client, condition, sample.time_hours, rng);
+  sample.features[fs.local_feature(LocalFeature::GatewayRtt)] =
+      local.gateway_rtt_ms;
+  sample.features[fs.local_feature(LocalFeature::CpuLoad)] = local.cpu_load;
+  sample.features[fs.local_feature(LocalFeature::MemLoad)] = local.mem_load;
+  sample.features[fs.local_feature(LocalFeature::ProcLoad)] = local.proc_load;
+  sample.features[fs.local_feature(LocalFeature::DnsTime)] = local.dns_ms;
+}
+
+/// Ground truth: counterfactual single-fault replays decide which injected
+/// faults are relevant causes for THIS client/service pair.
+void label_sample(const Simulator& sim, const PathProvider& paths,
+                  const FeatureSpace& fs, const CampaignConfig& config,
+                  double threshold, const ClientProfile& client,
+                  Sample& sample, util::Rng& rng) {
+  if (!sample.qoe_degraded || sample.injected.empty()) return;
+  double best_impact = 0.0;
+  for (std::size_t f = 0; f < sample.injected.size(); ++f) {
+    const ActiveFaults alone{sample.injected[f]};
+    const double median =
+        median_plt(sim, paths, sample.service, client, sample.time_hours,
+                   alone, config.counterfactual_draws, rng.fork(1000 + f));
+    if (median > threshold) {
+      const std::size_t cause = fs.cause_of_fault(sample.injected[f]);
+      sample.true_causes.push_back(cause);
+      if (median > best_impact) {
+        best_impact = median;
+        sample.primary_cause = cause;
+      }
+    }
+  }
+  if (sample.primary_cause != kNoCause)
+    sample.coarse_label = fs.family_of(sample.primary_cause);
+}
+
+/// One classic scenario sample — the draw sequence this function performs
+/// is the original generate_campaign body verbatim, so classic campaigns
+/// stay bit-identical across the streaming redesign.
+void make_scenario_sample(const Simulator& sim, const FeatureSpace& fs,
+                          const CampaignConfig& config,
+                          const ResolvedConfig& resolved,
+                          const util::Rng& root, std::size_t idx,
+                          Sample& sample) {
+  util::Rng rng = root.fork(idx);
+  sample = Sample{};
+
+  sample.time_hours = rng.uniform(0.0, config.duration_hours);
+  sample.service =
+      resolved.services[rng.uniform_index(resolved.services.size())];
+
+  // Injected faults for this scenario.
+  if (idx >= config.nominal_samples) {
+    if (!config.fixed_faults.empty()) {
+      sample.injected = config.fixed_faults;
+    } else {
+      sample.injected.push_back(draw_fault(resolved.fault_regions, rng));
+      if (rng.bernoulli(config.multi_fault_prob)) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const FaultSpec second = draw_fault(resolved.fault_regions, rng);
+          if (second.family != sample.injected[0].family ||
+              second.region != sample.injected[0].region) {
+            sample.injected.push_back(second);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Observed client.
+  if (!sample.injected.empty() &&
+      rng.bernoulli(config.client_in_fault_region_prob)) {
+    sample.client_region = sample.injected[0].region;
+  } else {
+    sample.client_region =
+        resolved.client_regions[rng.uniform_index(
+            resolved.client_regions.size())];
+  }
+  const std::uint64_t client_id =
+      sample.client_region * 1000 + rng.uniform_index(config.clients_per_region);
+  const ClientProfile client =
+      ClientProfile::make(sample.client_region, client_id, sim.seed());
+  const ClientCondition condition =
+      ClientCondition::from_faults(sample.injected, sample.client_region);
+
+  fill_features(sim, sim.paths(), fs, client, condition, sample, rng);
+
+  // The visit itself.
+  sample.page_load_ms =
+      sim.visit(sample.service, client, condition, sample.time_hours,
+                sample.injected, rng);
+  sample.qoe_degraded = sim.qoe_degraded(sample.service, sample.client_region,
+                                         sample.page_load_ms);
+
+  label_sample(sim, sim.paths(), fs, config,
+               sim.qoe_threshold(sample.service, sample.client_region),
+               client, sample, rng);
+}
+
+// --- Client mode: fault episodes and flow-level visits ---------------------
+
+/// A campaign-wide outage window. Episodes are disjoint and sorted.
+struct Episode {
+  double start_h = 0.0;
+  double end_h = 0.0;
+  ActiveFaults faults;
+};
+
+std::vector<Episode> draw_episodes(const CampaignConfig& config,
+                                   const std::vector<std::size_t>& regions) {
+  std::vector<Episode> episodes;
+  if (config.episodes_per_day <= 0.0) return episodes;
+  // Schedule stream, disjoint from both the per-sample content forks and
+  // the event engine's per-client schedule forks.
+  util::Rng rng(config.seed ^ 0xe9150deULL);
+  const double rate = config.episodes_per_day / 24.0;
+  double t = rng.exponential(rate);
+  while (t < config.duration_hours) {
+    Episode ep;
+    ep.start_h = t;
+    ep.end_h = t + rng.uniform(0.5, 2.0);
+    if (!config.fixed_faults.empty()) {
+      ep.faults = config.fixed_faults;
+    } else {
+      ep.faults.push_back(draw_fault(regions, rng));
+      if (rng.bernoulli(config.multi_fault_prob)) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const FaultSpec second = draw_fault(regions, rng);
+          if (second.family != ep.faults[0].family ||
+              second.region != ep.faults[0].region) {
+            ep.faults.push_back(second);
+            break;
+          }
+        }
+      }
+    }
+    episodes.push_back(std::move(ep));
+    t = episodes.back().end_h + rng.exponential(rate);
+  }
+  return episodes;
+}
+
+ActiveFaults active_at(const std::vector<Episode>& episodes, double t) {
+  auto it = std::upper_bound(
+      episodes.begin(), episodes.end(), t,
+      [](double v, const Episode& e) { return v < e.start_h; });
+  if (it == episodes.begin()) return {};
+  --it;
+  if (t < it->end_h) return it->faults;
+  return {};
+}
+
+/// QoE thresholds measured through an alternative path provider — the same
+/// protocol as Simulator::calibrate_qoe, so flow-level page loads are
+/// judged against flow-level medians rather than the base model's.
+std::vector<double> calibrate_thresholds(const Simulator& sim,
+                                         const PathProvider& paths,
+                                         std::size_t visits_per_cell = 64) {
+  const std::size_t regions = sim.topology().region_count();
+  std::vector<double> thresholds(sim.services().size() * regions, 0.0);
+  const util::Rng root(sim.seed() ^ 0xca11b8a7edULL);
+  const ActiveFaults no_faults;
+  for (std::size_t s = 0; s < sim.services().size(); ++s) {
+    for (std::size_t r = 0; r < regions; ++r) {
+      util::Rng rng = root.fork(s * regions + r);
+      std::vector<double> plts;
+      plts.reserve(visits_per_cell);
+      for (std::size_t v = 0; v < visits_per_cell; ++v) {
+        const ClientProfile client =
+            ClientProfile::make(r, 900000 + v % 8, sim.seed());
+        const double t = rng.uniform(0.0, 24.0);
+        plts.push_back(
+            sim.visit(s, paths, client, ClientCondition{}, t, no_faults, rng));
+      }
+      const double median = util::percentile(std::move(plts), 0.5);
+      thresholds[s * regions + r] = 1.5 * median + 100.0;
+    }
+  }
+  return thresholds;
+}
+
+/// One visit of an event-engine client through the flow-level model.
+void make_client_sample(const Simulator& sim, const PathProvider& paths,
+                        const FeatureSpace& fs, const CampaignConfig& config,
+                        const ResolvedConfig& resolved,
+                        const std::vector<Episode>& episodes,
+                        const std::vector<double>& thresholds,
+                        const util::Rng& root, std::uint64_t idx,
+                        const netsim::Event& ev, Sample& sample) {
+  util::Rng rng = root.fork(idx);
+  sample = Sample{};
+
+  sample.time_hours = ev.time_hours;
+  sample.service =
+      resolved.services[rng.uniform_index(resolved.services.size())];
+  sample.injected = active_at(episodes, ev.time_hours);
+  sample.client_region =
+      resolved.client_regions[ev.client % resolved.client_regions.size()];
+
+  const ClientProfile client =
+      ClientProfile::make(sample.client_region, ev.client, sim.seed());
+  const ClientCondition condition =
+      ClientCondition::from_faults(sample.injected, sample.client_region);
+
+  fill_features(sim, paths, fs, client, condition, sample, rng);
+
+  sample.page_load_ms =
+      sim.visit(sample.service, paths, client, condition, sample.time_hours,
+                sample.injected, rng);
+  const double threshold =
+      thresholds[sample.service * sim.topology().region_count() +
+                 sample.client_region];
+  sample.qoe_degraded = sample.page_load_ms > threshold;
+
+  label_sample(sim, paths, fs, config, threshold, client, sample, rng);
 }
 
 }  // namespace
 
+util::Status CampaignConfig::validate(const netsim::Simulator& sim) const {
+  const std::size_t regions = sim.topology().region_count();
+
+  if (!sim.qoe_calibrated())
+    return util::Status::failed_precondition(
+        "simulator must be QoE-calibrated before generation");
+  if (clients == 0 && nominal_samples + fault_samples == 0)
+    return util::Status::invalid_argument(
+        "campaign has zero samples (nominal_samples + fault_samples == 0)");
+  if (clients_per_region == 0)
+    return util::Status::invalid_argument("clients_per_region must be > 0");
+  if (counterfactual_draws == 0)
+    return util::Status::invalid_argument(
+        "counterfactual_draws must be >= 1");
+  if (!std::isfinite(multi_fault_prob) || multi_fault_prob < 0.0 ||
+      multi_fault_prob > 1.0)
+    return util::Status::invalid_argument(
+        "multi_fault_prob must be a probability in [0, 1]");
+  if (!std::isfinite(client_in_fault_region_prob) ||
+      client_in_fault_region_prob < 0.0 || client_in_fault_region_prob > 1.0)
+    return util::Status::invalid_argument(
+        "client_in_fault_region_prob must be a probability in [0, 1]");
+  if (!std::isfinite(duration_hours) || duration_hours <= 0.0)
+    return util::Status::invalid_argument(
+        "duration_hours must be finite and > 0");
+  if (clients > 0) {
+    if (!std::isfinite(mean_think_s) || mean_think_s <= 0.0)
+      return util::Status::invalid_argument(
+          "mean_think_s must be finite and > 0 in client mode");
+    if (!std::isfinite(episodes_per_day) || episodes_per_day < 0.0)
+      return util::Status::invalid_argument(
+          "episodes_per_day must be finite and >= 0");
+  }
+
+  for (const std::size_t r : fault_regions)
+    if (r >= regions)
+      return util::Status::invalid_argument(
+          "fault region index " + std::to_string(r) +
+          " out of range (topology has " + std::to_string(regions) +
+          " regions)");
+  for (const std::size_t r : active_client_regions)
+    if (r >= regions)
+      return util::Status::invalid_argument(
+          "client region index " + std::to_string(r) +
+          " out of range (topology has " + std::to_string(regions) +
+          " regions)");
+  for (const std::size_t s : services)
+    if (s >= sim.services().size())
+      return util::Status::invalid_argument(
+          "service index " + std::to_string(s) +
+          " out of range (simulator has " +
+          std::to_string(sim.services().size()) + " services)");
+  for (const netsim::FaultSpec& fault : fixed_faults) {
+    if (fault.region >= regions)
+      return util::Status::invalid_argument(
+          "fixed fault region index " + std::to_string(fault.region) +
+          " out of range");
+    if (!std::isfinite(fault.magnitude))
+      return util::Status::invalid_argument(
+          "fixed fault magnitude must be finite");
+  }
+  return {};
+}
+
+util::StatusOr<CampaignStats> stream_campaign(const Simulator& sim,
+                                              const FeatureSpace& fs,
+                                              const CampaignConfig& config,
+                                              CampaignSink& sink) {
+  if (util::Status s = config.validate(sim); !s.ok()) return s;
+  const ResolvedConfig resolved = resolve(sim, config);
+  const util::Rng root(config.seed);
+
+  // A dedicated pool when the caller pins a thread count; the process
+  // global one otherwise. Either way sample i forks its randomness from i,
+  // so the choice never shows in the output.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config.threads != 0)
+    pool = std::make_unique<util::ThreadPool>(config.threads);
+  const auto pfor = [&](std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+    if (pool)
+      pool->parallel_for(n, fn);
+    else
+      util::parallel_for(n, fn);
+  };
+
+  if (util::Status s =
+          sink.begin(fs, std::vector<bool>(sim.landmark_count(), true));
+      !s.ok())
+    return s;
+
+  CampaignStats stats;
+  const std::size_t block_size = std::max<std::size_t>(1, config.stream_block);
+  std::vector<Sample> block;
+
+  const auto emit = [&](std::size_t n) -> util::Status {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Sample& sample = block[i];
+      if (sample.is_faulty()) ++stats.faulty;
+      if (sample.qoe_degraded) ++stats.degraded;
+      if (util::Status s = sink.append(sample); !s.ok()) return s;
+    }
+    stats.samples += n;
+    return {};
+  };
+
+  if (config.clients == 0) {
+    // Classic scenario-indexed mode, streamed in bounded blocks.
+    const std::size_t total = config.nominal_samples + config.fault_samples;
+    for (std::size_t base = 0; base < total; base += block_size) {
+      const std::size_t n = std::min(block_size, total - base);
+      block.resize(n);
+      pfor(n, [&](std::size_t i) {
+        make_scenario_sample(sim, fs, config, resolved, root, base + i,
+                             block[i]);
+      });
+      if (util::Status s = emit(n); !s.ok()) return s;
+    }
+  } else {
+    // Event-driven flow-level mode: per-client visit cycles through the
+    // FlowModel, faults from a campaign-wide episode schedule.
+    netsim::FlowConfig flow_config;
+    flow_config.clients_per_region =
+        static_cast<double>(config.clients) /
+        static_cast<double>(resolved.client_regions.size());
+    flow_config.duty_cycle = std::min(1.0, 5.0 / config.mean_think_s);
+    const netsim::FlowModel flow(sim.paths(), flow_config);
+
+    const std::vector<double> thresholds = calibrate_thresholds(sim, flow);
+    const std::vector<Episode> episodes =
+        draw_episodes(config, resolved.fault_regions);
+
+    netsim::EventEngineConfig engine_config;
+    engine_config.clients = config.clients;
+    engine_config.duration_hours = config.duration_hours;
+    engine_config.mean_think_s = config.mean_think_s;
+    // Distinct stream from the per-sample content forks of `root`.
+    engine_config.seed = config.seed ^ 0x5c8ed01eULL;
+    netsim::EventEngine engine(engine_config);
+
+    std::vector<netsim::Event> events;
+    std::uint64_t base = 0;
+    while (engine.next_window(&events)) {
+      block.resize(events.size());
+      pfor(events.size(), [&](std::size_t i) {
+        make_client_sample(sim, flow, fs, config, resolved, episodes,
+                           thresholds, root, base + i, events[i], block[i]);
+      });
+      if (util::Status s = emit(events.size()); !s.ok()) return s;
+      base += events.size();
+    }
+    stats.clients = config.clients;
+  }
+
+  if (util::Status s = sink.finish(); !s.ok()) return s;
+  return stats;
+}
+
 Dataset generate_campaign(const Simulator& sim, const FeatureSpace& fs,
                           const CampaignConfig& config) {
-  DIAGNET_REQUIRE_MSG(sim.qoe_calibrated(),
-                      "simulator must be QoE-calibrated before generation");
-  DIAGNET_REQUIRE(config.clients_per_region > 0);
-  DIAGNET_REQUIRE(config.counterfactual_draws >= 1);
+  // At this level config mistakes are programming errors (the historical
+  // contract): surface validate()'s message as std::logic_error.
+  const util::Status valid = config.validate(sim);
+  DIAGNET_REQUIRE_MSG(valid.ok(), valid.message());
 
-  const auto& topology = sim.topology();
-
-  std::vector<std::size_t> fault_regions = config.fault_regions;
-  if (fault_regions.empty())
-    fault_regions = netsim::default_fault_regions(topology);
-
-  std::vector<std::size_t> client_regions = config.active_client_regions;
-  if (client_regions.empty()) {
-    client_regions.resize(topology.region_count());
-    for (std::size_t r = 0; r < client_regions.size(); ++r)
-      client_regions[r] = r;
-  }
-
-  std::vector<std::size_t> services = config.services;
-  if (services.empty()) {
-    services.resize(sim.services().size());
-    for (std::size_t s = 0; s < services.size(); ++s) services[s] = s;
-  }
-
-  const std::size_t total = config.nominal_samples + config.fault_samples;
-  Dataset dataset;
-  dataset.samples.resize(total);
-  dataset.landmark_available.assign(sim.landmark_count(), true);
-
-  const util::Rng root(config.seed);
-  util::parallel_for(total, [&](std::size_t idx) {
-    util::Rng rng = root.fork(idx);
-    Sample& sample = dataset.samples[idx];
-
-    sample.time_hours = rng.uniform(0.0, config.duration_hours);
-    sample.service = services[rng.uniform_index(services.size())];
-
-    // Injected faults for this scenario.
-    if (idx >= config.nominal_samples) {
-      if (!config.fixed_faults.empty()) {
-        sample.injected = config.fixed_faults;
-      } else {
-        sample.injected.push_back(draw_fault(fault_regions, rng));
-        if (rng.bernoulli(config.multi_fault_prob)) {
-          for (int attempt = 0; attempt < 8; ++attempt) {
-            const FaultSpec second = draw_fault(fault_regions, rng);
-            if (second.family != sample.injected[0].family ||
-                second.region != sample.injected[0].region) {
-              sample.injected.push_back(second);
-              break;
-            }
-          }
-        }
-      }
-    }
-
-    // Observed client.
-    if (!sample.injected.empty() &&
-        rng.bernoulli(config.client_in_fault_region_prob)) {
-      sample.client_region = sample.injected[0].region;
-    } else {
-      sample.client_region =
-          client_regions[rng.uniform_index(client_regions.size())];
-    }
-    const std::uint64_t client_id =
-        sample.client_region * 1000 + rng.uniform_index(config.clients_per_region);
-    const ClientProfile client =
-        ClientProfile::make(sample.client_region, client_id, sim.seed());
-    const ClientCondition condition =
-        ClientCondition::from_faults(sample.injected, sample.client_region);
-
-    // The measurement vector: l landmark probes + local metrics.
-    sample.features.resize(fs.total());
-    const auto probes = sim.probe_landmarks(client, condition,
-                                            sample.time_hours,
-                                            sample.injected, rng);
-    for (std::size_t lam = 0; lam < probes.size(); ++lam) {
-      sample.features[fs.landmark_feature(lam, Metric::Latency)] =
-          probes[lam].latency_ms;
-      sample.features[fs.landmark_feature(lam, Metric::Jitter)] =
-          probes[lam].jitter_ms;
-      sample.features[fs.landmark_feature(lam, Metric::Loss)] =
-          probes[lam].loss_ratio;
-      sample.features[fs.landmark_feature(lam, Metric::DownBw)] =
-          probes[lam].down_mbps;
-      sample.features[fs.landmark_feature(lam, Metric::UpBw)] =
-          probes[lam].up_mbps;
-    }
-    const auto local =
-        sim.measure_local(client, condition, sample.time_hours, rng);
-    sample.features[fs.local_feature(LocalFeature::GatewayRtt)] =
-        local.gateway_rtt_ms;
-    sample.features[fs.local_feature(LocalFeature::CpuLoad)] = local.cpu_load;
-    sample.features[fs.local_feature(LocalFeature::MemLoad)] = local.mem_load;
-    sample.features[fs.local_feature(LocalFeature::ProcLoad)] =
-        local.proc_load;
-    sample.features[fs.local_feature(LocalFeature::DnsTime)] = local.dns_ms;
-
-    // The visit itself.
-    sample.page_load_ms =
-        sim.visit(sample.service, client, condition, sample.time_hours,
-                  sample.injected, rng);
-    sample.qoe_degraded = sim.qoe_degraded(sample.service,
-                                           sample.client_region,
-                                           sample.page_load_ms);
-
-    // Ground truth: counterfactual single-fault replays decide which
-    // injected faults are relevant causes for THIS client/service pair.
-    if (sample.qoe_degraded && !sample.injected.empty()) {
-      const double threshold =
-          sim.qoe_threshold(sample.service, sample.client_region);
-      double best_impact = 0.0;
-      for (std::size_t f = 0; f < sample.injected.size(); ++f) {
-        const ActiveFaults alone{sample.injected[f]};
-        const double median =
-            median_plt(sim, sample.service, client, sample.time_hours, alone,
-                       config.counterfactual_draws, rng.fork(1000 + f));
-        if (median > threshold) {
-          const std::size_t cause = fs.cause_of_fault(sample.injected[f]);
-          sample.true_causes.push_back(cause);
-          if (median > best_impact) {
-            best_impact = median;
-            sample.primary_cause = cause;
-          }
-        }
-      }
-      if (sample.primary_cause != kNoCause)
-        sample.coarse_label = fs.family_of(sample.primary_cause);
-    }
-  });
-
-  return dataset;
+  DatasetSink sink;
+  const auto stats = stream_campaign(sim, fs, config, sink);
+  DIAGNET_REQUIRE_MSG(stats.ok(), stats.status().message());
+  return sink.take();
 }
 
 }  // namespace diagnet::data

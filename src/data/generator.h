@@ -13,8 +13,10 @@
 
 #include <cstdint>
 
+#include "data/campaign_stream.h"
 #include "data/dataset.h"
 #include "netsim/simulator.h"
+#include "util/status.h"
 
 namespace diagnet::data {
 
@@ -46,12 +48,56 @@ struct CampaignConfig {
   /// Replays per injected fault when establishing relevance.
   std::size_t counterfactual_draws = 5;
   std::uint64_t seed = 42;
+
+  // --- Event-driven flow-level client mode (stream_campaign only) ---
+  /// Emulated concurrent clients. 0 keeps the classic scenario-indexed mode
+  /// above; > 0 switches stream_campaign to the netsim::EventEngine with
+  /// the flow-level path model: every sample is a visit of one of these
+  /// clients, fault episodes follow a campaign-wide schedule, and sample
+  /// count emerges from clients x duration / think time.
+  std::uint64_t clients = 0;
+  /// Mean think time between a client's consecutive visits, seconds.
+  double mean_think_s = 86400.0;
+  /// Mean fault episodes injected per 24 simulated hours (client mode).
+  double episodes_per_day = 12.0;
+
+  /// Worker threads for generation (0 = the process-global pool). The
+  /// output is bit-identical for every value.
+  std::size_t threads = 0;
+  /// Samples generated per parallel block — bounds the generator's working
+  /// set regardless of campaign size.
+  std::size_t stream_block = 8192;
+
+  /// Checks the whole config against the simulator: out-of-range region or
+  /// service indices, zero samples, non-finite probabilities, an
+  /// uncalibrated simulator. Both generate_campaign and stream_campaign
+  /// call this; the CLI renders a failure as a one-line `error:` exit.
+  util::Status validate(const netsim::Simulator& sim) const;
 };
 
-/// Generate a labelled campaign. The simulator must be QoE-calibrated.
-/// Deterministic in (simulator seed, config); sample i derives its whole
-/// randomness from fork(i), so generation parallelises without affecting
-/// results.
+/// What a streamed campaign produced.
+struct CampaignStats {
+  std::uint64_t samples = 0;
+  std::uint64_t faulty = 0;    // primary_cause labelled
+  std::uint64_t degraded = 0;  // QoE over threshold
+  std::uint64_t clients = 0;   // client mode only
+};
+
+/// Stream a labelled campaign into `sink` without ever materializing it.
+/// Deterministic in (simulator seed, config): sample i derives its whole
+/// content randomness from fork(i) of the config seed, and the event
+/// engine's canonical ordering fixes i independently of worker threads,
+/// chunk sizes, or shard counts — the streamed bytes are bit-identical for
+/// any parallelism.
+util::StatusOr<CampaignStats> stream_campaign(const netsim::Simulator& sim,
+                                              const FeatureSpace& fs,
+                                              const CampaignConfig& config,
+                                              CampaignSink& sink);
+
+/// Generate a labelled campaign in RAM — a thin adapter over
+/// stream_campaign with a DatasetSink. The simulator must be QoE-calibrated
+/// (config errors are programming errors here and throw std::logic_error,
+/// the historical contract).
 Dataset generate_campaign(const netsim::Simulator& sim,
                           const FeatureSpace& fs,
                           const CampaignConfig& config);

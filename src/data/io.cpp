@@ -241,25 +241,4 @@ util::StatusOr<Dataset> try_read_csv_file(const std::string& path,
   return try_read_csv(is, fs);
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated throwing forwarders.
-
-void write_csv(const Dataset& dataset, const FeatureSpace& fs,
-               std::ostream& os) {
-  try_write_csv(dataset, fs, os).throw_if_error();
-}
-
-void write_csv_file(const Dataset& dataset, const FeatureSpace& fs,
-                    const std::string& path) {
-  try_write_csv_file(dataset, fs, path).throw_if_error();
-}
-
-Dataset read_csv(std::istream& is, const FeatureSpace& fs) {
-  return std::move(try_read_csv(is, fs)).value_or_throw();
-}
-
-Dataset read_csv_file(const std::string& path, const FeatureSpace& fs) {
-  return std::move(try_read_csv_file(path, fs)).value_or_throw();
-}
-
 }  // namespace diagnet::data

@@ -7,7 +7,7 @@
 // Parsing is Status-based (try_*): malformed input comes back as
 // util::Status (invalid_argument / not_found) rather than exceptions, so
 // the CLI `error:` exit and any service ingesting campaigns render the
-// same failure. The historic throwing names remain as thin forwarders.
+// same failure.
 #pragma once
 
 #include <iosfwd>
@@ -33,14 +33,5 @@ util::StatusOr<Dataset> try_read_csv(std::istream& is,
                                      const FeatureSpace& fs);
 util::StatusOr<Dataset> try_read_csv_file(const std::string& path,
                                           const FeatureSpace& fs);
-
-/// Deprecated throwing forwarders (std::runtime_error) over the Status
-/// API, kept so existing callers compile unchanged.
-void write_csv(const Dataset& dataset, const FeatureSpace& fs,
-               std::ostream& os);
-void write_csv_file(const Dataset& dataset, const FeatureSpace& fs,
-                    const std::string& path);
-Dataset read_csv(std::istream& is, const FeatureSpace& fs);
-Dataset read_csv_file(const std::string& path, const FeatureSpace& fs);
 
 }  // namespace diagnet::data

@@ -1,0 +1,105 @@
+#include "netsim/event_engine.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/require.h"
+#include "util/thread_pool.h"
+
+namespace diagnet::netsim {
+
+namespace {
+
+// Min-heap order (std::*_heap build max-heaps, so compare greater-than).
+// The (client, cycle) tie-break is cosmetic inside a heap but keeps pops
+// deterministic even for equal timestamps.
+bool heap_after(const Event& a, const Event& b) {
+  return std::tie(a.time_hours, a.client, a.cycle) >
+         std::tie(b.time_hours, b.client, b.cycle);
+}
+
+bool canonical_before(const Event& a, const Event& b) {
+  return std::tie(a.time_hours, a.client, a.cycle) <
+         std::tie(b.time_hours, b.client, b.cycle);
+}
+
+}  // namespace
+
+EventEngine::EventEngine(EventEngineConfig config)
+    : config_(config), root_(config.seed) {
+  DIAGNET_REQUIRE(config_.duration_hours > 0.0);
+  DIAGNET_REQUIRE(config_.mean_think_s > 0.0);
+  DIAGNET_REQUIRE(config_.windows >= 1);
+  if (config_.shards == 0) config_.shards = 64;
+  heaps_.resize(config_.shards);
+  released_.resize(config_.shards);
+
+  // Seed every client's first visit: uniform over the campaign window.
+  util::parallel_for(config_.shards, [&](std::size_t shard) {
+    std::vector<Event>& heap = heaps_[shard];
+    heap.reserve(config_.clients / config_.shards + 1);
+    for (std::uint64_t c = shard; c < config_.clients; c += config_.shards) {
+      Event ev;
+      ev.time_hours = root_.fork(c).fork(0).uniform(0.0, config_.duration_hours);
+      ev.client = c;
+      ev.cycle = 0;
+      heap.push_back(ev);
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_after);
+  });
+}
+
+double EventEngine::think_hours(std::uint64_t client,
+                                std::uint64_t cycle) const {
+  // Mean think time in hours; exponential inter-visit gaps make each
+  // client's schedule a (delayed) Poisson process.
+  const double rate = 3600.0 / config_.mean_think_s;
+  return root_.fork(client).fork(cycle).exponential(rate);
+}
+
+bool EventEngine::next_window(std::vector<Event>* events) {
+  events->clear();
+  if (window_ >= config_.windows) return false;
+
+  const double window_len = config_.duration_hours / config_.windows;
+  // The last window closes exactly at the campaign end so float rounding
+  // can never strand an event.
+  const double window_end = (window_ + 1 == config_.windows)
+                                ? config_.duration_hours
+                                : window_len * (window_ + 1);
+
+  util::parallel_for(config_.shards, [&](std::size_t shard) {
+    std::vector<Event>& heap = heaps_[shard];
+    std::vector<Event>& out = released_[shard];
+    out.clear();
+    while (!heap.empty() && heap.front().time_hours < window_end) {
+      std::pop_heap(heap.begin(), heap.end(), heap_after);
+      Event ev = heap.back();
+      heap.pop_back();
+      out.push_back(ev);
+      // Schedule the client's next cycle; clients whose think time carries
+      // them past the campaign end simply retire.
+      Event next;
+      next.time_hours = ev.time_hours + think_hours(ev.client, ev.cycle + 1);
+      next.client = ev.client;
+      next.cycle = ev.cycle + 1;
+      if (next.time_hours < config_.duration_hours) {
+        heap.push_back(next);
+        std::push_heap(heap.begin(), heap.end(), heap_after);
+      }
+    }
+  });
+
+  std::size_t total = 0;
+  for (const auto& out : released_) total += out.size();
+  events->reserve(total);
+  for (const auto& out : released_)
+    events->insert(events->end(), out.begin(), out.end());
+  std::sort(events->begin(), events->end(), canonical_before);
+
+  ++window_;
+  emitted_ += events->size();
+  return true;
+}
+
+}  // namespace diagnet::netsim

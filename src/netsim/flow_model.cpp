@@ -1,0 +1,52 @@
+#include "netsim/flow_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace diagnet::netsim {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+FlowModel::FlowModel(const PathModel& base, FlowConfig config)
+    : base_(&base), config_(config) {
+  DIAGNET_REQUIRE(config_.effective_bandwidth > 0.0 &&
+                  config_.effective_bandwidth <= 1.0);
+  DIAGNET_REQUIRE(config_.slow_start_latency_factor >= 1.0);
+  DIAGNET_REQUIRE(config_.cross_traffic_factor >= 0.0);
+  DIAGNET_REQUIRE(config_.link_flow_capacity > 0.0);
+}
+
+double FlowModel::expected_flows(double time_hours) const {
+  // Diurnal activity between 25% (trough) and 100% (peak).
+  const double phase =
+      2.0 * kPi * (time_hours - config_.activity_peak_hour) / 24.0;
+  const double activity = 0.25 + 0.75 * 0.5 * (1.0 + std::cos(phase));
+  return config_.clients_per_region * config_.duty_cycle * activity;
+}
+
+double FlowModel::contention(double time_hours) const {
+  return std::max(1.0, expected_flows(time_hours) / config_.link_flow_capacity);
+}
+
+PathState FlowModel::path(std::size_t src, std::size_t dst, double time_hours,
+                          const ActiveFaults& faults) const {
+  PathState state = base_->path(src, dst, time_hours, faults);
+  // Payload share after header overhead and the reverse ACK flow, divided
+  // between the flows sharing the link.
+  const double share = config_.effective_bandwidth /
+                       ((1.0 + config_.cross_traffic_factor) *
+                        contention(time_hours));
+  state.down_mbps *= share;
+  state.up_mbps *= share;
+  // Slow start: the first congestion window effectively costs
+  // slow_start_latency_factor one-way delays instead of one.
+  state.slow_start_ms =
+      (config_.slow_start_latency_factor - 1.0) * 0.5 * state.rtt_ms;
+  return state;
+}
+
+}  // namespace diagnet::netsim

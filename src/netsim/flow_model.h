@@ -1,0 +1,64 @@
+// Flow-level corrections layered onto the base PathModel, after SimGrid's
+// validated TCP flow model: only ~97% of the nominal bandwidth is usable
+// payload (TCP/IP header overhead), the first congestion window costs an
+// extra slow-start latency (SimGrid's empirical 13.01 first-window factor),
+// the reverse ACK flow consumes a 0.05 bandwidth share, and concurrent
+// flows contend for the inter-region links by bandwidth sharing.
+//
+// Contention is analytic: the expected number of concurrent flows per link
+// is a pure function of the emulated client population and the time of day
+// (diurnal activity curve), never of other samples. That keeps every path
+// lookup a deterministic function of (src, dst, t, faults) — the property
+// the fork-keyed campaign generator needs to stay bit-reproducible across
+// worker threads.
+#pragma once
+
+#include "netsim/path_model.h"
+
+namespace diagnet::netsim {
+
+struct FlowConfig {
+  /// Share of the nominal bandwidth usable as payload (header overhead).
+  double effective_bandwidth = 0.97;
+  /// First-window latency multiplier; the extra (factor - 1) x one-way
+  /// delay is charged once per transfer via PathState::slow_start_ms.
+  double slow_start_latency_factor = 13.01;
+  /// Bandwidth share consumed by the reverse cross-traffic ACK flow.
+  double cross_traffic_factor = 0.05;
+  /// Emulated clients per active region (drives link contention).
+  double clients_per_region = 0.0;
+  /// Fraction of time a client keeps a flow in progress.
+  double duty_cycle = 0.01;
+  /// Concurrent flows an inter-region link absorbs before its bandwidth is
+  /// shared between them.
+  double link_flow_capacity = 1000.0;
+  /// Peak hour of the diurnal activity curve.
+  double activity_peak_hour = 20.0;
+};
+
+/// Decorates a PathModel with the flow-level terms above. Faults pass
+/// through unchanged — they are applied by the base model, and the
+/// flow-level scaling on top keeps the causal structure (a fault in region
+/// R still perturbs exactly the paths touching R).
+class FlowModel final : public PathProvider {
+ public:
+  explicit FlowModel(const PathModel& base, FlowConfig config = {});
+
+  PathState path(std::size_t src, std::size_t dst, double time_hours,
+                 const ActiveFaults& faults) const override;
+  const Topology& topology() const override { return base_->topology(); }
+
+  /// Expected concurrent flows per inter-region link at time t (analytic,
+  /// deterministic; follows the diurnal activity curve).
+  double expected_flows(double time_hours) const;
+  /// Bandwidth-sharing divisor at time t (>= 1).
+  double contention(double time_hours) const;
+
+  const FlowConfig& config() const { return config_; }
+
+ private:
+  const PathModel* base_;
+  FlowConfig config_;
+};
+
+}  // namespace diagnet::netsim

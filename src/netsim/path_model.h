@@ -20,6 +20,23 @@ struct PathState {
   double loss_rate = 0.0;
   double down_mbps = 0.0;  // bottleneck bandwidth towards the client
   double up_mbps = 0.0;    // bottleneck bandwidth from the client
+  /// One-off latency charged once per transfer for TCP slow start. Only
+  /// flow-level providers set it; the base PathModel leaves it at zero.
+  double slow_start_ms = 0.0;
+};
+
+/// Anything that can answer "what does the path src -> dst look like at
+/// time t under these faults". The base PathModel implements it directly;
+/// flow-level decorators (FlowModel) layer bandwidth-sharing corrections on
+/// top. Implementations must be deterministic pure functions of their
+/// arguments — the campaign generator relies on that for fork-keyed
+/// reproducibility.
+class PathProvider {
+ public:
+  virtual ~PathProvider() = default;
+  virtual PathState path(std::size_t src, std::size_t dst, double time_hours,
+                         const ActiveFaults& faults) const = 0;
+  virtual const Topology& topology() const = 0;
 };
 
 /// Steady-state TCP throughput (Mbit/s) for a path: the bottleneck
@@ -29,7 +46,7 @@ struct PathState {
 double tcp_throughput_mbps(double bottleneck_mbps, double rtt_ms,
                            double loss_rate);
 
-class PathModel {
+class PathModel : public PathProvider {
  public:
   /// Static per-path factors (congestion phase/amplitude, base loss and
   /// jitter draws) derive from `seed` only.
@@ -39,13 +56,13 @@ class PathModel {
   /// campaign start; congestion follows a 24 h cycle), with every fault in
   /// `faults` applied. Deterministic: no internal RNG consumption.
   PathState path(std::size_t src, std::size_t dst, double time_hours,
-                 const ActiveFaults& faults) const;
+                 const ActiveFaults& faults) const override;
 
   /// Same, without faults (used for QoE threshold calibration).
   PathState nominal_path(std::size_t src, std::size_t dst,
                          double time_hours) const;
 
-  const Topology& topology() const { return *topology_; }
+  const Topology& topology() const override { return *topology_; }
 
  private:
   struct PathFactors {

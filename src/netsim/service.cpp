@@ -94,18 +94,19 @@ double exchange_ms(double rtt_ms, const PathState& path, util::Rng& rng) {
   return ms;
 }
 
-/// Transfer time of `size_mb` over the path's TCP goodput (download).
+/// Transfer time of `size_mb` over the path's TCP goodput (download), plus
+/// the path's one-off slow-start charge (zero for the base PathModel).
 double transfer_ms(double size_mb, const PathState& path, double rtt_ms,
                    const ClientProfile& client, util::Rng& rng) {
   const double bw = std::min(path.down_mbps, client.access_down_mbps);
   const double goodput = tcp_throughput_mbps(bw, rtt_ms, path.loss_rate);
   const double noisy = std::max(0.05, goodput * rng.lognormal(0.0, 0.1));
-  return size_mb * 8.0 * 1000.0 / noisy;
+  return size_mb * 8.0 * 1000.0 / noisy + path.slow_start_ms;
 }
 
 }  // namespace
 
-double page_load_ms(const Service& service, const PathModel& paths,
+double page_load_ms(const Service& service, const PathProvider& paths,
                     const ClientProfile& client,
                     const ClientCondition& condition, double time_hours,
                     const ActiveFaults& faults, util::Rng& rng) {

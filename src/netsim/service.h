@@ -40,9 +40,10 @@ std::vector<Service> default_services(const Topology& topology);
 
 /// Simulated browser page load (milliseconds). Walks the service's critical
 /// path: DNS, TCP+TLS handshakes, document and sub-resource transfers
-/// (TCP-model goodput per path), then CPU-scaled rendering. Faults enter
-/// through `paths` (remote families) and `condition` (Uplink/Load).
-double page_load_ms(const Service& service, const PathModel& paths,
+/// (TCP-model goodput per path, plus the provider's slow-start latency once
+/// per transfer), then CPU-scaled rendering. Faults enter through `paths`
+/// (remote families) and `condition` (Uplink/Load).
+double page_load_ms(const Service& service, const PathProvider& paths,
                     const ClientProfile& client,
                     const ClientCondition& condition, double time_hours,
                     const ActiveFaults& faults, util::Rng& rng);

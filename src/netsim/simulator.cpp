@@ -27,11 +27,18 @@ Simulator Simulator::make_default(std::uint64_t seed) {
 std::vector<LandmarkMeasurement> Simulator::probe_landmarks(
     const ClientProfile& client, const ClientCondition& condition,
     double time_hours, const ActiveFaults& faults, util::Rng& rng) const {
+  return probe_landmarks(path_model_, client, condition, time_hours, faults,
+                         rng);
+}
+
+std::vector<LandmarkMeasurement> Simulator::probe_landmarks(
+    const PathProvider& paths, const ClientProfile& client,
+    const ClientCondition& condition, double time_hours,
+    const ActiveFaults& faults, util::Rng& rng) const {
   std::vector<LandmarkMeasurement> out;
   out.reserve(landmark_count());
   for (std::size_t lam = 0; lam < landmark_count(); ++lam) {
-    const PathState path =
-        path_model_.path(client.region, lam, time_hours, faults);
+    const PathState path = paths.path(client.region, lam, time_hours, faults);
     out.push_back(measure_landmark(path, client, condition, rng));
   }
   return out;
@@ -47,8 +54,16 @@ LocalMeasurement Simulator::measure_local(const ClientProfile& client,
 double Simulator::visit(std::size_t service_idx, const ClientProfile& client,
                         const ClientCondition& condition, double time_hours,
                         const ActiveFaults& faults, util::Rng& rng) const {
+  return visit(service_idx, path_model_, client, condition, time_hours,
+               faults, rng);
+}
+
+double Simulator::visit(std::size_t service_idx, const PathProvider& paths,
+                        const ClientProfile& client,
+                        const ClientCondition& condition, double time_hours,
+                        const ActiveFaults& faults, util::Rng& rng) const {
   DIAGNET_REQUIRE(service_idx < services_.size());
-  return page_load_ms(services_[service_idx], path_model_, client, condition,
+  return page_load_ms(services_[service_idx], paths, client, condition,
                       time_hours, faults, rng);
 }
 

@@ -31,6 +31,13 @@ class Simulator {
       const ClientProfile& client, const ClientCondition& condition,
       double time_hours, const ActiveFaults& faults, util::Rng& rng) const;
 
+  /// Same, but measured through an alternative path provider (e.g. the
+  /// flow-level FlowModel) instead of the simulator's own PathModel.
+  std::vector<LandmarkMeasurement> probe_landmarks(
+      const PathProvider& paths, const ClientProfile& client,
+      const ClientCondition& condition, double time_hours,
+      const ActiveFaults& faults, util::Rng& rng) const;
+
   LocalMeasurement measure_local(const ClientProfile& client,
                                  const ClientCondition& condition,
                                  double time_hours, util::Rng& rng) const;
@@ -39,6 +46,12 @@ class Simulator {
   double visit(std::size_t service_idx, const ClientProfile& client,
                const ClientCondition& condition, double time_hours,
                const ActiveFaults& faults, util::Rng& rng) const;
+
+  /// Same visit through an alternative path provider.
+  double visit(std::size_t service_idx, const PathProvider& paths,
+               const ClientProfile& client, const ClientCondition& condition,
+               double time_hours, const ActiveFaults& faults,
+               util::Rng& rng) const;
 
   /// Calibrate per-(service, client-region) QoE thresholds from nominal
   /// page loads: threshold = 1.5 x median + 100 ms. Must be called before

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <memory>
 
@@ -192,6 +193,26 @@ PoolChoice choose_pool(std::size_t threads) {
   return choice;
 }
 
+/// Global-norm gradient clipping (see TrainerConfig::clip_norm). The norm
+/// is summed in fixed parameter order on the caller thread, so the result
+/// — and therefore the whole training trajectory — is thread-count
+/// invariant.
+void clip_gradients(const std::vector<Parameter*>& params, double clip) {
+  if (clip <= 0.0) return;
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    const double* g = p->grad.data();
+    for (std::size_t i = 0; i < p->grad.size(); ++i) sq += g[i] * g[i];
+  }
+  const double norm = std::sqrt(sq);
+  if (!(norm > clip)) return;  // also skips NaN norms: nothing to rescue
+  const double scale = clip / norm;
+  for (Parameter* p : params) {
+    double* g = p->grad.data();
+    for (std::size_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+  }
+}
+
 /// Mean loss over `rows`, evaluated in blocks of `block` rows.
 double mean_loss(ShardEngine& engine, const std::vector<std::size_t>& rows,
                  std::size_t block) {
@@ -251,6 +272,7 @@ TrainingHistory train_coarse(CoarseNet& net, const CoarseDataset& data,
           std::min(train_rows.size(), begin + config.batch_size);
       train_loss +=
           engine.train_step(train_rows.data() + begin, end - begin, params);
+      clip_gradients(params, config.clip_norm);
       optimizer.step();
     }
     train_loss /= static_cast<double>(train_rows.size());

@@ -45,11 +45,14 @@ struct FuzzFixture {
     model.train_general(world.dataset);
 
     std::ostringstream bundle_os(std::ios::binary);
-    core::save_model(model, bundle_os);
+    const util::Status saved = core::try_save_model(model, bundle_os);
+    DIAGNET_REQUIRE_MSG(saved.ok(), saved.message());
     bundle = bundle_os.str();
 
     std::ostringstream csv_os;
-    data::write_csv(world.dataset, world.fs, csv_os);
+    const util::Status written = data::try_write_csv(world.dataset, world.fs,
+                                                     csv_os);
+    DIAGNET_REQUIRE_MSG(written.ok(), written.message());
     csv = csv_os.str();
   }
 };
@@ -139,12 +142,12 @@ void check_bundle_fuzz(CaseContext& ctx) {
   ctx.begin_case();
   {
     std::istringstream is(bundle, std::ios::binary);
-    try {
-      const auto model = core::load_model(is, fs);
-      ctx.check(model != nullptr && model->trained(),
+    const auto model = core::try_load_model(is, fs);
+    if (model.ok()) {
+      ctx.check(*model != nullptr && (*model)->trained(),
                 "pristine bundle must load as a trained model");
-    } catch (const std::exception& e) {
-      ctx.fail(std::string("pristine bundle failed to load: ") + e.what());
+    } else {
+      ctx.fail("pristine bundle failed to load: " + model.status().message());
     }
   }
 
@@ -156,13 +159,11 @@ void check_bundle_fuzz(CaseContext& ctx) {
     std::string what;
     const std::string bad = corrupt(ctx.rng, bundle, &what);
     std::istringstream is(bad, std::ios::binary);
-    try {
-      const auto model = core::load_model(is, fs);
-      (void)model;
+    const auto model = core::try_load_model(is, fs);
+    if (model.ok())
       ctx.fail("corrupt bundle loaded without an error (" + what + ")");
-    } catch (const std::exception&) {
+    else
       ctx.check(true, "clean rejection");
-    }
   }
 }
 
@@ -173,31 +174,30 @@ void check_campaign_fuzz(CaseContext& ctx) {
   ctx.begin_case();
   {
     std::istringstream is(csv);
-    try {
-      const data::Dataset ds = data::read_csv(is, fs);
-      ctx.check_eq(ds.size(), fixture().world.dataset.size(),
+    const auto ds = data::try_read_csv(is, fs);
+    if (ds.ok())
+      ctx.check_eq(ds->size(), fixture().world.dataset.size(),
                    "pristine CSV roundtrip sample count");
-    } catch (const std::exception& e) {
-      ctx.fail(std::string("pristine CSV failed to parse: ") + e.what());
-    }
+    else
+      ctx.fail("pristine CSV failed to parse: " + ds.status().message());
   }
 
   // Text corruption cannot always be *detected* (a flipped digit is still
   // a number), so the contract is weaker than for binary bundles: the
-  // reader either throws or returns a structurally consistent dataset.
+  // reader either errors out or returns a structurally consistent dataset.
   for (std::size_t c = 0; c < 4; ++c) {
     ctx.begin_case();
     std::string what;
     const std::string bad = corrupt(ctx.rng, csv, &what);
     std::istringstream is(bad);
-    try {
-      const data::Dataset ds = data::read_csv(is, fs);
-      ctx.check_eq(ds.landmark_available.size(), fs.landmark_count(),
+    const auto ds = data::try_read_csv(is, fs);
+    if (ds.ok()) {
+      ctx.check_eq(ds->landmark_available.size(), fs.landmark_count(),
                    "parsed landmark mask width (" + what + ")");
-      for (const data::Sample& s : ds.samples)
+      for (const data::Sample& s : ds->samples)
         ctx.check_eq(s.features.size(), fs.total(),
                      "parsed sample width (" + what + ")");
-    } catch (const std::exception&) {
+    } else {
       ctx.check(true, "clean rejection");
     }
   }

@@ -1,5 +1,5 @@
 // Parity property test for the batched diagnosis engine: every field of
-// every Diagnosis produced by BatchDiagnoser::diagnose_all must be
+// every Diagnosis produced by BatchDiagnoser::run must be
 // BIT-IDENTICAL to the per-sample DiagNetModel::diagnose result, for every
 // batch size and thread count. This is the contract that lets the bench
 // binaries and `diagnet evaluate` switch to the batch engine without
@@ -33,6 +33,15 @@ eval::Pipeline& pipeline() {
   return *instance;
 }
 
+/// Builds the owning request for test sample `idx` under the test split's
+/// landmark mask.
+core::DiagnoseRequest request_for(std::size_t idx, bool use_general = false) {
+  auto& p = pipeline();
+  const data::Sample& sample = p.split().test.samples[idx];
+  return {sample.features, sample.service, use_general,
+          p.split().test.landmark_available};
+}
+
 /// Per-sample reference diagnoses through the unbatched path.
 std::vector<core::Diagnosis> sequential_reference(
     const std::vector<std::size_t>& indices) {
@@ -40,9 +49,9 @@ std::vector<core::Diagnosis> sequential_reference(
   std::vector<core::Diagnosis> out;
   out.reserve(indices.size());
   for (std::size_t idx : indices) {
-    const data::Sample& sample = p.split().test.samples[idx];
-    out.push_back(p.diagnet().diagnose(sample.features, sample.service,
-                                       p.split().test.landmark_available));
+    core::DiagnoseResponse response = p.diagnet().diagnose(request_for(idx));
+    EXPECT_TRUE(response.ok()) << response.status.message();
+    out.push_back(std::move(response.diagnosis));
   }
   return out;
 }
@@ -66,11 +75,9 @@ TEST(BatchDiagnoser, BitExactAcrossBatchSizesAndThreadCounts) {
   // group and 256 exercises the larger-than-data case.
   ASSERT_GE(indices.size(), 32u);
 
-  std::vector<core::DiagnosisRequest> requests(indices.size());
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const data::Sample& sample = p.split().test.samples[indices[i]];
-    requests[i] = {&sample.features, sample.service};
-  }
+  std::vector<core::DiagnoseRequest> requests;
+  requests.reserve(indices.size());
+  for (std::size_t idx : indices) requests.push_back(request_for(idx));
   const std::vector<core::Diagnosis> reference = sequential_reference(indices);
 
   for (std::size_t threads : {1u, 4u}) {
@@ -82,12 +89,12 @@ TEST(BatchDiagnoser, BitExactAcrossBatchSizesAndThreadCounts) {
       config.batch_size = batch_size;
       config.pool = &pool;
       const core::BatchDiagnoser batcher(p.diagnet(), config);
-      const std::vector<core::Diagnosis> got =
-          batcher.diagnose_all(requests, p.split().test.landmark_available);
+      const std::vector<core::DiagnoseResponse> got = batcher.run(requests);
       ASSERT_EQ(got.size(), reference.size());
       for (std::size_t i = 0; i < got.size(); ++i) {
         SCOPED_TRACE("sample " + std::to_string(i));
-        expect_bit_identical(got[i], reference[i]);
+        ASSERT_TRUE(got[i].ok()) << got[i].status.message();
+        expect_bit_identical(got[i].diagnosis, reference[i]);
       }
     }
   }
@@ -98,32 +105,32 @@ TEST(BatchDiagnoser, GeneralModelPathMatchesSequential) {
   const std::vector<std::size_t> indices = p.faulty_test_indices();
   const std::size_t n = std::min<std::size_t>(indices.size(), 32);
 
-  std::vector<core::DiagnosisRequest> requests(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const data::Sample& sample = p.split().test.samples[indices[i]];
-    requests[i] = {&sample.features, sample.service};
-  }
+  std::vector<core::DiagnoseRequest> requests;
+  requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    requests.push_back(request_for(indices[i]));
   core::BatchDiagnoserConfig config;
   config.batch_size = 8;
   config.use_general = true;
   const core::BatchDiagnoser batcher(p.diagnet(), config);
-  const auto got =
-      batcher.diagnose_all(requests, p.split().test.landmark_available);
+  const auto got = batcher.run(requests);
+  ASSERT_EQ(got.size(), n);
 
   for (std::size_t i = 0; i < n; ++i) {
-    const data::Sample& sample = p.split().test.samples[indices[i]];
-    const core::Diagnosis want = p.diagnet().diagnose_general(
-        sample.features, p.split().test.landmark_available);
+    const core::Diagnosis want =
+        p.diagnet()
+            .diagnose(request_for(indices[i], /*use_general=*/true))
+            .diagnosis;
     SCOPED_TRACE("sample " + std::to_string(i));
-    expect_bit_identical(got[i], want);
+    ASSERT_TRUE(got[i].ok()) << got[i].status.message();
+    expect_bit_identical(got[i].diagnosis, want);
   }
 }
 
 TEST(BatchDiagnoser, EmptyRequestListReturnsEmpty) {
   auto& p = pipeline();
   const core::BatchDiagnoser batcher(p.diagnet());
-  EXPECT_TRUE(
-      batcher.diagnose_all({}, p.split().test.landmark_available).empty());
+  EXPECT_TRUE(batcher.run({}).empty());
 }
 
 TEST(BatchDiagnoser, ZeroBatchSizeThrows) {

@@ -36,8 +36,11 @@ TEST(Integration, DiagnosisIsAWellFormedRanking) {
   const auto faulty = p.faulty_test_indices();
   ASSERT_FALSE(faulty.empty());
   const auto& sample = p.split().test.samples[faulty[0]];
-  auto diagnosis = p.diagnet().diagnose(sample.features, sample.service,
-                                        p.split().test.landmark_available);
+  core::DiagnoseResponse response = p.diagnet().diagnose(
+      {sample.features, sample.service, false,
+       p.split().test.landmark_available});
+  ASSERT_TRUE(response.ok()) << response.status.message();
+  const core::Diagnosis& diagnosis = response.diagnosis;
 
   EXPECT_EQ(diagnosis.scores.size(), 55u);
   EXPECT_NEAR(std::accumulate(diagnosis.scores.begin(),
@@ -82,10 +85,16 @@ TEST(Integration, SpecialisedModelsExistAndDiffer) {
 
   const auto faulty = p.faulty_test_indices();
   const auto& sample = p.split().test.samples[faulty[0]];
-  const auto special = p.diagnet().diagnose(
-      sample.features, service, p.split().test.landmark_available);
-  const auto general = p.diagnet().diagnose_general(
-      sample.features, p.split().test.landmark_available);
+  const auto special =
+      p.diagnet()
+          .diagnose({sample.features, service, false,
+                     p.split().test.landmark_available})
+          .diagnosis;
+  const auto general =
+      p.diagnet()
+          .diagnose({sample.features, 0, true,
+                     p.split().test.landmark_available})
+          .diagnosis;
   // Same cause space, (almost surely) different scores.
   EXPECT_EQ(special.scores.size(), general.scores.size());
   double diff = 0.0;
@@ -123,7 +132,9 @@ TEST(Integration, InferenceOnFewerLandmarksThanTraining) {
   std::vector<bool> partial(p.feature_space().landmark_count(), true);
   partial[1] = partial[4] = partial[6] = partial[9] = false;
   auto diagnosis =
-      p.diagnet().diagnose(sample.features, sample.service, partial);
+      p.diagnet()
+          .diagnose({sample.features, sample.service, false, partial})
+          .diagnosis;
   EXPECT_EQ(diagnosis.scores.size(), 55u);
   // Dropped landmarks receive no attention mass.
   for (std::size_t lam : {1, 4, 6, 9})
@@ -140,10 +151,11 @@ TEST(Integration, AblationTogglesChangeScores) {
   const auto& sample = p.split().test.samples[faulty[0]];
   const auto& avail = p.split().test.landmark_available;
 
-  auto full = p.diagnet().diagnose(sample.features, sample.service, avail);
+  const core::DiagnoseRequest request{sample.features, sample.service, false,
+                                      avail};
+  auto full = p.diagnet().diagnose(request).diagnosis;
   p.diagnet().set_ensemble(false);
-  auto attention_only =
-      p.diagnet().diagnose(sample.features, sample.service, avail);
+  auto attention_only = p.diagnet().diagnose(request).diagnosis;
   p.diagnet().set_ensemble(true);
 
   EXPECT_DOUBLE_EQ(attention_only.w_unknown, 1.0);
@@ -153,13 +165,14 @@ TEST(Integration, AblationTogglesChangeScores) {
   EXPECT_GT(diff, 1e-9);
 }
 
-TEST(Integration, UntrainedModelThrows) {
+TEST(Integration, UntrainedModelRejectsRequests) {
   const data::FeatureSpace& fs = pipeline().feature_space();
   core::DiagNetModel fresh(fs, core::DiagNetConfig::defaults());
   EXPECT_FALSE(fresh.trained());
-  EXPECT_THROW(fresh.diagnose(std::vector<double>(55, 0.0), 0,
-                              std::vector<bool>(10, true)),
-               std::logic_error);
+  const core::DiagnoseResponse response = fresh.diagnose(
+      {std::vector<double>(55, 0.0), 0, false, std::vector<bool>(10, true)});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), util::StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

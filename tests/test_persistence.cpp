@@ -84,19 +84,22 @@ TEST(ForestPersistence, RoundTripPreservesScores) {
 TEST(ModelRegistry, RoundTripPreservesDiagnoses) {
   auto& p = pipeline();
   std::stringstream ss;
-  core::save_model(p.diagnet(), ss);
-  auto restored = core::load_model(ss, p.feature_space());
+  ASSERT_TRUE(core::try_save_model(p.diagnet(), ss).ok());
+  auto restored = core::try_load_model(ss, p.feature_space());
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
 
-  ASSERT_TRUE(restored->trained());
-  EXPECT_EQ(restored->unknown_features(), p.diagnet().unknown_features());
+  ASSERT_TRUE((*restored)->trained());
+  EXPECT_EQ((*restored)->unknown_features(), p.diagnet().unknown_features());
 
   const auto faulty = p.faulty_test_indices();
   const std::vector<bool> all(p.feature_space().landmark_count(), true);
   for (std::size_t i = 0; i < std::min<std::size_t>(10, faulty.size());
        ++i) {
     const auto& sample = p.split().test.samples[faulty[i]];
-    const auto a = p.diagnet().diagnose(sample.features, sample.service, all);
-    const auto b = restored->diagnose(sample.features, sample.service, all);
+    const core::DiagnoseRequest request{sample.features, sample.service,
+                                        false, all};
+    const auto a = p.diagnet().diagnose(request).diagnosis;
+    const auto b = (*restored)->diagnose(request).diagnosis;
     ASSERT_EQ(a.ranking, b.ranking);
     for (std::size_t j = 0; j < a.scores.size(); ++j)
       EXPECT_DOUBLE_EQ(a.scores[j], b.scores[j]);
@@ -106,16 +109,18 @@ TEST(ModelRegistry, RoundTripPreservesDiagnoses) {
 TEST(ModelRegistry, SpecialisedHeadsSurvive) {
   auto& p = pipeline();
   std::stringstream ss;
-  core::save_model(p.diagnet(), ss);
-  auto restored = core::load_model(ss, p.feature_space());
+  ASSERT_TRUE(core::try_save_model(p.diagnet(), ss).ok());
+  auto restored = core::try_load_model(ss, p.feature_space());
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
   for (const auto& [service, history] : p.specialization_history())
-    EXPECT_TRUE(restored->has_specialized(service));
+    EXPECT_TRUE((*restored)->has_specialized(service));
 }
 
-TEST(ModelRegistry, GarbageInputThrows) {
+TEST(ModelRegistry, GarbageInputRejected) {
   std::stringstream ss("this is not a model file");
-  EXPECT_THROW(core::load_model(ss, pipeline().feature_space()),
-               std::runtime_error);
+  const auto loaded = core::try_load_model(ss, pipeline().feature_space());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
 }
 
 TEST(ModelRegistry, FuzzSmokeRejectsAThousandCorruptions) {
@@ -126,7 +131,7 @@ TEST(ModelRegistry, FuzzSmokeRejectsAThousandCorruptions) {
   // in `diagnet selfcheck` / test_proptest_fuzz (suite fuzz.bundle).
   auto& p = pipeline();
   std::stringstream clean;
-  core::save_model(p.diagnet(), clean);
+  ASSERT_TRUE(core::try_save_model(p.diagnet(), clean).ok());
   const std::string bytes = clean.str();
 
   util::Rng rng(20260806);
@@ -134,7 +139,7 @@ TEST(ModelRegistry, FuzzSmokeRejectsAThousandCorruptions) {
     std::string descr;
     const std::string bad = testkit::fuzz::corrupt(rng, bytes, &descr);
     std::istringstream is(bad);
-    EXPECT_THROW(core::load_model(is, p.feature_space()), std::exception)
+    EXPECT_FALSE(core::try_load_model(is, p.feature_space()).ok())
         << "corruption not rejected (trial " << trial << ", " << descr
         << ", seed 20260806)";
   }
@@ -146,19 +151,22 @@ TEST(ModelRegistry, ChecksumCatchesSingleFlippedBitInWeights) {
   // load must fail loudly.
   auto& p = pipeline();
   std::stringstream clean;
-  core::save_model(p.diagnet(), clean);
+  ASSERT_TRUE(core::try_save_model(p.diagnet(), clean).ok());
   std::string bytes = clean.str();
   ASSERT_GT(bytes.size(), 256u);
   bytes[bytes.size() / 2] ^= 0x10;
   std::istringstream is(bytes);
-  EXPECT_THROW(core::load_model(is, p.feature_space()), std::runtime_error);
+  const auto loaded = core::try_load_model(is, p.feature_space());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
 }
 
 TEST(ModelRegistry, UntrainedModelCannotBeSaved) {
   core::DiagNetModel fresh(pipeline().feature_space(),
                            core::DiagNetConfig::defaults());
   std::stringstream ss;
-  EXPECT_THROW(core::save_model(fresh, ss), std::logic_error);
+  EXPECT_EQ(core::try_save_model(fresh, ss).code(),
+            util::StatusCode::kFailedPrecondition);
 }
 
 // ---------------------------------------------------------------------------
@@ -173,8 +181,10 @@ TEST(DatasetCsv, RoundTripPreservesEverything) {
     original.samples.push_back(pipeline().split().test.samples[i]);
 
   std::stringstream ss;
-  data::write_csv(original, fs, ss);
-  const data::Dataset restored = data::read_csv(ss, fs);
+  ASSERT_TRUE(data::try_write_csv(original, fs, ss).ok());
+  auto restored_or = data::try_read_csv(ss, fs);
+  ASSERT_TRUE(restored_or.ok()) << restored_or.status().message();
+  const data::Dataset restored = std::move(restored_or).value();
 
   ASSERT_EQ(restored.size(), original.size());
   EXPECT_EQ(restored.landmark_available, original.landmark_available);
@@ -197,7 +207,9 @@ TEST(DatasetCsv, RoundTripPreservesEverything) {
 TEST(DatasetCsv, RejectsForeignHeader) {
   const auto& fs = pipeline().feature_space();
   std::stringstream ss("#landmark_available,1,1,1,1,1,1,1,1,1,1\nwrong\n");
-  EXPECT_THROW(data::read_csv(ss, fs), std::runtime_error);
+  const auto parsed = data::try_read_csv(ss, fs);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
@@ -242,10 +254,12 @@ TEST(OcclusionAttention, DiagnoseMethodToggleWorks) {
   const auto& sample = p.split().test.samples[faulty[0]];
   const std::vector<bool> all(p.feature_space().landmark_count(), true);
 
+  const core::DiagnoseRequest request{sample.features, sample.service, false,
+                                      all};
   p.diagnet().set_attention_method(core::AttentionMethod::Occlusion);
-  const auto occl = p.diagnet().diagnose(sample.features, sample.service, all);
+  const auto occl = p.diagnet().diagnose(request).diagnosis;
   p.diagnet().set_attention_method(core::AttentionMethod::Gradient);
-  const auto grad = p.diagnet().diagnose(sample.features, sample.service, all);
+  const auto grad = p.diagnet().diagnose(request).diagnosis;
 
   double diff = 0.0;
   for (std::size_t j = 0; j < grad.attention.size(); ++j)

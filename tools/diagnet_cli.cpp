@@ -61,6 +61,7 @@
 
 #include "core/batch_diagnoser.h"
 #include "core/registry.h"
+#include "data/campaign_stream.h"
 #include "data/generator.h"
 #include "data/io.h"
 #include "data/split.h"
@@ -120,28 +121,86 @@ std::vector<std::string> setup_telemetry(int argc, char** argv) {
 // simulate
 
 const util::ArgSpec kSimulateArgs[] = {
-    {"samples", util::ArgType::kUint, "15000", "campaign size"},
+    {"samples", util::ArgType::kUint, "15000",
+     "campaign size (classic scenario mode)"},
+    {"clients", util::ArgType::kUint, "0",
+     "emulated concurrent clients; > 0 switches to the event-driven "
+     "flow-level engine"},
     {"seed", util::ArgType::kUint, "42", "simulator RNG seed"},
     {"out", util::ArgType::kString, "campaign.csv", "output CSV path"},
+    {"stream", util::ArgType::kFlag, "",
+     "stream samples to a chunked on-disk campaign (--out-dir) instead of "
+     "materializing a CSV"},
+    {"out-dir", util::ArgType::kString, "campaign.chunks",
+     "output directory for --stream"},
+    {"duration-hours", util::ArgType::kDouble, "24",
+     "simulated campaign span (default: 336 classic, 24 client mode)"},
+    {"think-s", util::ArgType::kDouble, "86400",
+     "mean think time between a client's visits (client mode)"},
+    {"chunk-size", util::ArgType::kUint, "4096",
+     "samples per checksummed chunk (--stream)"},
+    {"threads", util::ArgType::kUint, "0",
+     "generator worker threads (0 = all cores; output is bit-identical)"},
 };
 
 int cmd_simulate(const util::ParsedArgs& args) {
   const std::uint64_t seed = args.uint("seed");
   const std::uint64_t samples = args.uint("samples");
-  const std::string out = args.str("out");
+  const std::uint64_t clients = args.uint("clients");
 
   netsim::Simulator sim = netsim::Simulator::make_default(seed);
   sim.calibrate_qoe();
   data::FeatureSpace fs(sim.topology());
 
   data::CampaignConfig campaign;
-  campaign.nominal_samples = samples / 3;
-  campaign.fault_samples = samples - campaign.nominal_samples;
   campaign.seed = seed ^ 0xca3fULL;
+  campaign.threads = args.uint("threads");
+  if (clients > 0) {
+    campaign.clients = clients;
+    campaign.duration_hours = 24.0;
+    campaign.mean_think_s = args.num("think-s");
+  } else {
+    campaign.nominal_samples = samples / 3;
+    campaign.fault_samples = samples - campaign.nominal_samples;
+  }
+  if (args.given("duration-hours"))
+    campaign.duration_hours = args.num("duration-hours");
 
-  std::cout << "Simulating " << samples << " samples (seed " << seed
-            << ")...\n";
-  const data::Dataset dataset = data::generate_campaign(sim, fs, campaign);
+  if (util::Status s = campaign.validate(sim); !s.ok()) {
+    std::cerr << "error: " << s.message() << '\n';
+    return 1;
+  }
+
+  if (clients > 0)
+    std::cout << "Simulating " << clients << " clients over "
+              << campaign.duration_hours << " h (seed " << seed << ")...\n";
+  else
+    std::cout << "Simulating " << samples << " samples (seed " << seed
+              << ")...\n";
+
+  if (args.flag("stream")) {
+    const std::string out_dir = args.str("out-dir");
+    data::ChunkedWriterConfig writer_config;
+    writer_config.chunk_size = args.uint("chunk-size");
+    data::ChunkedWriter sink(out_dir, writer_config);
+    const auto stats = data::stream_campaign(sim, fs, campaign, sink);
+    if (!stats.ok()) {
+      std::cerr << "error: " << stats.status().message() << '\n';
+      return 1;
+    }
+    std::cout << "Streamed " << stats->samples << " samples ("
+              << stats->faulty << " faulty) to " << out_dir << '\n';
+    return 0;
+  }
+
+  const std::string out = args.str("out");
+  data::DatasetSink sink;
+  const auto stats = data::stream_campaign(sim, fs, campaign, sink);
+  if (!stats.ok()) {
+    std::cerr << "error: " << stats.status().message() << '\n';
+    return 1;
+  }
+  const data::Dataset dataset = sink.take();
   if (util::Status s = data::try_write_csv_file(dataset, fs, out); !s.ok()) {
     std::cerr << "error: " << s.message() << '\n';
     return 1;
@@ -155,7 +214,7 @@ int cmd_simulate(const util::ParsedArgs& args) {
 // train
 
 const util::ArgSpec kTrainArgs[] = {
-    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign CSV"},
+    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign (CSV file or chunked dir)"},
     {"out", util::ArgType::kString, "model.bin", "output model bundle"},
     {"seed", util::ArgType::kUint, "42", "training RNG seed"},
     {"threads", util::ArgType::kUint, "0",
@@ -180,7 +239,7 @@ int cmd_train(const util::ParsedArgs& args) {
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
   std::cout << "Loading " << campaign_path << "...\n";
-  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
+  auto dataset_or = data::try_read_campaign(campaign_path, fs);
   if (!dataset_or.ok()) {
     std::cerr << "error: " << dataset_or.status().message() << '\n';
     return 1;
@@ -266,7 +325,7 @@ int cmd_train(const util::ParsedArgs& args) {
 // diagnose
 
 const util::ArgSpec kDiagnoseArgs[] = {
-    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign CSV"},
+    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign (CSV file or chunked dir)"},
     {"model", util::ArgType::kString, "model.bin", "trained model bundle"},
     {"sample", util::ArgType::kUint, "0", "index among faulty samples"},
 };
@@ -278,7 +337,7 @@ int cmd_diagnose(const util::ParsedArgs& args) {
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
-  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
+  auto dataset_or = data::try_read_campaign(campaign_path, fs);
   if (!dataset_or.ok()) {
     std::cerr << "error: " << dataset_or.status().message() << '\n';
     return 1;
@@ -322,7 +381,7 @@ int cmd_diagnose(const util::ParsedArgs& args) {
 // evaluate
 
 const util::ArgSpec kEvaluateArgs[] = {
-    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign CSV"},
+    {"campaign", util::ArgType::kString, "campaign.csv", "input campaign (CSV file or chunked dir)"},
     {"model", util::ArgType::kString, "model.bin", "trained model bundle"},
     {"quantize", util::ArgType::kFlag, "",
      "int8-quantize the FC stacks before evaluating"},
@@ -334,11 +393,32 @@ int cmd_evaluate(const util::ParsedArgs& args) {
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
-  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
-  if (!dataset_or.ok()) {
-    std::cerr << "error: " << dataset_or.status().message() << '\n';
+
+  // All faulty samples go through the batched diagnosis engine: one
+  // network pass per batch instead of one forward+backward per sample.
+  // The campaign streams in chunk by chunk — only the faulty requests are
+  // retained, so evaluation never holds the whole campaign in RAM.
+  // Campaign problems are reported before model problems.
+  std::vector<core::DiagnoseRequest> requests;
+  std::vector<std::size_t> truths;
+  const auto streamed = data::for_each_campaign_sample(
+      campaign_path, fs, [&](const data::Sample& sample) {
+        if (!sample.is_faulty()) return;
+        core::DiagnoseRequest request;
+        request.features = sample.features;
+        request.service = sample.service;
+        requests.push_back(std::move(request));
+        truths.push_back(sample.primary_cause);
+      });
+  if (!streamed.ok()) {
+    std::cerr << "error: " << streamed.status().message() << '\n';
     return 1;
   }
+  if (requests.empty()) {
+    std::cerr << "error: no faulty samples in " << campaign_path << '\n';
+    return 1;
+  }
+
   auto model_or = core::try_load_model_file(model_path, fs);
   if (!model_or.ok()) {
     std::cerr << "error: " << model_or.status().message() << '\n';
@@ -346,23 +426,6 @@ int cmd_evaluate(const util::ParsedArgs& args) {
   }
   const auto model = std::move(model_or).value();
   if (args.flag("quantize")) model->set_quantized(true);
-
-  // All faulty samples go through the batched diagnosis engine: one
-  // network pass per batch instead of one forward+backward per sample.
-  std::vector<core::DiagnoseRequest> requests;
-  std::vector<std::size_t> truths;
-  for (const data::Sample& sample : dataset_or.value().samples) {
-    if (!sample.is_faulty()) continue;
-    core::DiagnoseRequest request;
-    request.features = sample.features;
-    request.service = sample.service;
-    requests.push_back(std::move(request));
-    truths.push_back(sample.primary_cause);
-  }
-  if (requests.empty()) {
-    std::cerr << "error: no faulty samples in " << campaign_path << '\n';
-    return 1;
-  }
   const core::BatchDiagnoser batcher(*model);
   std::vector<core::DiagnoseResponse> responses = batcher.run(requests);
   std::vector<std::vector<std::size_t>> rankings;
@@ -690,7 +753,7 @@ int cmd_serve(const util::ParsedArgs& args) {
 
 const util::ArgSpec kMkrequestsArgs[] = {
     {"campaign", util::ArgType::kString, "campaign.csv",
-     "campaign CSV to draw samples from"},
+     "campaign (CSV or chunked dir) to draw samples from"},
     {"out", util::ArgType::kString, "requests.jsonl",
      "output file, one serve request JSON per line"},
     {"limit", util::ArgType::kUint, "100",
@@ -710,7 +773,7 @@ int cmd_mkrequests(const util::ParsedArgs& args) {
 
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
-  auto dataset_or = data::try_read_csv_file(campaign_path, fs);
+  auto dataset_or = data::try_read_campaign(campaign_path, fs);
   if (!dataset_or.ok()) {
     std::cerr << "error: " << dataset_or.status().message() << '\n';
     return 1;
@@ -761,7 +824,7 @@ const util::ArgSpec kLoadgenArgs[] = {
     {"port", util::ArgType::kUint, "0",
      "TCP port of a live `diagnet serve --port` (required)"},
     {"campaign", util::ArgType::kString, "campaign.csv",
-     "campaign CSV the request pool is drawn from"},
+     "campaign (CSV or chunked dir) the request pool is drawn from"},
     {"requests", util::ArgType::kUint, "1000",
      "total requests to send across all connections"},
     {"rps", util::ArgType::kDouble, "0",
@@ -788,7 +851,7 @@ int cmd_loadgen(const util::ParsedArgs& args) {
   }
   const netsim::Topology topology = netsim::default_topology();
   const data::FeatureSpace fs(topology);
-  auto dataset_or = data::try_read_csv_file(args.str("campaign"), fs);
+  auto dataset_or = data::try_read_campaign(args.str("campaign"), fs);
   if (!dataset_or.ok()) {
     std::cerr << "error: " << dataset_or.status().message() << '\n';
     return 1;
